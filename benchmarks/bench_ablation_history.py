@@ -1,0 +1,75 @@
+"""Ablation: history-file reuse across process counts.
+
+The paper: a history file "cannot be used if the program is run on a
+different number of processes from when the file was created", and the
+efficient pattern is "to create it in advance for the various numbers of
+processes of interest".  This bench pre-creates histories for 16 and 64
+ranks, then measures:
+
+* matching process counts hit their history (index distribution collapses),
+* a mismatched count (32) falls back to the full ring distribution.
+"""
+
+import pytest
+
+from repro.bench.harness import ResultTable, scaled_machine
+from repro.bench.figures import PAPER, _fun3d_services, _fun3d_setup
+from repro.apps.fun3d.driver import Fun3dRunConfig, run_fun3d_sdm
+from repro.config import origin2000
+from repro.core import snapshot_services
+from repro.mpi import mpirun
+from repro.partition import Graph, multilevel_kway
+
+CELLS = 12
+
+
+def run_history_matrix():
+    problem, _ = _fun3d_setup(CELLS, 16)
+    g = Graph.from_edges(
+        problem.mesh.n_nodes, problem.mesh.edge1, problem.mesh.edge2
+    )
+    scale = PAPER["fun3d_edges"] / problem.mesh.n_edges
+    machine = scaled_machine(origin2000(), scale)
+    cfg = Fun3dRunConfig(timesteps=1, checkpoint_every=2, register_history=True)
+    table = ResultTable(
+        f"Ablation (history) - reuse across process counts (scale x{scale:.0f})"
+    )
+
+    # Pre-create histories for 16 and 64 ranks (sharing one namespace).
+    snap = None
+    cold = {}
+    for p in (16, 64):
+        part = multilevel_kway(g, p, seed=1)
+        job = mpirun(
+            lambda ctx: run_fun3d_sdm(ctx, problem, part, cfg), p,
+            machine=machine, services=_fun3d_services(problem, seed_from=snap),
+        )
+        assert all(not r.used_history for r in job.values)
+        cold[p] = job.phase_max("index_distri")
+        snap = snapshot_services(job)
+        table.add("ablation-history", f"create/P{p}", "index_distri",
+                  cold[p], "s", note="ring distribution, history registered")
+
+    # Re-run each count: matching histories hit; 32 ranks miss.
+    for p, expect_hit in ((16, True), (64, True), (32, False)):
+        part = multilevel_kway(g, p, seed=1)
+        job = mpirun(
+            lambda ctx: run_fun3d_sdm(ctx, problem, part, cfg), p,
+            machine=machine, services=_fun3d_services(problem, seed_from=snap),
+        )
+        hit = all(r.used_history for r in job.values)
+        assert hit == expect_hit, (p, hit)
+        table.add(
+            "ablation-history", f"rerun/P{p}", "index_distri",
+            job.phase_max("index_distri"), "s",
+            note="history hit" if hit else "history MISS -> ring fallback",
+        )
+        if expect_hit:
+            assert job.phase_max("index_distri") < 0.5 * cold[p]
+    return table
+
+
+@pytest.mark.benchmark(group="ablation-history")
+def test_history_reuse_matrix(benchmark, report):
+    table = benchmark.pedantic(run_history_matrix, rounds=1, iterations=1)
+    report(table)

@@ -1,0 +1,46 @@
+"""Ablation: file-open/view cost sensitivity of the organization levels.
+
+The paper argues level 3 exists for file systems where opens are expensive:
+"if a file system has high file-open and file-close costs, and an
+application generates a high file-view cost, ... SDM can generate a very
+small number of files."  On the Origin2000 the levels barely differ
+(Figure 6); this ablation reruns Figure 6 on the ``high_open_cost`` machine
+profile and shows the gap opening up.
+"""
+
+import pytest
+
+from repro.bench.figures import run_fig6
+from repro.config import high_open_cost, origin2000
+
+NPROCS = 32
+CELLS = 12
+
+
+@pytest.mark.benchmark(group="ablation-opencost")
+def test_level3_wins_big_when_opens_are_expensive(benchmark, report):
+    def run_both():
+        cheap = run_fig6(nprocs=NPROCS, cells=CELLS, machine=origin2000())
+        cheap.title = "Ablation (open cost) - baseline Origin2000 opens"
+        costly = run_fig6(nprocs=NPROCS, cells=CELLS, machine=high_open_cost())
+        costly.title = "Ablation (open cost) - expensive opens/views"
+        for row in cheap.rows + costly.rows:
+            row.experiment = "ablation-opencost"
+            row.paper_value = None
+            row.note = "fig6 workload under two open-cost profiles"
+        return cheap, costly
+
+    cheap, costly = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    report(cheap)
+    report(costly)
+
+    gap_cheap = cheap.value("level3", "write") / cheap.value("level1", "write")
+    gap_costly = costly.value("level3", "write") / costly.value("level1", "write")
+    # On the Origin2000 the levels are close...
+    assert gap_cheap < 1.25
+    # ...with expensive opens, level 3's few files win big.
+    assert gap_costly > 1.5
+    assert gap_costly > 1.5 * gap_cheap
+
+    benchmark.extra_info["L3_over_L1_cheap_opens"] = round(gap_cheap, 2)
+    benchmark.extra_info["L3_over_L1_costly_opens"] = round(gap_costly, 2)

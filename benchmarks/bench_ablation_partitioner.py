@@ -1,0 +1,102 @@
+"""Ablation: partitioning-vector quality drives SDM's costs.
+
+The paper assumes a MeTis vector; this bench quantifies why.  For the
+multilevel (METIS-like), block, and random partitioners it reports:
+
+* edge cut and total ghost nodes (communication-volume proxies),
+* replicated (ghost) edges — directly the extra import volume SDM moves,
+* the measured ghost-update exchange time in a simulated job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.fun3d.kernel import edge_sweep, localize, update_ghosts
+from repro.bench.harness import ResultTable, scaled_machine
+from repro.bench.figures import PAPER
+from repro.config import origin2000
+from repro.mesh import fun3d_like_problem
+from repro.mpi import mpirun
+from repro.partition import (
+    Graph,
+    block_partition,
+    edge_cut,
+    ghost_stats,
+    multilevel_kway,
+    random_partition,
+)
+
+NPROCS = 32
+CELLS = 14
+
+
+def run_partitioner_comparison():
+    problem = fun3d_like_problem(CELLS)
+    mesh = problem.mesh
+    g = Graph.from_edges(mesh.n_nodes, mesh.edge1, mesh.edge2)
+    scale = PAPER["fun3d_edges"] / mesh.n_edges
+    machine = scaled_machine(origin2000(), scale)
+    table = ResultTable(
+        f"Ablation (partitioner) - vector quality -> SDM costs "
+        f"(P={NPROCS}, {mesh.n_edges} edges)"
+    )
+
+    vectors = {
+        "multilevel": multilevel_kway(g, NPROCS, seed=1),
+        "block": block_partition(mesh.n_nodes, NPROCS),
+        "random": random_partition(mesh.n_nodes, NPROCS, seed=1),
+    }
+    x_glob = problem.edge_arrays["xe0"]
+    y_glob = problem.node_arrays["yn0"]
+
+    results = {}
+    for name, part in vectors.items():
+        cut = edge_cut(g, part)
+        stats = ghost_stats(mesh.edge1, mesh.edge2, part, NPROCS)
+
+        def program(ctx, part=part):
+            keep = (part[mesh.edge1] == ctx.rank) | (part[mesh.edge2] == ctx.rank)
+            le1, le2 = mesh.edge1[keep], mesh.edge2[keep]
+            owned = np.flatnonzero(part == ctx.rank)
+            node_map = np.union1d(
+                owned,
+                np.unique(np.concatenate([le1, le2])) if keep.any() else owned,
+            )
+            e1l, e2l = localize(node_map, le1), localize(node_map, le2)
+            p, q = edge_sweep(e1l, e2l, x_glob[keep], y_glob[node_map], ctx)
+            t0 = ctx.now
+            update_ghosts(ctx, node_map, part, p, q)
+            return ctx.now - t0
+
+        job = mpirun(program, NPROCS, machine=machine)
+        exchange = max(job.values)
+        results[name] = dict(cut=cut, ghosts=stats.total_ghosts,
+                             replicated=stats.replicated_edges,
+                             exchange=exchange)
+        table.add("ablation-partitioner", name, "edge_cut", cut, "edges")
+        table.add("ablation-partitioner", name, "ghost_nodes",
+                  stats.total_ghosts, "nodes")
+        table.add("ablation-partitioner", name, "replicated_edges",
+                  stats.replicated_edges, "edges")
+        table.add("ablation-partitioner", name, "ghost_exchange",
+                  exchange, "s")
+    return table, results
+
+
+@pytest.mark.benchmark(group="ablation-partitioner")
+def test_multilevel_vector_minimizes_sdm_costs(benchmark, report):
+    table, results = benchmark.pedantic(
+        run_partitioner_comparison, rounds=1, iterations=1
+    )
+    report(table)
+    ml, blk, rnd = results["multilevel"], results["block"], results["random"]
+    # Cut and ghost ordering: multilevel <= block << random.
+    assert ml["cut"] <= blk["cut"]
+    assert blk["cut"] < rnd["cut"]
+    assert ml["ghosts"] <= blk["ghosts"]
+    assert blk["ghosts"] < rnd["ghosts"]
+    # And the exchange time follows the ghost volume.
+    assert ml["exchange"] < rnd["exchange"]
+    benchmark.extra_info["cut_multilevel"] = int(ml["cut"])
+    benchmark.extra_info["cut_block"] = int(blk["cut"])
+    benchmark.extra_info["cut_random"] = int(rnd["cut"])

@@ -1,0 +1,55 @@
+"""Figure 5: FUN3D import + index-distribution times, three configurations.
+
+Regenerates the paper's stacked bars — (Original) / SDM (Without History) /
+SDM (With History), each split into ``index distri.`` and ``import`` — at a
+ratio-preserving scale on 64 simulated ranks, and asserts the paper's
+qualitative findings:
+
+* the original (rank-0 I/O + broadcast, two-pass edge read) is the slowest;
+* SDM's parallel import beats the original's by a wide margin;
+* the history file cuts both the index distribution (contiguous read
+  replaces ring communication + examination) and the import (edges need
+  not be read at all).
+"""
+
+import pytest
+
+from repro.bench.figures import run_fig5
+
+NPROCS = 64
+CELLS = 16
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_partition_and_import(benchmark, report):
+    table = benchmark.pedantic(
+        run_fig5, kwargs=dict(nprocs=NPROCS, cells=CELLS), rounds=1, iterations=1
+    )
+    report(table)
+
+    orig_total = table.value("original", "total")
+    cold_total = table.value("sdm_no_history", "total")
+    warm_total = table.value("sdm_with_history", "total")
+
+    # Orderings of the paper's bars.
+    assert warm_total < cold_total < orig_total
+    # SDM import (parallel MPI-IO) crushes rank-0 + broadcast.
+    assert table.value("sdm_no_history", "import") < 0.5 * table.value(
+        "original", "import"
+    )
+    # History removes the edge read: import drops further.
+    assert table.value("sdm_with_history", "import") < table.value(
+        "sdm_no_history", "import"
+    )
+    # Single-pass realloc (+ ring) beats the original's two passes.
+    assert table.value("sdm_no_history", "index_distri") < table.value(
+        "original", "index_distri"
+    )
+    # History turns index distribution into a contiguous read.
+    assert table.value("sdm_with_history", "index_distri") < 0.5 * table.value(
+        "sdm_no_history", "index_distri"
+    )
+
+    benchmark.extra_info["original_total_s"] = round(orig_total, 3)
+    benchmark.extra_info["sdm_no_history_total_s"] = round(cold_total, 3)
+    benchmark.extra_info["sdm_with_history_total_s"] = round(warm_total, 3)

@@ -1,0 +1,48 @@
+"""Figure 6: FUN3D checkpoint write/read bandwidth under levels 1/2/3.
+
+Regenerates the six bars (write and read for each file organization) on 64
+simulated ranks and asserts the paper's findings for the Origin2000:
+
+* level 3 (fewest files) is best, level 1 worst — but the differences are
+  small, "because the file-open cost is small" on this machine;
+* reads outrun writes.
+"""
+
+import pytest
+
+from repro.bench.figures import run_fig6
+
+NPROCS = 64
+CELLS = 16
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_file_organizations(benchmark, report):
+    table = benchmark.pedantic(
+        run_fig6, kwargs=dict(nprocs=NPROCS, cells=CELLS), rounds=1, iterations=1
+    )
+    report(table)
+
+    w = {lvl: table.value(lvl, "write") for lvl in ("level1", "level2", "level3")}
+    r = {lvl: table.value(lvl, "read") for lvl in ("level1", "level2", "level3")}
+
+    # Ordering: fewer files, (slightly) better bandwidth.
+    assert w["level1"] <= w["level2"] <= w["level3"]
+    assert r["level1"] <= r["level2"] <= r["level3"]
+    # ... but the difference is small on the Origin2000 (paper: "not
+    # significant because the file-open cost is small").
+    assert w["level3"] / w["level1"] < 1.25
+    assert r["level3"] / r["level1"] < 1.25
+    # Reads beat writes at every level.
+    for lvl in w:
+        assert r[lvl] > w[lvl]
+    # Magnitudes live on the paper's axis (tens to ~150 MB/s).
+    for v in list(w.values()) + list(r.values()):
+        assert 40.0 < v < 200.0
+
+    benchmark.extra_info.update(
+        {f"write_{k}_MBps": round(v, 1) for k, v in w.items()}
+    )
+    benchmark.extra_info.update(
+        {f"read_{k}_MBps": round(v, 1) for k, v in r.items()}
+    )

@@ -1,0 +1,46 @@
+"""Figure 7: RT write bandwidth — original vs SDM, 32 vs 64 processes.
+
+Regenerates the six bars and asserts the paper's findings:
+
+* porting to SDM raises write bandwidth several-fold over the original's
+  strictly sequential writes;
+* level 1 vs level 2/3 barely matters (low open costs);
+* going from 32 to 64 processes *reduces* bandwidth (smaller per-process
+  buffers -> more per-request overhead) — "clearly, there is an optimal
+  buffer size".
+"""
+
+import pytest
+
+from repro.bench.figures import run_fig7
+
+CELLS = 16
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_rt_bandwidth(benchmark, report):
+    table = benchmark.pedantic(
+        run_fig7, kwargs=dict(proc_counts=(32, 64), cells=CELLS),
+        rounds=1, iterations=1,
+    )
+    report(table)
+
+    def bw(config, p):
+        return table.value(f"{config}/P{p}", "write")
+
+    for p in (32, 64):
+        # SDM beats the original by the paper's kind of factor (>4x).
+        assert bw("level1", p) > 4.0 * bw("original", p)
+        assert bw("level23", p) > 4.0 * bw("original", p)
+        # Organization barely matters here.
+        assert abs(bw("level23", p) - bw("level1", p)) / bw("level1", p) < 0.15
+    # More processes, smaller buffers, lower bandwidth.
+    assert bw("level1", 64) < bw("level1", 32)
+    assert bw("level23", 64) < bw("level23", 32)
+    # The original sits in the paper's ~10-15 MB/s band.
+    assert 5.0 < bw("original", 32) < 25.0
+    assert 5.0 < bw("original", 64) < 25.0
+
+    benchmark.extra_info["original_P32_MBps"] = round(bw("original", 32), 1)
+    benchmark.extra_info["sdm_L1_P32_MBps"] = round(bw("level1", 32), 1)
+    benchmark.extra_info["sdm_L1_P64_MBps"] = round(bw("level1", 64), 1)

@@ -1,0 +1,36 @@
+"""Shared benchmark infrastructure.
+
+Benchmarks record their :class:`~repro.bench.harness.ResultTable` objects
+through the ``report`` fixture; a terminal-summary hook prints every table
+after the pytest-benchmark timing block, so ``pytest benchmarks/
+--benchmark-only`` output ends with the paper-reproduction tables.
+"""
+
+from typing import List
+
+import pytest
+
+from repro.bench.harness import ResultTable
+
+_TABLES: List[ResultTable] = []
+
+
+@pytest.fixture()
+def report():
+    """Callable fixture: benchmarks pass tables to be printed at the end."""
+
+    def _record(table: ResultTable) -> ResultTable:
+        _TABLES.append(table)
+        return table
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.section("paper reproduction results")
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(table.render())
+    terminalreporter.write_line("")

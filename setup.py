@@ -1,0 +1,24 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP-517
+editable installs (which must build a wheel) cannot work.  Keeping a
+``setup.py`` and omitting the ``[build-system]`` table from ``pyproject.toml``
+makes ``pip install -e .`` take the legacy ``setup.py develop`` path, which
+needs only setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'A Scientific Data Management System for Irregular "
+        "Applications' (IPPS 2001): SDM on a simulated MPI/MPI-IO/parallel-FS/"
+        "metadata-DB stack"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,36 @@
+"""repro — reproduction of "A Scientific Data Management System for
+Irregular Applications" (No, Thakur, Kaushik, Freitag, Choudhary; IPPS 2001).
+
+The package rebuilds the paper's full stack in Python: SDM itself
+(:mod:`repro.core`) over simulated MPI (:mod:`repro.mpi`), MPI-IO
+(:mod:`repro.mpiio`) with derived datatypes (:mod:`repro.dtypes`), a
+parallel file system with real bytes (:mod:`repro.pfs`), an embedded
+metadata database (:mod:`repro.metadb`), a METIS-like partitioner
+(:mod:`repro.partition`), synthetic meshes (:mod:`repro.mesh`), the two
+evaluation applications (:mod:`repro.apps`), and the benchmark harness
+(:mod:`repro.bench`) — all on a deterministic discrete-event simulator
+(:mod:`repro.simt`).
+
+The shortest useful import surface::
+
+    from repro import SDM, Organization, mpirun, origin2000, sdm_services
+"""
+
+from repro.config import MachineModel, fast_test, high_open_cost, origin2000
+from repro.core import SDM, Organization, sdm_services, snapshot_services
+from repro.mpi import mpirun
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "SDM",
+    "Organization",
+    "mpirun",
+    "sdm_services",
+    "snapshot_services",
+    "MachineModel",
+    "origin2000",
+    "high_open_cost",
+    "fast_test",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Application templates: the paper's two evaluation workloads.
+
+* :mod:`repro.apps.fun3d` — the tetrahedral vertex-centered unstructured
+  CFD template (W. K. Anderson's FUN3D): edge-based flux sweeps over an
+  irregular mesh, importing edges + 4 edge arrays + 4 node arrays, writing
+  five datasets per checkpoint.  Comes in an SDM-ported version and the
+  "original" version (process 0 reads and broadcasts; two-step edge read;
+  per-process writes).
+* :mod:`repro.apps.rt` — the Rayleigh–Taylor instability template: writes a
+  node dataset and a triangle dataset per checkpoint; SDM-ported (collective
+  MPI-IO) and original (strictly sequential per-process writes).
+"""

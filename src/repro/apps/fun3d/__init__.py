@@ -1,0 +1,14 @@
+"""FUN3D-like unstructured CFD application template."""
+
+from repro.apps.fun3d.kernel import edge_sweep, update_ghosts, localize
+from repro.apps.fun3d.driver import Fun3dRunConfig, run_fun3d_sdm
+from repro.apps.fun3d.original import run_fun3d_original
+
+__all__ = [
+    "localize",
+    "edge_sweep",
+    "update_ghosts",
+    "Fun3dRunConfig",
+    "run_fun3d_sdm",
+    "run_fun3d_original",
+]

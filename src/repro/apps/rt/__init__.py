@@ -1,0 +1,13 @@
+"""Rayleigh–Taylor instability application template."""
+
+from repro.apps.rt.model import RTState, evolve_interface
+from repro.apps.rt.driver import RTRunConfig, run_rt_sdm
+from repro.apps.rt.original import run_rt_original
+
+__all__ = [
+    "RTState",
+    "evolve_interface",
+    "RTRunConfig",
+    "run_rt_sdm",
+    "run_rt_original",
+]

@@ -1,0 +1,26 @@
+"""Benchmark harness: experiment definitions and result reporting.
+
+Each figure of the paper's evaluation has a runner in
+:mod:`repro.bench.figures` returning :class:`~repro.bench.harness.ResultTable`
+rows (config, metric, measured value, paper value, unit); the pytest
+benchmarks under ``benchmarks/`` drive these runners and print the tables.
+
+Scaled-down problems use **time dilation** (:func:`scaled_machine`): the
+machine's bandwidths are divided — and per-element compute multiplied — by
+the problem's scale factor, so virtual *times* match what the full-size
+problem would take on the real machine, fixed per-operation costs keep their
+true relative weight, and bandwidths reported against paper-scale byte
+counts are directly comparable to the paper's axes.
+"""
+
+from repro.bench.harness import ExperimentRow, ResultTable, scaled_machine
+from repro.bench.figures import run_fig5, run_fig6, run_fig7
+
+__all__ = [
+    "ExperimentRow",
+    "ResultTable",
+    "scaled_machine",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+]

@@ -1,0 +1,58 @@
+"""Command-line reproduction runner: ``python -m repro.bench``.
+
+Runs the three figure experiments (optionally a subset) without pytest and
+prints the paper-comparison tables — the quickest way for a reader to see
+the reproduction end to end.
+
+Usage::
+
+    python -m repro.bench                 # all three figures
+    python -m repro.bench fig5 fig7       # a subset
+    python -m repro.bench --fast          # smaller problems, quicker run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import run_fig5, run_fig6, run_fig7
+
+_RUNNERS = {
+    "fig5": lambda fast: run_fig5(nprocs=32 if fast else 64,
+                                  cells=10 if fast else 16),
+    "fig6": lambda fast: run_fig6(nprocs=32 if fast else 64,
+                                  cells=10 if fast else 16),
+    "fig7": lambda fast: run_fig7(proc_counts=(8, 16) if fast else (32, 64),
+                                  cells=8 if fast else 16),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures", nargs="*", choices=[*_RUNNERS, []],
+        help="which figures to run (default: all)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="smaller problems and process counts (for a quick look)",
+    )
+    args = parser.parse_args(argv)
+    selected = args.figures or list(_RUNNERS)
+
+    for name in selected:
+        t0 = time.perf_counter()
+        table = _RUNNERS[name](args.fast)
+        wall = time.perf_counter() - t0
+        print(table.render())
+        print(f"[{name}: simulated in {wall:.1f}s wall time]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Result records, table rendering, and machine-model time dilation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.config import MachineModel
+
+__all__ = ["ExperimentRow", "ResultTable", "scaled_machine"]
+
+
+@dataclass
+class ExperimentRow:
+    """One reported value of one experiment configuration."""
+
+    experiment: str
+    config: str
+    metric: str
+    value: float
+    unit: str
+    paper_value: Optional[float] = None
+    note: str = ""
+
+    def formatted(self) -> List[str]:
+        paper = f"{self.paper_value:g}" if self.paper_value is not None else "-"
+        return [
+            self.experiment,
+            self.config,
+            self.metric,
+            f"{self.value:.2f}",
+            paper,
+            self.unit,
+            self.note,
+        ]
+
+
+@dataclass
+class ResultTable:
+    """A collection of rows with ASCII rendering (what the bench prints)."""
+
+    title: str
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    HEADER = ["experiment", "config", "metric", "measured", "paper", "unit", "note"]
+
+    def add(self, *args, **kwargs) -> ExperimentRow:
+        """Append a row (same signature as :class:`ExperimentRow`)."""
+        row = ExperimentRow(*args, **kwargs)
+        self.rows.append(row)
+        return row
+
+    def get(self, config: str, metric: str) -> ExperimentRow:
+        """Look up a row by (config, metric)."""
+        for row in self.rows:
+            if row.config == config and row.metric == metric:
+                return row
+        raise KeyError(f"no row for config={config!r} metric={metric!r}")
+
+    def value(self, config: str, metric: str) -> float:
+        """Measured value of a (config, metric) row."""
+        return self.get(config, metric).value
+
+    def render(self) -> str:
+        """Fixed-width ASCII table."""
+        cells = [self.HEADER] + [r.formatted() for r in self.rows]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.HEADER))]
+        lines = [self.title, "=" * len(self.title)]
+        for i, row in enumerate(cells):
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+def scaled_machine(base: MachineModel, scale: float) -> MachineModel:
+    """Time-dilate a machine model for a problem ``scale`` times smaller
+    than the paper's.
+
+    Dividing bandwidths by ``scale`` and multiplying per-element compute by
+    ``scale`` makes the scaled problem take the *time* the full problem
+    would take at full speed, while fixed per-operation costs (latencies,
+    opens, database statements — which do not shrink with problem size)
+    keep their true relative weight.  Bandwidths computed against
+    paper-scale byte counts then land on the paper's axes.
+    """
+    if scale < 1.0:
+        raise ValueError(f"scale must be >= 1 (paper size / our size), got {scale}")
+    m = base
+    m = replace(
+        m,
+        network=replace(m.network, bandwidth=m.network.bandwidth / scale),
+        compute=replace(
+            m.compute,
+            element_op=m.compute.element_op * scale,
+            memcpy_bandwidth=m.compute.memcpy_bandwidth / scale,
+        ),
+        storage=replace(
+            m.storage,
+            stream_read_bandwidth=m.storage.stream_read_bandwidth / scale,
+            stream_write_bandwidth=m.storage.stream_write_bandwidth / scale,
+            # Byte-granularity parameters scale too, or aggregator domains
+            # and sieving windows collapse at small problem sizes (floors
+            # are one element / a handful of elements).
+            stripe_size=max(int(m.storage.stripe_size / scale), 8),
+        ),
+        collective_io=replace(
+            m.collective_io,
+            cb_buffer_size=max(int(m.collective_io.cb_buffer_size / scale), 16),
+            ds_buffer_size=max(int(m.collective_io.ds_buffer_size / scale), 16),
+            ds_threshold_gap=max(int(m.collective_io.ds_threshold_gap / scale), 8),
+        ),
+    )
+    m.name = f"{base.name}/scale{scale:g}"
+    return m

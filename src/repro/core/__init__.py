@@ -1,0 +1,29 @@
+"""SDM — the Scientific Data Manager (the paper's contribution).
+
+The runtime library that fronts MPI-IO and the metadata database for
+irregular applications.  Each rank constructs an :class:`SDM` instance
+(``SDM_initialize``), describes its datasets (``make_datalist`` /
+``set_attributes``), imports and partitions mesh data (``make_importlist`` /
+``import_contiguous`` / ``partition_table`` / ``partition_index`` /
+``import_irregular``), optionally registers the index distribution in a
+*history file* (``index_registry``), and then writes checkpoint results
+(``data_view`` / ``write``) under one of three file-organization levels.
+
+See :mod:`repro.core.api` for the class and :mod:`repro.core.papi` for
+C-style aliases that mirror the paper's Figures 2 and 3 line by line.
+"""
+
+from repro.core.groups import DataGroup, DatasetAttrs, ImportAttrs
+from repro.core.layout import Organization
+from repro.core.api import SDM
+from repro.core.services import sdm_services, snapshot_services
+
+__all__ = [
+    "SDM",
+    "Organization",
+    "DatasetAttrs",
+    "ImportAttrs",
+    "DataGroup",
+    "sdm_services",
+    "snapshot_services",
+]

@@ -1,0 +1,480 @@
+"""The SDM runtime class — the paper's user-facing API.
+
+One :class:`SDM` instance per rank fronts everything: the metadata database
+(through :class:`~repro.metadb.schema.SDMTables`), the parallel file system
+(through :class:`~repro.mpiio.file.File`), the ring index distribution, and
+history files.  Method names are pythonic; :mod:`repro.core.papi` provides
+``SDM_*`` aliases matching the paper's figures symbol for symbol.
+
+Typical write-side flow (Figure 2)::
+
+    sdm = SDM(ctx, "fun3d", organization=Organization.LEVEL_2)
+    result = sdm.make_datalist(["p", "q"])
+    for a in result:
+        a.data_type = DOUBLE
+        a.global_size = total_nodes
+    handle = sdm.set_attributes(result)
+    sdm.data_view(handle, "p", vector)       # map array from the partition
+    sdm.data_view(handle, "q", vector)
+    for t in range(max_step):
+        ...compute p, q...
+        sdm.write(handle, "p", t, p_buf)
+        sdm.write(handle, "q", t, q_buf)
+    sdm.finalize(handle)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.groups import DataGroup, DatasetAttrs, DataView, ImportAttrs
+from repro.core.history import (
+    HistoryRegistration,
+    register_history_async,
+    try_load_history,
+)
+from repro.core.layout import Organization, checkpoint_file_name
+from repro.core.ring import EdgeChunk, LocalPartition, owned_nodes_of, ring_partition_index
+from repro.dtypes.constructors import IndexedBlock
+from repro.dtypes.primitives import DOUBLE, INT, Primitive
+from repro.errors import SDMStateError, SDMUnknownDataset
+from repro.metadb.schema import SDMTables
+from repro.mpi.job import RankContext
+from repro.mpiio.consts import MODE_CREATE, MODE_RDONLY, MODE_RDWR
+from repro.mpiio.file import File
+
+__all__ = ["SDM"]
+
+
+class SDM:
+    """Per-rank Scientific Data Manager instance (``SDM_initialize``)."""
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        application: str,
+        organization: Organization = Organization.LEVEL_2,
+        dimension: int = 3,
+        problem_size: int = 0,
+        num_timesteps: int = 0,
+        io_hints: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.comm = ctx.comm
+        self.application = application
+        self.organization = Organization(organization)
+        self.io_hints = dict(io_hints) if io_hints else None
+        """MPI-IO hints SDM passes on every file open (the paper: SDM uses
+        "the ability to pass hints to the implementation about access
+        patterns, file-striping parameters, and so forth")."""
+        self.fs = ctx.service("fs")
+        self.db = ctx.service("db")
+        self.tables = SDMTables(self.db)
+        # Establish the database connection; rank 0 creates the six tables
+        # and allocates the run id.
+        self.db.connect(ctx.proc)
+        runid = None
+        if ctx.rank == 0:
+            self.tables.create_all(proc=ctx.proc)
+            runid = self.tables.next_runid(proc=ctx.proc)
+            self.tables.insert_run(
+                runid, application, dimension, problem_size, num_timesteps,
+                proc=ctx.proc,
+            )
+        self.runid: int = self.comm.bcast(runid, root=0)
+        self._groups: Dict[int, DataGroup] = {}
+        self._next_group = 1
+        self._files: Dict[Tuple[str, int], File] = {}
+        self._importlist: "OrderedDict[str, ImportAttrs]" = OrderedDict()
+        self._local: Optional[LocalPartition] = None
+        self._problem_size = problem_size
+        self._part_vector: Optional[np.ndarray] = None
+        self._history_available = False
+        self.comm.barrier()
+
+    # ------------------------------------------------------------------
+    # Datalists and groups (Figure 2, setup)
+    # ------------------------------------------------------------------
+
+    def make_datalist(self, names: Sequence[str]) -> List[DatasetAttrs]:
+        """Create attribute records for the named datasets
+        (``SDM_make_datalist``)."""
+        if len(set(names)) != len(names):
+            raise SDMStateError(f"duplicate dataset names: {names!r}")
+        return [DatasetAttrs(name=n) for n in names]
+
+    def associate_attributes(
+        self,
+        attrs: Sequence[DatasetAttrs],
+        data_type: Optional[Primitive] = None,
+        global_size: Optional[int] = None,
+        storage_order: Optional[str] = None,
+    ) -> None:
+        """Apply shared attributes to several records
+        (``SDM_associate_attributes``)."""
+        for a in attrs:
+            if data_type is not None:
+                a.data_type = data_type
+            if global_size is not None:
+                a.global_size = global_size
+            if storage_order is not None:
+                a.storage_order = storage_order
+
+    def set_attributes(self, datalist: Sequence[DatasetAttrs]) -> DataGroup:
+        """Freeze a datalist into a data group and store its metadata
+        (``SDM_set_attributes``).  Collective."""
+        for a in datalist:
+            if a.global_size <= 0:
+                raise SDMStateError(
+                    f"dataset {a.name!r} has no global_size; "
+                    "set attributes before set_attributes()"
+                )
+        group = DataGroup(group_id=self._next_group, runid=self.runid)
+        self._next_group += 1
+        for a in datalist:
+            group.datasets[a.name] = a
+        if self.ctx.rank == 0:
+            for a in datalist:
+                self.tables.register_dataset(
+                    self.runid, a.name, a.data_type.name, a.storage_order,
+                    a.global_size, a.basic_pattern, proc=self.ctx.proc,
+                )
+        self.comm.barrier()
+        self._groups[group.group_id] = group
+        return group
+
+    # ------------------------------------------------------------------
+    # Imports and partitioning (Figure 3)
+    # ------------------------------------------------------------------
+
+    def make_importlist(
+        self,
+        names: Sequence[str],
+        file_name: str,
+        index_names: Sequence[str] = (),
+    ) -> List[ImportAttrs]:
+        """Describe arrays created outside SDM (``SDM_make_importlist``)."""
+        out = []
+        for n in names:
+            attrs = ImportAttrs(
+                name=n,
+                file_name=file_name,
+                file_content="INDEX" if n in index_names else "DATA",
+                data_type=INT if n in index_names else DOUBLE,
+            )
+            self._importlist[n] = attrs
+            out.append(attrs)
+        return out
+
+    def _import_attrs(self, name: str) -> ImportAttrs:
+        try:
+            return self._importlist[name]
+        except KeyError:
+            raise SDMUnknownDataset(
+                f"{name!r} is not in the import list"
+            ) from None
+
+    def import_index(
+        self,
+        edge1_name: str,
+        edge2_name: str,
+        edge1_offset: int,
+        edge2_offset: int,
+        total_edges: int,
+    ) -> Optional[EdgeChunk]:
+        """Import the indirection arrays (``SDM_import`` on INDEX content).
+
+        First consults the database for a history file matching this
+        problem size and process count; on a hit, returns ``None`` — the
+        edges need not be imported at all, and the subsequent
+        :meth:`partition_index` reads the history instead.
+        """
+        self._problem_size = total_edges
+        # Per the paper, "the SDM_import first accesses the index table ...
+        # to see whether a history file exists with this problem size"; the
+        # actual slice read happens later, in partition_index.
+        record = None
+        if self.ctx.rank == 0:
+            record = self.tables.find_history(
+                total_edges, self.ctx.size, proc=self.ctx.proc
+            )
+        record = self.comm.bcast(record, root=0)
+        if record is not None:
+            self._history_available = True
+            return None
+        self._history_available = False
+        a1 = self._import_attrs(edge1_name)
+        e1 = self.import_contiguous(edge1_name, edge1_offset, total_edges)
+        e2 = self.import_contiguous(edge2_name, edge2_offset, total_edges)
+        counts = _even_split(total_edges, self.ctx.size)
+        gid_start = int(np.sum(counts[: self.ctx.rank]))
+        del a1
+        return EdgeChunk(edge1=e1.astype(np.int64), edge2=e2.astype(np.int64),
+                         gid_start=gid_start)
+
+    def import_contiguous(
+        self, name: str, file_offset: int, total_elements: int
+    ) -> np.ndarray:
+        """Import this rank's even share of a contiguous array
+        (``SDM_import`` without a data view installed).
+
+        "The total domain (file length) is equally divided among processes,
+        and the data in the domain is contiguously imported."
+        """
+        attrs = self._import_attrs(name)
+        dtype = attrs.data_type
+        counts = _even_split(total_elements, self.ctx.size)
+        start = int(np.sum(counts[: self.ctx.rank]))
+        count = int(counts[self.ctx.rank])
+        f = self._open_cached(attrs.file_name, MODE_RDONLY)
+        f.set_view(disp=file_offset, etype=dtype)
+        buf = np.empty(count, dtype=dtype.numpy_dtype)
+        f.read_at_all(start, buf)
+        if self.ctx.rank == 0:
+            self.tables.register_import(
+                self.runid, name, attrs.file_name, dtype.name,
+                attrs.storage_order, attrs.partition, attrs.file_content,
+                file_offset, total_elements, proc=self.ctx.proc,
+            )
+        return buf
+
+    def import_irregular(
+        self,
+        name: str,
+        file_offset: int,
+        total_elements: int,
+        map_array: np.ndarray,
+    ) -> np.ndarray:
+        """Import an array irregularly distributed by a map array
+        (``SDM_data_view`` + ``SDM_import``): one collective MPI-IO read
+        through an indexed file view."""
+        attrs = self._import_attrs(name)
+        dtype = attrs.data_type
+        view = DataView.from_map(map_array)
+        f = self._open_cached(attrs.file_name, MODE_RDONLY)
+        f.set_view(
+            disp=file_offset,
+            etype=dtype,
+            filetype=IndexedBlock(1, view.map_sorted, dtype),
+        )
+        buf = np.empty(view.local_count, dtype=dtype.numpy_dtype)
+        f.read_at_all(0, buf)
+        if self.ctx.rank == 0:
+            self.tables.register_import(
+                self.runid, name, attrs.file_name, dtype.name,
+                attrs.storage_order, attrs.partition, attrs.file_content,
+                file_offset, total_elements, proc=self.ctx.proc,
+            )
+        return view.to_user_order(buf)
+
+    def release_importlist(self) -> None:
+        """Free import structures (``SDM_release_importlist``)."""
+        self._importlist.clear()
+
+    # -- partitioning ------------------------------------------------------
+
+    def partition_table(self, partitioning_vector: np.ndarray) -> np.ndarray:
+        """Localize the replicated partitioning vector
+        (``SDM_partition_table``): returns this rank's owned nodes."""
+        self._part_vector = np.asarray(partitioning_vector, dtype=np.int64)
+        self.ctx.proc.hold(
+            self.ctx.machine.compute.elements(len(self._part_vector))
+        )
+        return owned_nodes_of(self._part_vector, self.ctx.rank)
+
+    def partition_index(
+        self,
+        partitioning_vector: np.ndarray,
+        chunk: Optional[EdgeChunk],
+    ) -> LocalPartition:
+        """Distribute the edges (``SDM_partition_index``).
+
+        With a registered history (``chunk is None`` after
+        :meth:`import_index` found one), reads the already-partitioned edges
+        contiguously; otherwise runs the ring algorithm on the imported
+        chunk.
+        """
+        if self._part_vector is None:
+            self.partition_table(partitioning_vector)
+        if chunk is None:
+            if not self._history_available:
+                raise SDMStateError(
+                    "partition_index called without an edge chunk and "
+                    "without a history file"
+                )
+            local = try_load_history(
+                self.ctx, self.tables, self.application,
+                self._problem_size, self._part_vector,
+            )
+            if local is None:
+                raise SDMStateError(
+                    "history disappeared between import_index and "
+                    "partition_index"
+                )
+        else:
+            local = ring_partition_index(self.ctx, self._part_vector, chunk)
+        self._local = local
+        return local
+
+    def partition_index_size(self) -> int:
+        """Local edge count (``SDM_partition_index_size``)."""
+        self._require_local()
+        return self._local.n_local_edges
+
+    def partition_data_size(self) -> int:
+        """Local node count (``SDM_partition_data_size``)."""
+        self._require_local()
+        return self._local.n_local_nodes
+
+    def index_registry(
+        self, local: Optional[LocalPartition] = None
+    ) -> HistoryRegistration:
+        """Persist the index distribution to a history file
+        (``SDM_index_registry``, optional).  The data write is asynchronous."""
+        if local is None:
+            self._require_local()
+            local = self._local
+        return register_history_async(
+            self.ctx, self.tables, self.application, self._problem_size, local
+        )
+
+    def _require_local(self) -> None:
+        if self._local is None:
+            raise SDMStateError("no index distribution yet; call partition_index")
+
+    # ------------------------------------------------------------------
+    # Data views and checkpoint I/O (Figure 2, loop)
+    # ------------------------------------------------------------------
+
+    def data_view(
+        self, handle: DataGroup, name: str, map_array: np.ndarray
+    ) -> None:
+        """Install the data mapping for a dataset (``SDM_data_view``)."""
+        handle.dataset(name)
+        handle.views[name] = DataView.from_map(map_array)
+
+    def write(
+        self, handle: DataGroup, name: str, timestep: int, buf: np.ndarray
+    ) -> str:
+        """Write one dataset instance collectively (``SDM_write``).
+
+        Returns the file name written to.  The mapping installed by
+        :meth:`data_view` scatters local values to global positions; under
+        levels 2/3 the instance appends at an offset fetched from (and
+        recorded in) ``execution_table`` by process 0.
+        """
+        attrs = handle.dataset(name)
+        view = handle.view(name)
+        if len(buf) != view.local_count:
+            raise SDMStateError(
+                f"buffer for {name!r} has {len(buf)} elements, "
+                f"view expects {view.local_count}"
+            )
+        fname = checkpoint_file_name(
+            self.application, handle.group_id, name, timestep, self.organization
+        )
+        base = 0
+        if self.organization != Organization.LEVEL_1:
+            if self.ctx.rank == 0:
+                base = self.tables.max_offset_in_file(fname, proc=self.ctx.proc)
+            base = self.comm.bcast(base, root=0)
+        f = self._open_cached(fname, MODE_CREATE | MODE_RDWR)
+        f.set_view(
+            disp=base,
+            etype=attrs.data_type,
+            filetype=IndexedBlock(1, view.map_sorted, attrs.data_type),
+        )
+        data = view.to_file_order(np.asarray(buf, dtype=attrs.data_type.numpy_dtype))
+        f.write_at_all(0, data)
+        if self.ctx.rank == 0:
+            self.tables.record_execution(
+                self.runid, name, timestep, fname, base, attrs.global_bytes(),
+                proc=self.ctx.proc,
+            )
+        if self.organization == Organization.LEVEL_1:
+            self._close_cached(fname)
+        return fname
+
+    def read(
+        self,
+        handle: DataGroup,
+        name: str,
+        timestep: int,
+        buf: np.ndarray,
+        runid: Optional[int] = None,
+    ) -> np.ndarray:
+        """Read back one dataset instance collectively (``SDM_read``).
+
+        The location comes from ``execution_table``; the installed data view
+        gathers this rank's elements.
+        """
+        attrs = handle.dataset(name)
+        view = handle.view(name)
+        rid = self.runid if runid is None else runid
+        where = None
+        if self.ctx.rank == 0:
+            where = self.tables.lookup_execution(
+                rid, name, timestep, proc=self.ctx.proc
+            )
+        where = self.comm.bcast(where, root=0)
+        if where is None:
+            raise SDMUnknownDataset(
+                f"no execution record for run {rid} dataset {name!r} "
+                f"timestep {timestep}"
+            )
+        fname, base, _nbytes = where
+        f = self._open_cached(fname, MODE_RDONLY)
+        f.set_view(
+            disp=base,
+            etype=attrs.data_type,
+            filetype=IndexedBlock(1, view.map_sorted, attrs.data_type),
+        )
+        out = np.empty(view.local_count, dtype=attrs.data_type.numpy_dtype)
+        f.read_at_all(0, out)
+        result = view.to_user_order(out)
+        buf[:] = result
+        if self.organization == Organization.LEVEL_1:
+            self._close_cached(fname)
+        return buf
+
+    def finalize(self, handle: Optional[DataGroup] = None) -> None:
+        """Close cached files and end the run (``SDM_finalize``).  Collective."""
+        for key in list(self._files):
+            f = self._files.pop(key)
+            if not f.closed:
+                f.close()
+        if handle is not None:
+            handle.finalized = True
+        self.comm.barrier()
+
+    # ------------------------------------------------------------------
+    # File-handle cache
+    # ------------------------------------------------------------------
+
+    def _open_cached(self, name: str, amode: int) -> File:
+        """Get or collectively open a file (identical call sequence on all
+        ranks keeps the cache coherent across the job)."""
+        key = (name, amode)
+        f = self._files.get(key)
+        if f is None or f.closed:
+            f = File.open(self.comm, self.fs, name, amode, hints=self.io_hints)
+            self._files[key] = f
+        return f
+
+    def _close_cached(self, name: str) -> None:
+        for key in list(self._files):
+            if key[0] == name:
+                f = self._files.pop(key)
+                if not f.closed:
+                    f.close()
+
+
+def _even_split(total: int, parts: int) -> np.ndarray:
+    """Even division with the remainder spread over the first ranks."""
+    base = total // parts
+    counts = np.full(parts, base, dtype=np.int64)
+    counts[: total % parts] += 1
+    return counts

@@ -1,0 +1,211 @@
+"""Run catalog: browsing and reading SDM output without the producing code.
+
+The paper's future-work section plans "to develop SDM further to support
+visualization applications" — tools that arrive after a simulation, knowing
+nothing but the database, and want the data.  :class:`SDMCatalog` is that
+support: it reconstructs everything a reader needs from the metadata tables
+alone —
+
+* which runs exist (``run_table``),
+* which datasets each run produced, with types and global sizes
+  (``access_pattern_table``),
+* which timesteps of each dataset were written and where
+  (``execution_table``) —
+
+and rehydrates a :class:`~repro.core.groups.DataGroup` so
+:meth:`~repro.core.api.SDM.read` works against a past run with no knowledge
+of how it organized its files.
+
+Use it from inside a simulated job::
+
+    catalog = SDMCatalog.attach(ctx)
+    runs = catalog.runs()
+    steps = catalog.timesteps(runid=1, dataset="p")
+    data = catalog.read_global(runid=1, dataset="p", timestep=steps[-1])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.groups import DataGroup, DatasetAttrs, DataView
+from repro.dtypes.constructors import IndexedBlock
+from repro.dtypes.primitives import Primitive, BYTE, FLOAT32, FLOAT64, INT32, INT64
+from repro.errors import SDMUnknownDataset
+from repro.metadb.schema import SDMTables
+from repro.mpi.job import RankContext
+from repro.mpiio.consts import MODE_RDONLY
+from repro.mpiio.file import File
+
+__all__ = ["RunRecord", "DatasetRecord", "SDMCatalog"]
+
+_TYPE_BY_NAME: Dict[str, Primitive] = {
+    t.name: t for t in (BYTE, INT32, INT64, FLOAT32, FLOAT64)
+}
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One application run known to the database."""
+
+    runid: int
+    application: str
+    dimension: int
+    problem_size: int
+    num_timesteps: int
+
+
+@dataclass(frozen=True)
+class DatasetRecord:
+    """One dataset of a run, as registered in access_pattern_table."""
+
+    runid: int
+    name: str
+    basic_pattern: str
+    data_type: Primitive
+    storage_order: str
+    global_size: int
+
+
+class SDMCatalog:
+    """Read-only view over a (possibly finished) SDM metadata database."""
+
+    def __init__(self, ctx: RankContext, tables: SDMTables, fs) -> None:
+        self.ctx = ctx
+        self.tables = tables
+        self.fs = fs
+
+    @classmethod
+    def attach(cls, ctx: RankContext) -> "SDMCatalog":
+        """Attach to the job's shared database and file system services."""
+        from repro.metadb.schema import SDMTables as _Tables
+
+        return cls(ctx, _Tables(ctx.service("db")), ctx.service("fs"))
+
+    # ------------------------------------------------------------------
+    # Browsing
+    # ------------------------------------------------------------------
+
+    def runs(self) -> List[RunRecord]:
+        """All recorded runs, oldest first."""
+        rows = self.tables.db.execute(
+            "SELECT runid, application, dimension, problem_size, "
+            "num_timesteps FROM run_table ORDER BY runid",
+            proc=self.ctx.proc,
+        )
+        return [RunRecord(int(r), a, int(d), int(p), int(n))
+                for r, a, d, p, n in rows]
+
+    def datasets(self, runid: int) -> List[DatasetRecord]:
+        """Datasets a run registered, in registration order."""
+        rows = self.tables.db.execute(
+            "SELECT dataset, basic_pattern, data_type, storage_order, "
+            "global_size FROM access_pattern_table WHERE runid = ?",
+            (runid,),
+            proc=self.ctx.proc,
+        )
+        out = []
+        for name, pattern, type_name, order, size in rows:
+            dtype = _TYPE_BY_NAME.get(type_name, FLOAT64)
+            out.append(
+                DatasetRecord(runid, name, pattern, dtype, order, int(size))
+            )
+        return out
+
+    def timesteps(self, runid: int, dataset: str) -> List[int]:
+        """Timesteps of a dataset with recorded data, ascending."""
+        rows = self.tables.db.execute(
+            "SELECT timestep FROM execution_table "
+            "WHERE runid = ? AND dataset = ? ORDER BY timestep",
+            (runid, dataset),
+            proc=self.ctx.proc,
+        )
+        return [int(r[0]) for r in rows]
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def _dataset_record(self, runid: int, dataset: str) -> DatasetRecord:
+        for rec in self.datasets(runid):
+            if rec.name == dataset:
+                return rec
+        raise SDMUnknownDataset(
+            f"run {runid} has no dataset {dataset!r}"
+        )
+
+    def load_group(self, runid: int) -> DataGroup:
+        """Rehydrate a :class:`DataGroup` for a past run from the database.
+
+        Install views with :meth:`repro.core.api.SDM.data_view` and the
+        group works with ``SDM.read(..., runid=runid)`` exactly like a
+        group created in the producing run.
+        """
+        group = DataGroup(group_id=0, runid=runid)
+        for rec in self.datasets(runid):
+            group.datasets[rec.name] = DatasetAttrs(
+                name=rec.name,
+                data_type=rec.data_type,
+                storage_order=rec.storage_order,
+                global_size=rec.global_size,
+                basic_pattern=rec.basic_pattern,
+            )
+        return group
+
+    def read_slice(
+        self,
+        runid: int,
+        dataset: str,
+        timestep: int,
+        map_array: np.ndarray,
+    ) -> np.ndarray:
+        """Collectively read an arbitrary element subset of a past dataset.
+
+        Every rank of the job must call with its own map array; location
+        and layout come entirely from ``execution_table``.
+        """
+        rec = self._dataset_record(runid, dataset)
+        comm = self.ctx.comm
+        where = None
+        if comm.rank == 0:  # communicator-relative: works on subgroups too
+            where = self.tables.lookup_execution(
+                runid, dataset, timestep, proc=self.ctx.proc
+            )
+        where = comm.bcast(where, root=0)
+        if where is None:
+            raise SDMUnknownDataset(
+                f"run {runid} dataset {dataset!r} has no timestep {timestep}"
+            )
+        fname, base, _nbytes = where
+        view = DataView.from_map(np.asarray(map_array, dtype=np.int64))
+        f = File.open(self.ctx.comm, self.fs, fname, MODE_RDONLY)
+        f.set_view(
+            disp=base,
+            etype=rec.data_type,
+            filetype=IndexedBlock(1, view.map_sorted, rec.data_type),
+        )
+        out = np.empty(view.local_count, dtype=rec.data_type.numpy_dtype)
+        f.read_at_all(0, out)
+        f.close()
+        return view.to_user_order(out)
+
+    def read_global(
+        self, runid: int, dataset: str, timestep: int
+    ) -> np.ndarray:
+        """Collectively read a whole dataset instance; every rank receives
+        the full global array (the visualization-front-end pattern)."""
+        rec = self._dataset_record(runid, dataset)
+        comm = self.ctx.comm
+        # Ranks split the read evenly, then allgather.
+        n = rec.global_size
+        base = n // comm.size
+        counts = [base + (1 if r < n % comm.size else 0)
+                  for r in range(comm.size)]
+        start = sum(counts[: comm.rank])
+        mine = np.arange(start, start + counts[comm.rank], dtype=np.int64)
+        piece = self.read_slice(runid, dataset, timestep, mine)
+        pieces = comm.allgather(piece)
+        return np.concatenate(pieces)

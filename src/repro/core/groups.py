@@ -1,0 +1,119 @@
+"""Dataset attributes, data groups, and import lists.
+
+The paper groups output datasets that share type and global size into a
+*data group* "to experiment different ways of organizing data in files";
+imports (arrays created outside SDM) get their own list with file offsets
+and content kinds (INDEX vs DATA).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.dtypes.primitives import DOUBLE, Primitive
+from repro.errors import SDMStateError, SDMUnknownDataset
+
+__all__ = ["DatasetAttrs", "ImportAttrs", "DataGroup", "DataView"]
+
+
+@dataclass
+class DatasetAttrs:
+    """Attributes of one output dataset (access_pattern_table row)."""
+
+    name: str
+    data_type: Primitive = DOUBLE
+    storage_order: str = "ROW_MAJOR"
+    global_size: int = 0
+    """Global element count (the file holds this many elements per step)."""
+    basic_pattern: str = "IRREGULAR"
+
+    def element_bytes(self) -> int:
+        """Bytes per element."""
+        return self.data_type.size
+
+    def global_bytes(self) -> int:
+        """Bytes of one full timestep instance of this dataset."""
+        return self.global_size * self.data_type.size
+
+
+@dataclass
+class ImportAttrs:
+    """Attributes of one imported (externally created) array."""
+
+    name: str
+    data_type: Primitive = DOUBLE
+    file_name: str = ""
+    file_content: str = "DATA"  # "INDEX" for indirection arrays
+    storage_order: str = "ROW_MAJOR"
+    partition: str = "DISTRIBUTED"
+
+
+@dataclass
+class DataView:
+    """An installed data mapping for one dataset (from ``SDM_data_view``).
+
+    File views need monotone displacements, so the map array is sorted once
+    here; ``perm`` reorders user data into sorted-map order and ``inv``
+    restores it.  For SDM's own maps (built sorted) both are identity.
+    """
+
+    map_sorted: np.ndarray
+    perm: Optional[np.ndarray]
+    local_count: int
+
+    @classmethod
+    def from_map(cls, map_array: np.ndarray) -> "DataView":
+        m = np.asarray(map_array, dtype=np.int64)
+        if m.ndim != 1:
+            raise SDMStateError("map array must be 1-D")
+        if len(m) > 1 and (np.diff(m) > 0).all():
+            return cls(map_sorted=m, perm=None, local_count=len(m))
+        perm = np.argsort(m, kind="stable")
+        return cls(map_sorted=m[perm], perm=perm, local_count=len(m))
+
+    def to_file_order(self, buf: np.ndarray) -> np.ndarray:
+        """User-order data -> sorted (file) order."""
+        return buf if self.perm is None else buf[self.perm]
+
+    def to_user_order(self, data: np.ndarray) -> np.ndarray:
+        """Sorted (file) order -> user order."""
+        if self.perm is None:
+            return data
+        out = np.empty_like(data)
+        out[self.perm] = data
+        return out
+
+
+@dataclass
+class DataGroup:
+    """A handle over a group of datasets sharing organization and run id."""
+
+    group_id: int
+    runid: int
+    datasets: "OrderedDict[str, DatasetAttrs]" = field(default_factory=OrderedDict)
+    views: Dict[str, DataView] = field(default_factory=dict)
+    finalized: bool = False
+
+    def dataset(self, name: str) -> DatasetAttrs:
+        """Attributes of a member dataset."""
+        try:
+            return self.datasets[name]
+        except KeyError:
+            raise SDMUnknownDataset(
+                f"dataset {name!r} not in group {self.group_id}"
+            ) from None
+
+    def view(self, name: str) -> DataView:
+        """The installed data view of a dataset."""
+        self.dataset(name)
+        try:
+            return self.views[name]
+        except KeyError:
+            raise SDMStateError(
+                f"no data view installed for dataset {name!r}; "
+                "call data_view first"
+            ) from None

@@ -1,0 +1,44 @@
+"""File-organization levels and checkpoint file naming (paper Section 3.2).
+
+* **Level 1** — each dataset at each timestep goes to its own file: simple,
+  but a file-open + file-view + file-close per dataset per step.
+* **Level 2** — one file per dataset; timesteps append.  Fewer files, fewer
+  opens; append offsets tracked in ``execution_table``.
+* **Level 3** — one file per data *group*; every dataset, every timestep
+  appends.  Fewest files; offsets in ``execution_table``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Organization", "checkpoint_file_name", "history_file_name"]
+
+
+class Organization(enum.IntEnum):
+    """The three file organizations of the paper."""
+
+    LEVEL_1 = 1
+    LEVEL_2 = 2
+    LEVEL_3 = 3
+
+
+def checkpoint_file_name(
+    application: str,
+    group_id: int,
+    dataset: str,
+    timestep: int,
+    organization: Organization,
+) -> str:
+    """Name of the file a (dataset, timestep) checkpoint lands in."""
+    if organization == Organization.LEVEL_1:
+        return f"{application}/{dataset}.t{timestep:06d}"
+    if organization == Organization.LEVEL_2:
+        return f"{application}/{dataset}.dat"
+    return f"{application}/group{group_id}.dat"
+
+
+def history_file_name(application: str, problem_size: int, nprocs: int) -> str:
+    """Name of the index-distribution history file for a problem size and
+    process count (one history per (size, P) pair, as in the paper)."""
+    return f"{application}/history.S{problem_size}.P{nprocs}.idx"

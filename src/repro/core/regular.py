@@ -1,0 +1,123 @@
+"""Regular-application data views: block decompositions of dense arrays.
+
+The paper positions SDM as "a high-level unified API for any kind of
+application (regular or irregular)" — the regular side (from the authors'
+companion SC2000 paper) distributes dense n-dimensional arrays in block
+fashion and drives collective I/O through subarray filetypes instead of
+map arrays.
+
+:func:`block_decompose` computes each rank's sub-block of a global array
+for a process grid; :func:`subarray_view` installs the corresponding
+``MPI_Type_create_subarray`` view on a dataset, after which
+:meth:`SDM.write` / :meth:`SDM.read` work unchanged (a subarray is just a
+particular map array — we lower it to element ids, so permutation handling,
+execution-table offsets, and organization levels all apply).
+
+Example — a 2-D field on a 2x2 process grid::
+
+    shape = (128, 128)
+    sub, starts = block_decompose(shape, grid=(2, 2), rank=ctx.rank)
+    subarray_view(sdm, handle, "field", shape, sub, starts)
+    sdm.write(handle, "field", t, my_block.ravel())
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.api import SDM
+from repro.core.groups import DataGroup
+from repro.errors import SDMStateError
+
+__all__ = ["block_decompose", "subarray_element_ids", "subarray_view"]
+
+
+def block_decompose(
+    shape: Sequence[int], grid: Sequence[int], rank: int
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Block decomposition of an n-D array over a process grid.
+
+    Returns ``(subshape, starts)`` of ``rank``'s block; remainders spread
+    over the leading blocks of each dimension (HPF BLOCK distribution).
+    """
+    shape = tuple(int(s) for s in shape)
+    grid = tuple(int(g) for g in grid)
+    if len(shape) != len(grid):
+        raise SDMStateError(
+            f"array rank {len(shape)} != process-grid rank {len(grid)}"
+        )
+    nprocs = int(np.prod(grid))
+    if not (0 <= rank < nprocs):
+        raise SDMStateError(f"rank {rank} outside grid of {nprocs}")
+    for s, g in zip(shape, grid):
+        if g < 1 or s < g:
+            raise SDMStateError(
+                f"cannot split dimension of size {s} over {g} processes"
+            )
+    # Rank -> grid coordinates, C order (last dimension fastest).
+    coords = []
+    rest = rank
+    for g in reversed(grid):
+        coords.append(rest % g)
+        rest //= g
+    coords = tuple(reversed(coords))
+    subshape, starts = [], []
+    for s, g, c in zip(shape, grid, coords):
+        base, rem = divmod(s, g)
+        count = base + (1 if c < rem else 0)
+        start = c * base + min(c, rem)
+        subshape.append(count)
+        starts.append(start)
+    return tuple(subshape), tuple(starts)
+
+
+def subarray_element_ids(
+    shape: Sequence[int], subshape: Sequence[int], starts: Sequence[int]
+) -> np.ndarray:
+    """Row-major global element ids of a sub-block (sorted ascending)."""
+    shape = tuple(int(s) for s in shape)
+    subshape = tuple(int(s) for s in subshape)
+    starts = tuple(int(s) for s in starts)
+    if not (len(shape) == len(subshape) == len(starts)):
+        raise SDMStateError("shape/subshape/starts rank mismatch")
+    for full, sub, st in zip(shape, subshape, starts):
+        if st < 0 or sub < 0 or st + sub > full:
+            raise SDMStateError(
+                f"sub-block [{st}, {st + sub}) exceeds dimension {full}"
+            )
+    strides = np.ones(len(shape), dtype=np.int64)
+    for i in range(len(shape) - 2, -1, -1):
+        strides[i] = strides[i + 1] * shape[i + 1]
+    grids = np.meshgrid(
+        *[np.arange(st, st + sub, dtype=np.int64)
+          for st, sub in zip(starts, subshape)],
+        indexing="ij",
+    )
+    ids = sum(g * s for g, s in zip(grids, strides))
+    return ids.reshape(-1)
+
+
+def subarray_view(
+    sdm: SDM,
+    handle: DataGroup,
+    name: str,
+    shape: Sequence[int],
+    subshape: Sequence[int],
+    starts: Sequence[int],
+) -> None:
+    """Install a block (subarray) data view on a dataset.
+
+    The dataset's ``global_size`` must equal ``prod(shape)``.  Buffers
+    passed to ``write``/``read`` afterwards are the flattened (C-order)
+    sub-block.
+    """
+    attrs = handle.dataset(name)
+    total = int(np.prod([int(s) for s in shape]))
+    if attrs.global_size != total:
+        raise SDMStateError(
+            f"dataset {name!r} has global_size {attrs.global_size}, "
+            f"but shape {tuple(shape)} holds {total} elements"
+        )
+    sdm.data_view(handle, name, subarray_element_ids(shape, subshape, starts))

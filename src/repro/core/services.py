@@ -1,0 +1,83 @@
+"""Shared services for SDM jobs, with cross-job persistence.
+
+An SDM job needs two machine-wide services: the parallel file system and
+the metadata database.  :func:`sdm_services` builds the ``services`` factory
+:func:`repro.mpi.mpirun` expects; :func:`snapshot_services` captures both
+after a job so a *subsequent* job can start from that state — which is how
+the history-file experiments model "subsequent runs" of an application
+(files and database outlive any single mpirun).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config import MachineModel
+from repro.metadb.engine import Database
+from repro.mpi.job import JobResult
+from repro.pfs.file import PFSFile
+from repro.pfs.filesystem import FileSystem
+from repro.pfs.striping import StripeLayout
+from repro.simt.simulator import Simulator
+
+__all__ = ["ServicesSnapshot", "sdm_services", "snapshot_services"]
+
+
+@dataclass
+class ServicesSnapshot:
+    """Persistent state carried between jobs: files + database contents."""
+
+    files: Dict[str, np.ndarray]
+    db_dump: str
+
+    @property
+    def total_file_bytes(self) -> int:
+        """Bytes across all snapshotted files."""
+        return sum(len(v) for v in self.files.values())
+
+
+def snapshot_services(job: JobResult) -> ServicesSnapshot:
+    """Capture a finished job's file system and database contents."""
+    fs: FileSystem = job.services["fs"]
+    db: Database = job.services["db"]
+    files = {
+        name: fs.lookup(name).store.read(0, fs.lookup(name).size)
+        for name in fs.list_files()
+    }
+    return ServicesSnapshot(files=files, db_dump=db.dump())
+
+
+def sdm_services(seed_from: Optional[ServicesSnapshot] = None):
+    """Build the ``services`` factory for an SDM job.
+
+    The factory creates a fresh :class:`FileSystem` and :class:`Database`
+    attached to the job's simulator; with ``seed_from`` their contents start
+    from a previous job's snapshot (host-side restore, no virtual time).
+    """
+
+    def factory(sim: Simulator, machine: MachineModel):
+        fs = FileSystem(sim, machine)
+        if seed_from is not None:
+            layout = StripeLayout(
+                stripe_size=machine.storage.stripe_size,
+                n_controllers=machine.storage.n_controllers,
+            )
+            for name, data in seed_from.files.items():
+                f = PFSFile(name, layout, ctime=sim.now)
+                f.store.write(0, data)
+                fs._files[name] = f
+        if seed_from is not None:
+            db = Database.loads(seed_from.db_dump)
+            db.sim = sim
+            db.machine = machine
+            from repro.simt.primitives import Resource
+
+            db._server = Resource(sim, capacity=4, name="metadb-server")
+        else:
+            db = Database(sim, machine)
+        return {"fs": fs, "db": db}
+
+    return factory

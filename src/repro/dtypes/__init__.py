@@ -1,0 +1,72 @@
+"""MPI derived datatypes: describing noncontiguous data layouts.
+
+SDM's irregular I/O rests on MPI derived datatypes: a *map array* (which
+global element belongs to this rank) becomes an indexed filetype, which
+becomes an MPI-IO file view, which collective I/O then optimizes.  This
+package implements the datatype algebra:
+
+* primitives (:data:`INT32`, :data:`FLOAT64`, ...) mapping to numpy dtypes;
+* constructors — :class:`Contiguous`, :class:`Vector`, :class:`Hvector`,
+  :class:`Indexed`, :class:`IndexedBlock`, :class:`Hindexed`,
+  :class:`Struct`, :class:`Subarray` — composable to arbitrary depth;
+* :func:`flatten` — lowering any datatype to vectorized ``(offsets,
+  lengths)`` byte runs with adjacent-run merging (the form the I/O layer
+  consumes);
+* :func:`pack` / :func:`unpack` — gather/scatter between a typed layout and
+  a contiguous buffer.
+
+Example — every 4th double out of a file, as rank ``r`` of 4 would view it::
+
+    ft = Vector(count=10, blocklength=1, stride=4, base=FLOAT64)
+    offsets, lengths = flatten(ft)        # [0, 32, 64, ...], [8, 8, 8, ...]
+"""
+
+from repro.dtypes.base import Datatype
+from repro.dtypes.primitives import (
+    BYTE,
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    DOUBLE,
+    INT,
+    Primitive,
+    from_numpy_dtype,
+)
+from repro.dtypes.constructors import (
+    Contiguous,
+    Hindexed,
+    Hvector,
+    Indexed,
+    IndexedBlock,
+    Struct,
+    Subarray,
+    Vector,
+)
+from repro.dtypes.flatten import flatten, merge_runs
+from repro.dtypes.pack import pack, unpack
+
+__all__ = [
+    "Datatype",
+    "Primitive",
+    "BYTE",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+    "INT",
+    "DOUBLE",
+    "from_numpy_dtype",
+    "Contiguous",
+    "Vector",
+    "Hvector",
+    "Indexed",
+    "IndexedBlock",
+    "Hindexed",
+    "Struct",
+    "Subarray",
+    "flatten",
+    "merge_runs",
+    "pack",
+    "unpack",
+]

@@ -1,0 +1,62 @@
+"""Pack/unpack: gather a typed layout into contiguous bytes and back.
+
+These are the memory-side analogues of what a file view does on the file
+side.  Both operate on ``numpy.uint8`` buffers; runs are copied slice-wise
+(views, no temporaries beyond the output).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import Datatype
+from repro.dtypes.flatten import flatten
+from repro.errors import DatatypeError
+
+__all__ = ["pack", "unpack"]
+
+
+def _as_bytes(buf) -> np.ndarray:
+    arr = np.asarray(buf)
+    return arr.view(np.uint8).reshape(-1) if arr.dtype != np.uint8 else arr.reshape(-1)
+
+
+def pack(buf, dtype: Datatype, count: int = 1, offset: int = 0) -> np.ndarray:
+    """Gather ``count`` instances of ``dtype`` from ``buf`` into fresh
+    contiguous bytes (length ``count * dtype.size``)."""
+    src = _as_bytes(buf)
+    offsets, lengths = flatten(dtype, offset=offset, count=count)
+    total = int(lengths.sum())
+    if len(offsets) and int(offsets[-1] + lengths[-1]) > len(src):
+        raise DatatypeError(
+            f"pack source too small: need {int(offsets[-1] + lengths[-1])} bytes, "
+            f"have {len(src)}"
+        )
+    out = np.empty(total, dtype=np.uint8)
+    pos = 0
+    for off, ln in zip(offsets.tolist(), lengths.tolist()):
+        out[pos : pos + ln] = src[off : off + ln]
+        pos += ln
+    return out
+
+
+def unpack(data, buf, dtype: Datatype, count: int = 1, offset: int = 0) -> None:
+    """Scatter contiguous ``data`` into ``buf`` laid out as ``count``
+    instances of ``dtype``; inverse of :func:`pack`."""
+    src = _as_bytes(data)
+    dst = _as_bytes(buf)
+    offsets, lengths = flatten(dtype, offset=offset, count=count)
+    total = int(lengths.sum())
+    if total != len(src):
+        raise DatatypeError(
+            f"unpack data size {len(src)} != typed size {total}"
+        )
+    if len(offsets) and int(offsets[-1] + lengths[-1]) > len(dst):
+        raise DatatypeError(
+            f"unpack target too small: need {int(offsets[-1] + lengths[-1])} bytes, "
+            f"have {len(dst)}"
+        )
+    pos = 0
+    for off, ln in zip(offsets.tolist(), lengths.tolist()):
+        dst[off : off + ln] = src[pos : pos + ln]
+        pos += ln

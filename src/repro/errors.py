@@ -1,0 +1,152 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch at whatever granularity they need: a single subsystem
+(``except MetaDBError``), or everything from this package
+(``except ReproError``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+class SimError(ReproError):
+    """Base class for discrete-event simulation errors."""
+
+
+class SimDeadlockError(SimError):
+    """Raised when the simulator runs out of events while processes still block.
+
+    This is the simulated analogue of an MPI deadlock: e.g. two ranks both
+    posting a blocking receive with no matching send in flight.
+    """
+
+
+class SimProcessCrashed(SimError):
+    """Raised by :meth:`Simulator.run` when a simulated process raised.
+
+    The original traceback is chained as ``__cause__``.
+    """
+
+
+# ---------------------------------------------------------------------------
+# MPI layer
+# ---------------------------------------------------------------------------
+
+class MPIError(ReproError):
+    """Base class for errors in the simulated MPI layer."""
+
+
+class MPITruncationError(MPIError):
+    """A receive buffer was too small for the matched message."""
+
+
+class MPIInvalidRank(MPIError):
+    """A rank argument was outside ``[0, size)`` (and not a wildcard)."""
+
+
+class MPICollectiveMismatch(MPIError):
+    """Ranks disagreed on the parameters of a collective operation."""
+
+
+# ---------------------------------------------------------------------------
+# Datatypes
+# ---------------------------------------------------------------------------
+
+class DatatypeError(ReproError):
+    """Invalid construction or use of a derived datatype."""
+
+
+# ---------------------------------------------------------------------------
+# Parallel file system / MPI-IO
+# ---------------------------------------------------------------------------
+
+class PFSError(ReproError):
+    """Base class for parallel-file-system errors."""
+
+
+class FileNotFound(PFSError):
+    """Named file does not exist in the PFS namespace."""
+
+
+class FileExists(PFSError):
+    """Exclusive create requested but the file already exists."""
+
+
+class InvalidFileHandle(PFSError):
+    """Operation on a closed or invalid file handle."""
+
+
+class MPIIOError(PFSError):
+    """Errors specific to the MPI-IO layer (views, modes, collective calls)."""
+
+
+class AccessModeError(MPIIOError):
+    """File opened without the access mode required by the operation."""
+
+
+# ---------------------------------------------------------------------------
+# Metadata database
+# ---------------------------------------------------------------------------
+
+class MetaDBError(ReproError):
+    """Base class for metadata-database errors."""
+
+
+class SQLSyntaxError(MetaDBError):
+    """The mini-SQL parser rejected a statement."""
+
+
+class SQLTypeError(MetaDBError):
+    """A value did not match the declared column type."""
+
+
+class TableNotFound(MetaDBError):
+    """Statement referenced a table that does not exist."""
+
+
+class TableExists(MetaDBError):
+    """CREATE TABLE on a name that already exists."""
+
+
+class ColumnNotFound(MetaDBError):
+    """Statement referenced a column that does not exist."""
+
+
+# ---------------------------------------------------------------------------
+# Partitioning / meshes
+# ---------------------------------------------------------------------------
+
+class PartitionError(ReproError):
+    """Invalid partitioning request or malformed partitioning vector."""
+
+
+class MeshError(ReproError):
+    """Malformed mesh or mesh-file error."""
+
+
+# ---------------------------------------------------------------------------
+# SDM core
+# ---------------------------------------------------------------------------
+
+class SDMError(ReproError):
+    """Base class for errors raised by the SDM runtime itself."""
+
+
+class SDMStateError(SDMError):
+    """SDM API call sequence violated (e.g. write before set_attributes)."""
+
+
+class SDMUnknownDataset(SDMError):
+    """A dataset name was not found in the active datalist/importlist."""
+
+
+class SDMHistoryMismatch(SDMError):
+    """A history file exists but cannot be used (different nprocs, etc.)."""

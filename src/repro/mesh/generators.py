@@ -1,0 +1,96 @@
+"""Ratio-preserving synthetic stand-ins for the paper's two workloads.
+
+The paper's exact inputs are unavailable (FUN3D's 18M-edge NASA mesh, the
+RT code's interface mesh), so these generators build box tet meshes whose
+*structural ratios* match, at a size scaled for simulation:
+
+* FUN3D: 18M edges / 2.2M nodes (edge/node ~ 8.2; box tets give ~7), four
+  edge-data arrays, four node-data arrays, checkpoint outputs p and q.
+* RT: node dataset and triangle dataset with byte ratio 36 : 74 per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.mesh.tetra import TetMesh, box_tet_mesh
+
+__all__ = ["Fun3dProblem", "RTProblem", "fun3d_like_problem", "rt_like_problem"]
+
+FUN3D_EDGE_ARRAYS = ("xe0", "xe1", "xe2", "xe3")
+FUN3D_NODE_ARRAYS = ("yn0", "yn1", "yn2", "yn3")
+
+RT_TRIANGLE_PER_NODE_BYTES = 74.0 / 36.0
+"""Paper ratio: 74 MB of triangle data per 36 MB of node data per step."""
+
+
+@dataclass
+class Fun3dProblem:
+    """A scaled FUN3D-like workload: mesh + named data arrays."""
+
+    mesh: TetMesh
+    edge_arrays: Dict[str, np.ndarray]
+    node_arrays: Dict[str, np.ndarray]
+
+    @property
+    def import_bytes(self) -> int:
+        """Total bytes the initial import moves (edges + 8 data arrays)."""
+        e, n = self.mesh.n_edges, self.mesh.n_nodes
+        return 2 * e * 4 + len(self.edge_arrays) * e * 8 + len(self.node_arrays) * n * 8
+
+
+@dataclass
+class RTProblem:
+    """A scaled Rayleigh–Taylor-like workload."""
+
+    mesh: TetMesh
+    n_triangles: int
+    node_field: np.ndarray
+    triangle_field: np.ndarray
+    triangle_nodes: np.ndarray  # (n_triangles, 3) vertex ids
+
+
+def fun3d_like_problem(cells_per_side: int, seed: int = 12345) -> Fun3dProblem:
+    """Build the FUN3D stand-in on a ``cells_per_side``³ box.
+
+    ``cells_per_side=31`` gives ~33k nodes / ~230k edges — the paper's mesh
+    scaled down ~70x with ratios intact.
+    """
+    if cells_per_side < 2:
+        raise MeshError("cells_per_side must be >= 2")
+    mesh = box_tet_mesh(cells_per_side, cells_per_side, cells_per_side)
+    rng = np.random.default_rng(seed)
+    edge_arrays = {
+        name: rng.standard_normal(mesh.n_edges) for name in FUN3D_EDGE_ARRAYS
+    }
+    node_arrays = {
+        name: rng.standard_normal(mesh.n_nodes) for name in FUN3D_NODE_ARRAYS
+    }
+    return Fun3dProblem(mesh=mesh, edge_arrays=edge_arrays, node_arrays=node_arrays)
+
+
+def rt_like_problem(cells_per_side: int, seed: int = 54321) -> RTProblem:
+    """Build the RT stand-in: node field + triangle field at the paper's
+    byte ratio, triangles drawn from the mesh's face set."""
+    if cells_per_side < 2:
+        raise MeshError("cells_per_side must be >= 2")
+    mesh = box_tet_mesh(cells_per_side, cells_per_side, cells_per_side)
+    rng = np.random.default_rng(seed)
+    n_tri = int(round(mesh.n_nodes * RT_TRIANGLE_PER_NODE_BYTES))
+    if n_tri > mesh.n_faces:
+        raise MeshError(
+            f"mesh has only {mesh.n_faces} faces, need {n_tri} triangles"
+        )
+    chosen = rng.choice(mesh.n_faces, size=n_tri, replace=False)
+    chosen.sort()
+    return RTProblem(
+        mesh=mesh,
+        n_triangles=n_tri,
+        node_field=rng.standard_normal(mesh.n_nodes),
+        triangle_field=rng.standard_normal(n_tri),
+        triangle_nodes=mesh.faces[chosen],
+    )

@@ -1,0 +1,113 @@
+"""Mesh node reordering: reverse Cuthill–McKee (RCM).
+
+Node *numbering* matters to SDM independently of partition *quality*: file
+layouts are "ordered by global node numbers", so a rank's map array turns
+into few long byte runs when its nodes are numbered near each other and
+into thousands of tiny runs when they are scattered.  Real unstructured
+meshes arrive in arbitrary order; production codes renumber them
+(bandwidth-reducing orderings like RCM) before anything else.
+
+This module provides that tool: :func:`rcm_ordering` computes the classic
+reverse Cuthill–McKee permutation from the edge list, and
+:func:`apply_node_permutation` renumbers an edge list in place of the mesh.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MeshError
+
+__all__ = ["rcm_ordering", "apply_node_permutation", "numbering_bandwidth"]
+
+
+def _adjacency(n_nodes: int, edge1: np.ndarray, edge2: np.ndarray):
+    """CSR adjacency (vectorized) from an undirected edge list."""
+    src = np.concatenate([edge1, edge2])
+    dst = np.concatenate([edge2, edge1])
+    order = np.argsort(src, kind="stable")
+    src_s, dst_s = src[order], dst[order]
+    counts = np.bincount(src_s, minlength=n_nodes)
+    xadj = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64))
+    )
+    return xadj, dst_s
+
+
+def rcm_ordering(
+    n_nodes: int, edge1: np.ndarray, edge2: np.ndarray
+) -> np.ndarray:
+    """Reverse Cuthill–McKee permutation.
+
+    Returns ``perm`` such that new id ``i`` is old node ``perm[i]``.  BFS
+    from a minimum-degree vertex of each component, neighbors visited in
+    increasing-degree order, final order reversed — the standard recipe.
+    """
+    e1 = np.asarray(edge1, dtype=np.int64)
+    e2 = np.asarray(edge2, dtype=np.int64)
+    if len(e1) != len(e2):
+        raise MeshError("edge arrays must have equal length")
+    if n_nodes <= 0:
+        raise MeshError(f"n_nodes must be positive, got {n_nodes}")
+    xadj, adjncy = _adjacency(n_nodes, e1, e2)
+    degree = np.diff(xadj)
+    visited = np.zeros(n_nodes, dtype=bool)
+    order = np.empty(n_nodes, dtype=np.int64)
+    pos = 0
+    # Process components from their minimum-degree vertices.
+    by_degree = np.argsort(degree, kind="stable")
+    for seed in by_degree.tolist():
+        if visited[seed]:
+            continue
+        visited[seed] = True
+        queue = deque([seed])
+        while queue:
+            v = queue.popleft()
+            order[pos] = v
+            pos += 1
+            nbrs = adjncy[xadj[v] : xadj[v + 1]]
+            fresh = nbrs[~visited[nbrs]]
+            if len(fresh):
+                fresh = np.unique(fresh)
+                visited[fresh] = True
+                for u in fresh[np.argsort(degree[fresh], kind="stable")].tolist():
+                    queue.append(u)
+    return order[::-1].copy()
+
+
+def apply_node_permutation(
+    perm: np.ndarray, edge1: np.ndarray, edge2: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Renumber an edge list under ``perm`` (new id i = old ``perm[i]``).
+
+    Returns canonicalized (edge1 < edge2), lexicographically sorted edge
+    arrays in the new numbering.
+    """
+    n = len(perm)
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[perm] = np.arange(n, dtype=np.int64)
+    a = inverse[np.asarray(edge1, dtype=np.int64)]
+    b = inverse[np.asarray(edge2, dtype=np.int64)]
+    lo, hi = np.minimum(a, b), np.maximum(a, b)
+    enc = np.sort(lo * n + hi)
+    return (enc // n).astype(np.int64), (enc % n).astype(np.int64)
+
+
+def numbering_bandwidth(
+    n_nodes: int, edge1: np.ndarray, edge2: np.ndarray
+) -> int:
+    """Graph bandwidth of the numbering: max |edge1 - edge2| over edges.
+
+    The quantity RCM minimizes (approximately); small bandwidth means a
+    contiguous node-id block touches only nearby ids — long file runs.
+    """
+    if len(edge1) == 0:
+        return 0
+    return int(
+        np.abs(
+            np.asarray(edge1, dtype=np.int64) - np.asarray(edge2, dtype=np.int64)
+        ).max()
+    )

@@ -1,0 +1,45 @@
+"""Embedded relational metadata database (the paper's MySQL stand-in).
+
+SDM stores *metadata* — run records, access patterns, file offsets, import
+descriptions, index-distribution history — in a relational database, keeping
+only bulk data in the parallel file system.  This package provides that
+database as an embedded engine:
+
+* a mini-SQL dialect (:mod:`~repro.metadb.sqlparser`):
+  ``CREATE TABLE`` / ``DROP TABLE`` / ``INSERT`` / ``SELECT`` (WHERE,
+  ORDER BY, LIMIT) / ``UPDATE`` / ``DELETE``, with ``?`` parameters;
+* typed storage (:mod:`~repro.metadb.table`): INTEGER / REAL / TEXT / BLOB
+  columns with validation;
+* a :class:`~repro.metadb.engine.Database` front end with optional JSON
+  persistence and a per-statement virtual-time cost model (so "the database
+  cost to access the metadata" shows up in history-file timings, as the
+  paper reports);
+* :mod:`~repro.metadb.schema` — the paper's six SDM tables and typed
+  accessors.
+
+Example::
+
+    db = Database()
+    db.execute("CREATE TABLE run_table (runid INTEGER, dataset TEXT)")
+    db.execute("INSERT INTO run_table VALUES (?, ?)", (1, "p"))
+    rows = db.execute("SELECT * FROM run_table WHERE runid = ?", (1,))
+"""
+
+from repro.metadb.types import ColumnType, BLOB, INTEGER, REAL, TEXT
+from repro.metadb.table import Column, Row, Table
+from repro.metadb.engine import Database
+from repro.metadb.schema import SDM_SCHEMA, SDMTables
+
+__all__ = [
+    "ColumnType",
+    "INTEGER",
+    "REAL",
+    "TEXT",
+    "BLOB",
+    "Column",
+    "Row",
+    "Table",
+    "Database",
+    "SDM_SCHEMA",
+    "SDMTables",
+]

@@ -1,0 +1,264 @@
+"""The Database engine: statement execution, persistence, cost model.
+
+A :class:`Database` may be *plain* (no simulation attached — unit tests,
+offline inspection) or *attached* to a simulator, in which case every
+statement issued with a ``proc`` serializes through the database server
+resource and charges ``query_cost + rows x row_cost`` of virtual time —
+the "database cost to access the metadata" the paper folds into the
+history-file path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MachineModel
+from repro.errors import MetaDBError, TableExists, TableNotFound
+from repro.metadb.sqlparser import (
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    Select,
+    Update,
+    parse,
+)
+from repro.metadb.table import Column, Table
+from repro.metadb.types import type_by_name
+from repro.simt.primitives import Resource
+from repro.simt.process import Process
+from repro.simt.simulator import Simulator
+
+__all__ = ["Database"]
+
+_SERVER_CONNECTIONS = 4
+"""Concurrent statements the database server executes."""
+
+
+class Database:
+    """An embedded SQL database with optional virtual-time accounting."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        machine: Optional[MachineModel] = None,
+    ) -> None:
+        self.tables: Dict[str, Table] = {}
+        self.sim = sim
+        self.machine = machine
+        self.n_statements = 0
+        self._server: Optional[Resource] = None
+        if sim is not None and machine is not None:
+            self._server = Resource(
+                sim, capacity=_SERVER_CONNECTIONS, name="metadb-server"
+            )
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        proc: Optional[Process] = None,
+    ) -> List[Tuple[Any, ...]]:
+        """Run one statement.
+
+        Returns result rows for SELECT and an empty list otherwise.  When
+        ``proc`` is given and the database is attached to a simulation, the
+        statement's virtual-time cost is charged to that process.
+        """
+        stmt = parse(sql)
+        rows = self._dispatch(stmt, list(params))
+        self.n_statements += 1
+        if proc is not None and self._server is not None:
+            cost = self.machine.database.statement_time(rows=len(rows))
+            with self._server.request(proc):
+                proc.hold(cost)
+        return rows
+
+    def connect(self, proc: Optional[Process] = None) -> None:
+        """Model establishing the connection (charged in SDM_initialize)."""
+        if proc is not None and self._server is not None:
+            proc.hold(self.machine.database.connect_cost)
+
+    def query_dicts(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        proc: Optional[Process] = None,
+    ) -> List[Dict[str, Any]]:
+        """SELECT convenience: rows as dicts keyed by column name."""
+        stmt = parse(sql)
+        if not isinstance(stmt, Select):
+            raise MetaDBError("query_dicts requires a SELECT statement")
+        rows = self.execute(sql, params, proc=proc)
+        table = self._table(stmt.table)
+        if stmt.aggregate is not None:
+            name = stmt.aggregate[0].lower()
+            return [{name: rows[0][0]}]
+        names = list(stmt.columns) if stmt.columns is not None else table.column_names
+        return [dict(zip(names, row)) for row in rows]
+
+    # ------------------------------------------------------------------
+
+    def _table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise TableNotFound(f"no such table: {name!r}") from None
+
+    def _dispatch(self, stmt, params: List[Any]) -> List[Tuple[Any, ...]]:
+        if isinstance(stmt, CreateTable):
+            return self._create(stmt)
+        if isinstance(stmt, DropTable):
+            return self._drop(stmt)
+        if isinstance(stmt, Insert):
+            return self._insert(stmt, params)
+        if isinstance(stmt, Select):
+            return self._select(stmt, params)
+        if isinstance(stmt, Update):
+            return self._update(stmt, params)
+        if isinstance(stmt, Delete):
+            return self._delete(stmt, params)
+        raise MetaDBError(f"unhandled statement {stmt!r}")  # pragma: no cover
+
+    def _create(self, stmt: CreateTable) -> list:
+        if stmt.name in self.tables:
+            if stmt.if_not_exists:
+                return []
+            raise TableExists(f"table exists: {stmt.name!r}")
+        self.tables[stmt.name] = Table(
+            stmt.name, [Column(n, t) for n, t in stmt.columns]
+        )
+        return []
+
+    def _drop(self, stmt: DropTable) -> list:
+        if stmt.name not in self.tables:
+            if stmt.if_exists:
+                return []
+            raise TableNotFound(f"no such table: {stmt.name!r}")
+        del self.tables[stmt.name]
+        return []
+
+    def _insert(self, stmt: Insert, params: List[Any]) -> list:
+        table = self._table(stmt.table)
+        values = [e.eval({}, params) for e in stmt.values]
+        table.insert(values, stmt.columns)
+        return []
+
+    def _match_rowids(self, table: Table, where, params) -> List[int]:
+        if where is None:
+            return [i for i, _ in table.scan()]
+        names = table.column_names
+        hits = []
+        for i, row in table.scan():
+            ctx = dict(zip(names, row))
+            if where.eval(ctx, params):
+                hits.append(i)
+        return hits
+
+    def _select(self, stmt: Select, params: List[Any]) -> List[Tuple[Any, ...]]:
+        table = self._table(stmt.table)
+        rowids = self._match_rowids(table, stmt.where, params)
+        rows = [table.rows[i] for i in rowids]
+        if stmt.order_by:
+            # Sort by keys right-to-left for stable multi-key ordering;
+            # None sorts first ascending (last descending).
+            for col, desc in reversed(stmt.order_by):
+                pos = table.column_pos(col)
+                rows.sort(
+                    key=lambda r: (r[pos] is not None, r[pos])
+                    if r[pos] is not None
+                    else (False, 0),
+                    reverse=desc,
+                )
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+        if stmt.aggregate is not None:
+            fn, col = stmt.aggregate
+            if fn == "COUNT" and col is None:
+                return [(len(rows),)]
+            pos = table.column_pos(col)
+            values = [r[pos] for r in rows if r[pos] is not None]
+            if not values:
+                return [(None,)]
+            if fn == "COUNT":
+                return [(len(values),)]
+            if fn == "MAX":
+                return [(max(values),)]
+            if fn == "MIN":
+                return [(min(values),)]
+            if fn == "SUM":
+                return [(sum(values),)]
+            raise MetaDBError(f"unknown aggregate {fn!r}")  # pragma: no cover
+        if stmt.columns is None:
+            return rows
+        positions = [table.column_pos(c) for c in stmt.columns]
+        return [tuple(r[p] for p in positions) for r in rows]
+
+    def _update(self, stmt: Update, params: List[Any]) -> list:
+        table = self._table(stmt.table)
+        rowids = self._match_rowids(table, stmt.where, params)
+        names = table.column_names
+        positions = [(table.column_pos(c), c, e) for c, e in stmt.assignments]
+        for i in rowids:
+            row = list(table.rows[i])
+            ctx = dict(zip(names, row))
+            for pos, _col, e in positions:
+                row[pos] = table.columns[pos].type.coerce(e.eval(ctx, params))
+            table.rows[i] = tuple(row)
+        return []
+
+    def _delete(self, stmt: Delete, params: List[Any]) -> list:
+        table = self._table(stmt.table)
+        rowids = self._match_rowids(table, stmt.where, params)
+        table.delete_rowids(rowids)
+        return []
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def dump(self) -> str:
+        """Serialize the whole database to a JSON string."""
+        doc = {}
+        for name, table in self.tables.items():
+            doc[name] = {
+                "columns": [(c.name, c.type.name) for c in table.columns],
+                "rows": [
+                    [c.type.to_json(v) for c, v in zip(table.columns, row)]
+                    for row in table.rows
+                ],
+            }
+        return json.dumps({"tables": doc})
+
+    @classmethod
+    def loads(cls, text: str) -> "Database":
+        """Rebuild a database from :meth:`dump` output."""
+        doc = json.loads(text)
+        db = cls()
+        for name, spec in doc["tables"].items():
+            columns = [Column(n, type_by_name(t)) for n, t in spec["columns"]]
+            table = Table(name, columns)
+            for row in spec["rows"]:
+                table.rows.append(
+                    tuple(
+                        c.type.from_json(v) for c, v in zip(columns, row)
+                    )
+                )
+            db.tables[name] = table
+        return db
+
+    def save(self, path: str) -> None:
+        """Persist to a file on the host filesystem."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.dump())
+
+    @classmethod
+    def load(cls, path: str) -> "Database":
+        """Load a database persisted with :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.loads(fh.read())

@@ -1,0 +1,136 @@
+"""WHERE/SET expression AST and evaluation.
+
+Expressions are small immutable trees evaluated against a row context
+(column name → value).  SQL three-valued logic is simplified to two-valued
+with explicit ``IS NULL`` / ``IS NOT NULL``: comparisons involving NULL are
+False (which matches how SDM's queries use the database).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import MetaDBError
+
+__all__ = [
+    "Expr",
+    "Literal",
+    "Param",
+    "ColumnRef",
+    "Compare",
+    "BoolOp",
+    "Not",
+    "IsNull",
+]
+
+
+class Expr:
+    """Base expression node."""
+
+    def eval(self, row: Dict[str, Any], params: Sequence[Any]) -> Any:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant (int, float, str, or None)."""
+
+    value: Any
+
+    def eval(self, row, params):
+        return self.value
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A positional ``?`` parameter."""
+
+    index: int
+
+    def eval(self, row, params):
+        if self.index >= len(params):
+            raise MetaDBError(
+                f"statement needs parameter #{self.index + 1}, "
+                f"got only {len(params)}"
+            )
+        return params[self.index]
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A column reference."""
+
+    name: str
+
+    def eval(self, row, params):
+        try:
+            return row[self.name]
+        except KeyError:
+            raise MetaDBError(f"unknown column {self.name!r}") from None
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """Binary comparison; NULL on either side yields False."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def eval(self, row, params):
+        a = self.left.eval(row, params)
+        b = self.right.eval(row, params)
+        if a is None or b is None:
+            return False
+        try:
+            return _COMPARATORS[self.op](a, b)
+        except TypeError:
+            raise MetaDBError(
+                f"cannot compare {a!r} {self.op} {b!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    """AND / OR over two or more operands (short-circuiting)."""
+
+    op: str  # "AND" | "OR"
+    operands: tuple
+
+    def eval(self, row, params):
+        if self.op == "AND":
+            return all(bool(o.eval(row, params)) for o in self.operands)
+        return any(bool(o.eval(row, params)) for o in self.operands)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation."""
+
+    operand: Expr
+
+    def eval(self, row, params):
+        return not bool(self.operand.eval(row, params))
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``col IS NULL`` / ``col IS NOT NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+    def eval(self, row, params):
+        result = self.operand.eval(row, params) is None
+        return not result if self.negated else result

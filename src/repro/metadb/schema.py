@@ -1,0 +1,313 @@
+"""The paper's SDM metadata schema (Figure 4) and typed accessors.
+
+Six tables, as created by ``SDM_initialize``:
+
+* ``run_table`` — one row per application run: id, dimensionality, problem
+  size, timestep count, wall-clock date fields.
+* ``access_pattern_table`` — one row per output dataset: its basic pattern
+  (IRREGULAR here), element type, storage order, global size.
+* ``execution_table`` — one row per (dataset, timestep) written: which file
+  and at which offset — this is what makes level-2/3 packed organizations
+  navigable.
+* ``import_table`` — one row per imported (externally created) array.
+* ``index_table`` — one row per registered index distribution: problem
+  size, process count, history file name.
+* ``index_history_table`` — per-rank partitioned sizes and history-file
+  offsets for a registered distribution.
+
+:class:`SDMTables` wraps a :class:`~repro.metadb.engine.Database` with typed
+methods for exactly the statements SDM issues, so the SQL lives here and the
+runtime stays readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.metadb.engine import Database
+from repro.simt.process import Process
+
+__all__ = ["SDM_SCHEMA", "SDMTables", "HistoryRecord", "HistoryRankRecord"]
+
+SDM_SCHEMA: Tuple[str, ...] = (
+    """CREATE TABLE IF NOT EXISTS run_table (
+        runid INTEGER, application TEXT, dimension INTEGER,
+        problem_size INTEGER, num_timesteps INTEGER,
+        year INTEGER, month INTEGER, day INTEGER, hour INTEGER, minute INTEGER
+    )""",
+    """CREATE TABLE IF NOT EXISTS access_pattern_table (
+        runid INTEGER, dataset TEXT, basic_pattern TEXT,
+        data_type TEXT, storage_order TEXT, global_size INTEGER
+    )""",
+    """CREATE TABLE IF NOT EXISTS execution_table (
+        runid INTEGER, dataset TEXT, timestep INTEGER,
+        file_name TEXT, file_offset INTEGER, nbytes INTEGER
+    )""",
+    """CREATE TABLE IF NOT EXISTS import_table (
+        runid INTEGER, imported_name TEXT, file_name TEXT,
+        data_type TEXT, storage_order TEXT, partition TEXT,
+        file_content TEXT, file_offset INTEGER, num_elements INTEGER
+    )""",
+    """CREATE TABLE IF NOT EXISTS index_table (
+        problem_size INTEGER, num_procs INTEGER, dimension INTEGER,
+        registered_file_name TEXT
+    )""",
+    """CREATE TABLE IF NOT EXISTS index_history_table (
+        problem_size INTEGER, num_procs INTEGER, rank INTEGER,
+        edge_count INTEGER, node_count INTEGER,
+        edge_offset INTEGER, node_offset INTEGER
+    )""",
+)
+
+
+@dataclass(frozen=True)
+class HistoryRecord:
+    """index_table row: one registered index distribution."""
+
+    problem_size: int
+    num_procs: int
+    dimension: int
+    file_name: str
+
+
+@dataclass(frozen=True)
+class HistoryRankRecord:
+    """index_history_table row: one rank's slice of a history file."""
+
+    rank: int
+    edge_count: int
+    node_count: int
+    edge_offset: int
+    node_offset: int
+
+
+class SDMTables:
+    """Typed accessors over the SDM schema."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+
+    def create_all(self, proc: Optional[Process] = None) -> None:
+        """Create the six tables (idempotent)."""
+        for ddl in SDM_SCHEMA:
+            self.db.execute(ddl, proc=proc)
+
+    # -- run_table -------------------------------------------------------
+
+    def next_runid(self, proc: Optional[Process] = None) -> int:
+        """Allocate the next run id (MAX(runid)+1, starting at 1)."""
+        rows = self.db.execute("SELECT MAX(runid) FROM run_table", proc=proc)
+        current = rows[0][0]
+        return 1 if current is None else int(current) + 1
+
+    def insert_run(
+        self,
+        runid: int,
+        application: str,
+        dimension: int,
+        problem_size: int,
+        num_timesteps: int,
+        date_fields: Sequence[int] = (0, 0, 0, 0, 0),
+        proc: Optional[Process] = None,
+    ) -> None:
+        """Record a run in run_table."""
+        y, mo, d, h, mi = date_fields
+        self.db.execute(
+            "INSERT INTO run_table VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (runid, application, dimension, problem_size, num_timesteps, y, mo, d, h, mi),
+            proc=proc,
+        )
+
+    # -- access_pattern_table ---------------------------------------------
+
+    def register_dataset(
+        self,
+        runid: int,
+        dataset: str,
+        data_type: str,
+        storage_order: str,
+        global_size: int,
+        basic_pattern: str = "IRREGULAR",
+        proc: Optional[Process] = None,
+    ) -> None:
+        """Record one output dataset's access pattern."""
+        self.db.execute(
+            "INSERT INTO access_pattern_table VALUES (?, ?, ?, ?, ?, ?)",
+            (runid, dataset, basic_pattern, data_type, storage_order, global_size),
+            proc=proc,
+        )
+
+    def datasets_for_run(
+        self, runid: int, proc: Optional[Process] = None
+    ) -> List[str]:
+        """Dataset names registered for a run, in registration order."""
+        rows = self.db.execute(
+            "SELECT dataset FROM access_pattern_table WHERE runid = ?",
+            (runid,),
+            proc=proc,
+        )
+        return [r[0] for r in rows]
+
+    # -- execution_table ---------------------------------------------------
+
+    def record_execution(
+        self,
+        runid: int,
+        dataset: str,
+        timestep: int,
+        file_name: str,
+        file_offset: int,
+        nbytes: int,
+        proc: Optional[Process] = None,
+    ) -> None:
+        """Record where one (dataset, timestep) landed."""
+        self.db.execute(
+            "INSERT INTO execution_table VALUES (?, ?, ?, ?, ?, ?)",
+            (runid, dataset, timestep, file_name, file_offset, nbytes),
+            proc=proc,
+        )
+
+    def lookup_execution(
+        self,
+        runid: int,
+        dataset: str,
+        timestep: int,
+        proc: Optional[Process] = None,
+    ) -> Optional[Tuple[str, int, int]]:
+        """(file_name, file_offset, nbytes) of a written dataset instance."""
+        rows = self.db.execute(
+            "SELECT file_name, file_offset, nbytes FROM execution_table "
+            "WHERE runid = ? AND dataset = ? AND timestep = ?",
+            (runid, dataset, timestep),
+            proc=proc,
+        )
+        return (rows[0][0], int(rows[0][1]), int(rows[0][2])) if rows else None
+
+    def max_offset_in_file(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> int:
+        """Next append position in a packed (level 2/3) file."""
+        rows = self.db.execute(
+            "SELECT file_offset, nbytes FROM execution_table WHERE file_name = ? "
+            "ORDER BY file_offset DESC LIMIT 1",
+            (file_name,),
+            proc=proc,
+        )
+        if not rows:
+            return 0
+        return int(rows[0][0]) + int(rows[0][1])
+
+    # -- import_table --------------------------------------------------------
+
+    def register_import(
+        self,
+        runid: int,
+        imported_name: str,
+        file_name: str,
+        data_type: str,
+        storage_order: str,
+        partition: str,
+        file_content: str,
+        file_offset: int,
+        num_elements: int,
+        proc: Optional[Process] = None,
+    ) -> None:
+        """Record one imported array's description."""
+        self.db.execute(
+            "INSERT INTO import_table VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                runid, imported_name, file_name, data_type, storage_order,
+                partition, file_content, file_offset, num_elements,
+            ),
+            proc=proc,
+        )
+
+    def lookup_import(
+        self, runid: int, imported_name: str, proc: Optional[Process] = None
+    ) -> Optional[dict]:
+        """Full import record for one imported array, or None."""
+        rows = self.db.query_dicts(
+            "SELECT * FROM import_table WHERE runid = ? AND imported_name = ?",
+            (runid, imported_name),
+            proc=proc,
+        )
+        return rows[0] if rows else None
+
+    # -- index_table / index_history_table ------------------------------------
+
+    def find_history(
+        self,
+        problem_size: int,
+        num_procs: int,
+        proc: Optional[Process] = None,
+    ) -> Optional[HistoryRecord]:
+        """History file registered for this (problem size, process count)."""
+        rows = self.db.execute(
+            "SELECT problem_size, num_procs, dimension, registered_file_name "
+            "FROM index_table WHERE problem_size = ? AND num_procs = ?",
+            (problem_size, num_procs),
+            proc=proc,
+        )
+        if not rows:
+            return None
+        ps, np_, dim, fname = rows[0]
+        return HistoryRecord(int(ps), int(np_), int(dim), fname)
+
+    def register_history(
+        self,
+        record: HistoryRecord,
+        ranks: Sequence[HistoryRankRecord],
+        proc: Optional[Process] = None,
+    ) -> None:
+        """Register a history file and its per-rank slices."""
+        self.db.execute(
+            "INSERT INTO index_table VALUES (?, ?, ?, ?)",
+            (record.problem_size, record.num_procs, record.dimension, record.file_name),
+            proc=proc,
+        )
+        for r in ranks:
+            self.db.execute(
+                "INSERT INTO index_history_table VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    record.problem_size, record.num_procs, r.rank,
+                    r.edge_count, r.node_count, r.edge_offset, r.node_offset,
+                ),
+                proc=proc,
+            )
+
+    def history_rank(
+        self,
+        problem_size: int,
+        num_procs: int,
+        rank: int,
+        proc: Optional[Process] = None,
+    ) -> Optional[HistoryRankRecord]:
+        """One rank's slice metadata of a registered history."""
+        rows = self.db.execute(
+            "SELECT rank, edge_count, node_count, edge_offset, node_offset "
+            "FROM index_history_table "
+            "WHERE problem_size = ? AND num_procs = ? AND rank = ?",
+            (problem_size, num_procs, rank),
+            proc=proc,
+        )
+        if not rows:
+            return None
+        r, ec, nc, eo, no = rows[0]
+        return HistoryRankRecord(int(r), int(ec), int(nc), int(eo), int(no))
+
+    def drop_history(
+        self, problem_size: int, num_procs: int, proc: Optional[Process] = None
+    ) -> None:
+        """Forget a registered history (both tables)."""
+        self.db.execute(
+            "DELETE FROM index_table WHERE problem_size = ? AND num_procs = ?",
+            (problem_size, num_procs),
+            proc=proc,
+        )
+        self.db.execute(
+            "DELETE FROM index_history_table "
+            "WHERE problem_size = ? AND num_procs = ?",
+            (problem_size, num_procs),
+            proc=proc,
+        )

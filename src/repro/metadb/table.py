@@ -1,0 +1,101 @@
+"""Tables: typed row storage with schema validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ColumnNotFound, MetaDBError, SQLTypeError
+from repro.metadb.types import ColumnType
+
+__all__ = ["Column", "Row", "Table"]
+
+Row = Tuple[Any, ...]
+"""Rows are plain tuples in column-declaration order."""
+
+
+@dataclass(frozen=True)
+class Column:
+    """One declared column."""
+
+    name: str
+    type: ColumnType
+
+
+class Table:
+    """Heap of typed rows, append-ordered (insertion order is stable)."""
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise MetaDBError(f"table {name!r} must have at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise MetaDBError(f"duplicate column names in table {name!r}")
+        self.name = name
+        self.columns = list(columns)
+        self._index: Dict[str, int] = {c.name: i for i, c in enumerate(columns)}
+        self.rows: List[Row] = []
+
+    @property
+    def column_names(self) -> List[str]:
+        """Declared column names in order."""
+        return [c.name for c in self.columns]
+
+    def column_pos(self, name: str) -> int:
+        """Position of a column (raises :class:`ColumnNotFound`)."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ColumnNotFound(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def coerce_row(
+        self, values: Sequence[Any], columns: Optional[Sequence[str]] = None
+    ) -> Row:
+        """Validate a row; ``columns`` selects a subset (others NULL)."""
+        if columns is None:
+            if len(values) != len(self.columns):
+                raise SQLTypeError(
+                    f"table {self.name!r} expects {len(self.columns)} values, "
+                    f"got {len(values)}"
+                )
+            return tuple(
+                col.type.coerce(v) for col, v in zip(self.columns, values)
+            )
+        if len(columns) != len(values):
+            raise SQLTypeError(
+                f"{len(columns)} columns but {len(values)} values"
+            )
+        row: List[Any] = [None] * len(self.columns)
+        for name, value in zip(columns, values):
+            pos = self.column_pos(name)
+            row[pos] = self.columns[pos].type.coerce(value)
+        return tuple(row)
+
+    def insert(
+        self, values: Sequence[Any], columns: Optional[Sequence[str]] = None
+    ) -> Row:
+        """Append a validated row; returns it."""
+        row = self.coerce_row(values, columns)
+        self.rows.append(row)
+        return row
+
+    def scan(self) -> Iterable[Tuple[int, Row]]:
+        """Iterate ``(rowid, row)`` pairs in insertion order."""
+        return enumerate(self.rows)
+
+    def delete_rowids(self, rowids: Iterable[int]) -> int:
+        """Remove rows by position; returns how many were removed."""
+        doomed = set(rowids)
+        if not doomed:
+            return 0
+        before = len(self.rows)
+        self.rows = [r for i, r in enumerate(self.rows) if i not in doomed]
+        return before - len(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Table {self.name!r} cols={self.column_names} rows={len(self.rows)}>"

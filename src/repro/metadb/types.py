@@ -1,0 +1,89 @@
+"""Column types of the metadata database."""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import SQLTypeError
+
+__all__ = ["ColumnType", "INTEGER", "REAL", "TEXT", "BLOB", "type_by_name"]
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """A declared SQL column type with validation/coercion rules."""
+
+    name: str
+
+    def coerce(self, value: Any) -> Any:
+        """Validate/convert a Python value for storage; None always allowed."""
+        if value is None:
+            return None
+        if self.name == "INTEGER":
+            if isinstance(value, bool) or not isinstance(value, int):
+                # numpy integer scalars are fine; bools are not.
+                try:
+                    import numpy as np
+
+                    if isinstance(value, np.integer):
+                        return int(value)
+                except ImportError:  # pragma: no cover
+                    pass
+                raise SQLTypeError(f"INTEGER column got {value!r}")
+            return int(value)
+        if self.name == "REAL":
+            if isinstance(value, bool):
+                raise SQLTypeError(f"REAL column got {value!r}")
+            if isinstance(value, (int, float)):
+                return float(value)
+            try:
+                import numpy as np
+
+                if isinstance(value, (np.integer, np.floating)):
+                    return float(value)
+            except ImportError:  # pragma: no cover
+                pass
+            raise SQLTypeError(f"REAL column got {value!r}")
+        if self.name == "TEXT":
+            if not isinstance(value, str):
+                raise SQLTypeError(f"TEXT column got {value!r}")
+            return value
+        if self.name == "BLOB":
+            if isinstance(value, (bytes, bytearray, memoryview)):
+                return bytes(value)
+            raise SQLTypeError(f"BLOB column got {value!r}")
+        raise SQLTypeError(f"unknown column type {self.name!r}")  # pragma: no cover
+
+    def to_json(self, value: Any) -> Any:
+        """JSON-serializable representation for persistence."""
+        if value is None:
+            return None
+        if self.name == "BLOB":
+            return base64.b64encode(value).decode("ascii")
+        return value
+
+    def from_json(self, value: Any) -> Any:
+        """Inverse of :meth:`to_json`."""
+        if value is None:
+            return None
+        if self.name == "BLOB":
+            return base64.b64decode(value)
+        return self.coerce(value)
+
+
+INTEGER = ColumnType("INTEGER")
+REAL = ColumnType("REAL")
+TEXT = ColumnType("TEXT")
+BLOB = ColumnType("BLOB")
+
+_TYPES = {t.name: t for t in (INTEGER, REAL, TEXT, BLOB)}
+
+
+def type_by_name(name: str) -> ColumnType:
+    """Look up a type by its SQL name (case-insensitive)."""
+    try:
+        return _TYPES[name.upper()]
+    except KeyError:
+        raise SQLTypeError(f"unknown column type {name!r}") from None

@@ -1,0 +1,12 @@
+"""Wildcard and sentinel rank constants (mirroring MPI's)."""
+
+from __future__ import annotations
+
+ANY_SOURCE: int = -1
+"""Match a message from any source rank."""
+
+ANY_TAG: int = -1
+"""Match a message with any tag."""
+
+PROC_NULL: int = -2
+"""Null process: sends/recvs to it complete immediately and move no data."""

@@ -1,0 +1,155 @@
+"""SPMD job launcher: run a rank function on P simulated processes.
+
+:func:`mpirun` is the simulated analogue of ``mpiexec -n P python app.py``:
+it builds a fresh :class:`~repro.simt.Simulator`, a shared
+:class:`~repro.mpi.transport.Transport`, optional shared *services* (the
+parallel file system, the metadata database — anything all ranks must see),
+then spawns ``nprocs`` rank processes and runs to completion.
+
+The rank function receives a :class:`RankContext` and may return a value;
+returns, phase timings, and the final virtual clock come back in a
+:class:`JobResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.config import MachineModel, origin2000
+from repro.mpi.communicator import Communicator
+from repro.mpi.phases import PhaseTimer
+from repro.mpi.transport import Transport
+from repro.simt.simulator import Simulator
+from repro.simt.trace import Trace
+
+__all__ = ["RankContext", "JobResult", "mpirun"]
+
+ServicesFactory = Callable[[Simulator, MachineModel], Dict[str, Any]]
+
+
+@dataclass
+class RankContext:
+    """Everything one simulated rank needs: identity, MPI, services, timing."""
+
+    rank: int
+    size: int
+    comm: Communicator
+    proc: Any
+    machine: MachineModel
+    services: Dict[str, Any]
+    timer: PhaseTimer
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.proc.now
+
+    def phase(self, name: str):
+        """Context manager charging the body's virtual time to ``name``."""
+        return self.timer.phase(name)
+
+    def service(self, name: str) -> Any:
+        """Look up a shared service (e.g. ``"fs"``, ``"db"``) by name."""
+        return self.services[name]
+
+
+@dataclass
+class JobResult:
+    """Outcome of an :func:`mpirun` job."""
+
+    nprocs: int
+    machine: MachineModel
+    values: List[Any]
+    elapsed: float
+    phase_totals: List[Dict[str, float]]
+    services: Dict[str, Any]
+    sim: Simulator = field(repr=False, default=None)
+
+    def phase_max(self, name: str) -> float:
+        """Max-over-ranks total for a phase — the cost on the critical path
+        (what the paper's stacked bars report)."""
+        return max((p.get(name, 0.0) for p in self.phase_totals), default=0.0)
+
+    def phase_mean(self, name: str) -> float:
+        """Mean-over-ranks total for a phase."""
+        if not self.phase_totals:
+            return 0.0
+        return sum(p.get(name, 0.0) for p in self.phase_totals) / len(self.phase_totals)
+
+    def phase_names(self) -> List[str]:
+        """All phase names observed, in first-use order across ranks."""
+        seen: List[str] = []
+        for totals in self.phase_totals:
+            for name in totals:
+                if name not in seen:
+                    seen.append(name)
+        return seen
+
+
+def mpirun(
+    fn: Callable[[RankContext], Any],
+    nprocs: int,
+    machine: Optional[MachineModel] = None,
+    services: Optional[ServicesFactory] = None,
+    trace: bool = False,
+) -> JobResult:
+    """Run ``fn(ctx)`` as an SPMD program on ``nprocs`` simulated ranks.
+
+    Parameters
+    ----------
+    fn:
+        The rank program.  Runs once per rank; its return value is collected.
+    nprocs:
+        Number of ranks.
+    machine:
+        Cost model (defaults to :func:`repro.config.origin2000`).
+    services:
+        Optional factory called once as ``services(sim, machine)`` before
+        ranks start; the returned dict is visible to every rank through
+        :meth:`RankContext.service`.
+    trace:
+        Enable the simulator's trace log.
+
+    Raises
+    ------
+    repro.errors.SimProcessCrashed
+        If any rank raised; the original exception is chained.
+    """
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    machine = machine if machine is not None else origin2000()
+    sim = Simulator(trace=Trace(enabled=trace))
+    transport = Transport(sim, machine, nprocs)
+    shared: Dict[str, Any] = services(sim, machine) if services is not None else {}
+
+    contexts: List[Optional[RankContext]] = [None] * nprocs
+
+    def rank_main(proc, r: int):
+        comm = Communicator(transport, r, proc)
+        ctx = RankContext(
+            rank=r,
+            size=nprocs,
+            comm=comm,
+            proc=proc,
+            machine=machine,
+            services=shared,
+            timer=PhaseTimer(proc),
+        )
+        contexts[r] = ctx
+        return fn(ctx)
+
+    procs = [sim.spawn(rank_main, r, name=f"rank{r}") for r in range(nprocs)]
+    elapsed = sim.run()
+    return JobResult(
+        nprocs=nprocs,
+        machine=machine,
+        values=[p.result for p in procs],
+        elapsed=elapsed,
+        phase_totals=[
+            (contexts[r].timer.as_dict() if contexts[r] is not None else {})
+            for r in range(nprocs)
+        ],
+        services=shared,
+        sim=sim,
+    )

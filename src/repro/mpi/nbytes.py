@@ -1,0 +1,48 @@
+"""Estimating the on-wire size of message payloads.
+
+The simulation needs a byte count for every message to charge transfer time.
+NumPy arrays report exactly; other Python objects get a cheap structural
+estimate (we deliberately avoid pickling large object graphs on the hot
+path — the estimate only needs to be the right order of magnitude, since
+metadata messages are latency-dominated anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["payload_nbytes"]
+
+_SCALAR_BYTES = 8
+_CONTAINER_OVERHEAD = 16
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Best-effort on-wire byte size of ``obj``.
+
+    Exact for numpy arrays, bytes, and str; structural estimate for
+    containers; 8 bytes for scalars and None.
+    """
+    if obj is None:
+        return _SCALAR_BYTES
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8", errors="replace"))
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return _SCALAR_BYTES
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return _CONTAINER_OVERHEAD + sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return _CONTAINER_OVERHEAD + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        )
+    # Dataclass-like/arbitrary object: estimate from its attribute dict.
+    attrs = getattr(obj, "__dict__", None)
+    if attrs:
+        return _CONTAINER_OVERHEAD + payload_nbytes(attrs)
+    return 64

@@ -1,0 +1,24 @@
+"""Receive-status objects (source / tag / size of the matched message)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Status:
+    """Outcome of a receive, analogous to ``MPI_Status``.
+
+    Attributes
+    ----------
+    source:
+        Rank the matched message came from.
+    tag:
+        Tag of the matched message.
+    nbytes:
+        Modelled on-wire size of the message payload.
+    """
+
+    source: int = -1
+    tag: int = -1
+    nbytes: int = 0

@@ -1,0 +1,206 @@
+"""The message-matching engine shared by all ranks of a job.
+
+One :class:`Transport` exists per simulated MPI world.  It owns:
+
+* a mailbox per destination rank — a list of *arrived* messages plus a list
+  of *posted* (blocked) receives, matched in MPI order: a receive matches the
+  earliest arrived message whose ``(source, tag)`` fits, wildcards allowed;
+* per ``(source, destination)`` FIFO enforcement — delivery times are clamped
+  to be monotone per pair, so a small message injected after a large one
+  cannot overtake it (MPI's non-overtaking rule);
+* the rendezvous *sites* used by the collective algorithms
+  (see :mod:`repro.mpi.collectives`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import MachineModel
+from repro.errors import MPIInvalidRank
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.status import Status
+from repro.simt.primitives import SimEvent
+from repro.simt.process import Process
+from repro.simt.simulator import Simulator
+
+__all__ = ["Transport", "Message"]
+
+
+@dataclass
+class Message:
+    """An arrived point-to-point message waiting to be matched.
+
+    ``source`` is the sender's rank *within its communicator*; ``ctx`` is
+    the communicator context id, so split/dup'd communicators cannot match
+    each other's traffic (MPI's communicator isolation).
+    """
+
+    source: int
+    tag: int
+    payload: Any
+    nbytes: int
+    ctx: Any = 0
+
+
+@dataclass
+class _PostedRecv:
+    """A posted receive waiting for a matching arrival.
+
+    Exactly one of ``proc`` (blocking receive) or ``event`` (nonblocking
+    receive) is set; arrival either resumes the process or fires the event.
+    """
+
+    source: int
+    tag: int
+    proc: Optional[Process] = None
+    event: Optional[SimEvent] = None
+    ctx: Any = 0
+
+
+@dataclass
+class _Mailbox:
+    arrived: List[Message] = field(default_factory=list)
+    posted: List[_PostedRecv] = field(default_factory=list)
+
+
+def _matches(msg: Message, source: int, tag: int, ctx: Any) -> bool:
+    return (
+        msg.ctx == ctx
+        and (source == ANY_SOURCE or msg.source == source)
+        and (tag == ANY_TAG or msg.tag == tag)
+    )
+
+
+class Transport:
+    """Shared state of one simulated MPI world."""
+
+    def __init__(self, sim: Simulator, machine: MachineModel, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"world size must be >= 1, got {size}")
+        self.sim = sim
+        self.machine = machine
+        self.size = size
+        self._mailboxes: Dict[int, _Mailbox] = {r: _Mailbox() for r in range(size)}
+        # Monotone delivery clock per (src, dst) pair for non-overtaking.
+        self._pair_clock: Dict[Tuple[int, int], float] = {}
+        # Collective rendezvous sites keyed by op sequence number.
+        self._sites: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+
+    def check_rank(self, rank: int, *, wildcard_ok: bool = False) -> None:
+        """Validate a rank argument."""
+        if wildcard_ok and rank == ANY_SOURCE:
+            return
+        if not (0 <= rank < self.size):
+            raise MPIInvalidRank(f"rank {rank} outside [0, {self.size})")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Modelled time for one message of ``nbytes`` on the wire."""
+        return self.machine.network.transfer_time(nbytes)
+
+    def inject(
+        self,
+        source: int,
+        dest: int,
+        payload: Any,
+        tag: int,
+        nbytes: int,
+        completion: Optional[SimEvent] = None,
+        ctx: Any = 0,
+    ) -> float:
+        """Put a message in flight; returns its delivery (virtual) time.
+
+        Delivery time is ``now + latency + nbytes/bandwidth``, clamped to be
+        monotone per (source, dest) pair.  ``completion`` (if given) is set at
+        delivery time — used to complete nonblocking send requests.
+        """
+        now = self.sim.now
+        arrive = now + self.transfer_time(nbytes)
+        key = (ctx, source, dest)
+        floor = self._pair_clock.get(key, 0.0)
+        if arrive < floor:
+            arrive = floor
+        self._pair_clock[key] = arrive
+        msg = Message(source=source, tag=tag, payload=payload, nbytes=nbytes, ctx=ctx)
+
+        def deliver() -> None:
+            self._deposit(dest, msg)
+            if completion is not None:
+                completion.set(None)
+
+        self.sim.call_at(arrive, deliver)
+        return arrive
+
+    def _deposit(self, dest: int, msg: Message) -> None:
+        box = self._mailboxes[dest]
+        for i, pr in enumerate(box.posted):
+            if _matches(msg, pr.source, pr.tag, pr.ctx):
+                box.posted.pop(i)
+                status = Status(source=msg.source, tag=msg.tag, nbytes=msg.nbytes)
+                if pr.event is not None:
+                    pr.event.set((msg.payload, status))
+                else:
+                    self.sim.schedule_resume(pr.proc, value=(msg.payload, status))
+                return
+        box.arrived.append(msg)
+
+    def post_event_recv(
+        self, dest: int, source: int, tag: int, event: SimEvent, ctx: Any = 0
+    ) -> None:
+        """Post a nonblocking receive completing ``event`` on match.
+
+        If a matching message has already arrived it is consumed immediately.
+        """
+        box = self._mailboxes[dest]
+        for i, msg in enumerate(box.arrived):
+            if _matches(msg, source, tag, ctx):
+                box.arrived.pop(i)
+                event.set((msg.payload, Status(msg.source, msg.tag, msg.nbytes)))
+                return
+        box.posted.append(_PostedRecv(source=source, tag=tag, event=event, ctx=ctx))
+
+    def match_or_post(
+        self, proc: Process, dest: int, source: int, tag: int, ctx: Any = 0
+    ) -> Tuple[Any, Status]:
+        """Blocking-receive core: match an arrived message or park."""
+        box = self._mailboxes[dest]
+        for i, msg in enumerate(box.arrived):
+            if _matches(msg, source, tag, ctx):
+                box.arrived.pop(i)
+                return msg.payload, Status(msg.source, msg.tag, msg.nbytes)
+        box.posted.append(_PostedRecv(source=source, tag=tag, proc=proc, ctx=ctx))
+        payload, status = proc.park(
+            reason=f"recv(src={source},tag={tag})@{dest}"
+        )
+        return payload, status
+
+    def probe(
+        self, dest: int, source: int, tag: int, ctx: Any = 0
+    ) -> Optional[Status]:
+        """Nonblocking probe of rank ``dest``'s mailbox."""
+        box = self._mailboxes[dest]
+        for msg in box.arrived:
+            if _matches(msg, source, tag, ctx):
+                return Status(msg.source, msg.tag, msg.nbytes)
+        return None
+
+    # ------------------------------------------------------------------
+    # Collective rendezvous sites
+    # ------------------------------------------------------------------
+
+    def site(self, seq: int, factory) -> Any:
+        """Get or create the rendezvous site for collective call ``seq``."""
+        site = self._sites.get(seq)
+        if site is None:
+            site = factory()
+            self._sites[seq] = site
+        return site
+
+    def drop_site(self, seq: int) -> None:
+        """Free a completed collective's site."""
+        self._sites.pop(seq, None)

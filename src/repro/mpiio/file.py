@@ -1,0 +1,266 @@
+"""The MPI-IO ``File`` object (mpi4py-style interface).
+
+Each rank constructs its own :class:`File` via the collective
+:meth:`File.open`; independent operations (``read_at``/``write_at``) use
+data sieving, collective operations (``read_at_all``/``write_at_all``) use
+two-phase I/O.  Offsets are in *etype units of the current view*, exactly
+as in MPI.
+
+Buffers are numpy arrays of any dtype; the byte count of an operation is
+the buffer's ``nbytes``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.dtypes.base import Datatype
+from repro.dtypes.primitives import BYTE
+from repro.errors import FileExists, FileNotFound, MPIIOError
+from repro.mpi.communicator import Communicator
+from repro.mpiio import sieving, twophase
+from repro.mpiio.consts import (
+    MODE_APPEND,
+    MODE_CREATE,
+    MODE_EXCL,
+    MODE_RDONLY,
+    MODE_RDWR,
+    MODE_WRONLY,
+)
+from repro.mpiio.hints import Hints
+from repro.mpiio.view import FileView
+from repro.pfs.file import RD, RDWR, WR
+from repro.pfs.filesystem import FileSystem
+
+__all__ = ["File"]
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+
+def _as_bytes(buf) -> np.ndarray:
+    arr = np.asarray(buf)
+    if arr.dtype == np.uint8 and arr.ndim == 1:
+        return arr
+    return arr.reshape(-1).view(np.uint8)
+
+
+class File:
+    """One rank's handle on a collectively opened file."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        fs: FileSystem,
+        name: str,
+        amode: int,
+        handle,
+        hints: Hints,
+    ) -> None:
+        self.comm = comm
+        self.fs = fs
+        self.name = name
+        self.amode = amode
+        self._handle = handle
+        self.hints = hints
+        self._view = FileView()
+        self._pos = 0  # individual file pointer, in etype units
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Open / close
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        comm: Communicator,
+        fs: FileSystem,
+        name: str,
+        amode: int = MODE_RDONLY,
+        hints: Optional[Mapping[str, int]] = None,
+    ) -> "File":
+        """Collective open; every rank of ``comm`` must call with the same
+        arguments.  Honors MODE_CREATE / MODE_EXCL / MODE_APPEND."""
+        n_access = bool(amode & MODE_RDONLY) + bool(amode & MODE_WRONLY) + bool(
+            amode & MODE_RDWR
+        )
+        if n_access != 1:
+            raise MPIIOError(
+                "exactly one of MODE_RDONLY/MODE_WRONLY/MODE_RDWR required"
+            )
+        proc = comm.proc
+        # Rank 0 handles creation & existence checking, then broadcasts.
+        verdict = None
+        if comm.rank == 0:
+            exists = fs.exists(name)
+            if amode & MODE_CREATE:
+                if exists and (amode & MODE_EXCL):
+                    verdict = "excl"
+                elif not exists:
+                    fs.create(proc, name)
+                    verdict = "ok"
+                else:
+                    verdict = "ok"
+            else:
+                verdict = "ok" if exists else "missing"
+        verdict = comm.bcast(verdict, root=0)
+        if verdict == "excl":
+            raise FileExists(f"MODE_EXCL and file exists: {name!r}")
+        if verdict == "missing":
+            raise FileNotFound(f"no such file: {name!r}")
+        if amode & MODE_RDONLY:
+            mode = RD
+        elif amode & MODE_WRONLY:
+            mode = WR
+        else:
+            mode = RDWR
+        handle = fs.open(proc, name, mode)
+        resolved = Hints.from_machine(fs.machine, hints)
+        f = cls(comm, fs, name, amode, handle, resolved)
+        if amode & MODE_APPEND:
+            f._pos = handle.file.size  # etype is BYTE initially
+        return f
+
+    def close(self) -> None:
+        """Collective close."""
+        if self.closed:
+            raise MPIIOError(f"file {self.name!r} already closed")
+        self.comm.barrier()
+        self.fs.close(self.comm.proc, self._handle)
+        self.closed = True
+
+    def __enter__(self) -> "File":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self.closed:
+            self.close()
+
+    # ------------------------------------------------------------------
+    # Views and pointers
+    # ------------------------------------------------------------------
+
+    def set_view(
+        self,
+        disp: int = 0,
+        etype: Datatype = BYTE,
+        filetype: Optional[Datatype] = None,
+    ) -> None:
+        """Install a file view (charges the per-process view cost) and reset
+        the individual file pointer."""
+        self._check_live()
+        self.comm.proc.hold(self.fs.machine.storage.file_view_cost)
+        self._view = FileView(disp, etype, filetype)
+        self._pos = 0
+
+    def get_view(self) -> FileView:
+        """The currently installed view."""
+        return self._view
+
+    def seek(self, offset: int, whence: int = SEEK_SET) -> None:
+        """Move the individual file pointer (etype units of the view)."""
+        self._check_live()
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = self._pos + offset
+        elif whence == SEEK_END:
+            new = self.get_size() // self._view.etype.size + offset
+        else:
+            raise MPIIOError(f"bad whence: {whence!r}")
+        if new < 0:
+            raise MPIIOError(f"seek to negative offset: {new}")
+        self._pos = new
+
+    def get_position(self) -> int:
+        """Individual file pointer, in etype units."""
+        return self._pos
+
+    def get_size(self) -> int:
+        """Current file size in bytes (no time charge: cached attr model)."""
+        return self._handle.file.size
+
+    # ------------------------------------------------------------------
+    # Independent data access (data sieving)
+    # ------------------------------------------------------------------
+
+    def write_at(self, offset: int, buf) -> int:
+        """Independent write at ``offset`` (etype units); returns bytes."""
+        self._check_live()
+        raw = _as_bytes(buf)
+        off, ln = self._view.runs_for(offset * self._view.etype.size, len(raw))
+        return sieving.independent_write(
+            self.fs, self.comm.proc, self._handle, off, ln, raw
+        )
+
+    def read_at(self, offset: int, buf) -> np.ndarray:
+        """Independent read at ``offset`` (etype units) into ``buf``;
+        returns ``buf``."""
+        self._check_live()
+        raw = _as_bytes(buf)
+        off, ln = self._view.runs_for(offset * self._view.etype.size, len(raw))
+        data = sieving.independent_read(self.fs, self.comm.proc, self._handle, off, ln)
+        raw[:] = data
+        return buf
+
+    def write(self, buf) -> int:
+        """Independent write at the individual file pointer."""
+        n = self.write_at(self._pos, buf)
+        self._pos += n // self._view.etype.size
+        return n
+
+    def read(self, buf) -> np.ndarray:
+        """Independent read at the individual file pointer."""
+        out = self.read_at(self._pos, buf)
+        self._pos += _as_bytes(buf).size // self._view.etype.size
+        return out
+
+    # ------------------------------------------------------------------
+    # Collective data access (two-phase)
+    # ------------------------------------------------------------------
+
+    def write_at_all(self, offset: int, buf) -> int:
+        """Collective write at ``offset`` (etype units); all ranks call."""
+        self._check_live()
+        raw = _as_bytes(buf)
+        off, ln = self._view.runs_for(offset * self._view.etype.size, len(raw))
+        return twophase.collective_write(
+            self.comm, self.comm.proc, self.fs, self._handle, off, ln, raw, self.hints
+        )
+
+    def read_at_all(self, offset: int, buf) -> np.ndarray:
+        """Collective read at ``offset`` (etype units) into ``buf``."""
+        self._check_live()
+        raw = _as_bytes(buf)
+        off, ln = self._view.runs_for(offset * self._view.etype.size, len(raw))
+        data = twophase.collective_read(
+            self.comm, self.comm.proc, self.fs, self._handle, off, ln, self.hints
+        )
+        raw[:] = data
+        return buf
+
+    def write_all(self, buf) -> int:
+        """Collective write at the individual file pointer."""
+        n = self.write_at_all(self._pos, buf)
+        self._pos += len(_as_bytes(buf)) // self._view.etype.size
+        return n
+
+    def read_all(self, buf) -> np.ndarray:
+        """Collective read at the individual file pointer."""
+        out = self.read_at_all(self._pos, buf)
+        self._pos += len(_as_bytes(buf)) // self._view.etype.size
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _check_live(self) -> None:
+        if self.closed:
+            raise MPIIOError(f"operation on closed file {self.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return f"<mpiio.File {self.name!r} {state} rank={self.comm.rank}>"

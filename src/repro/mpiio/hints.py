@@ -1,0 +1,50 @@
+"""MPI-IO hints (the ``MPI_Info`` knobs ROMIO understands).
+
+Defaults come from the machine model's :class:`CollectiveIOModel`; user code
+overrides per-open, exactly as the paper describes SDM passing hints about
+access patterns and striping to the MPI-IO implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.config import MachineModel
+
+__all__ = ["Hints"]
+
+
+@dataclass
+class Hints:
+    """Resolved collective-buffering and data-sieving parameters."""
+
+    cb_buffer_size: int
+    cb_nodes: int
+    ds_buffer_size: int
+    ds_threshold_gap: int
+
+    @classmethod
+    def from_machine(
+        cls, machine: MachineModel, overrides: Optional[Mapping[str, int]] = None
+    ) -> "Hints":
+        """Machine defaults, selectively overridden (unknown keys rejected)."""
+        cio = machine.collective_io
+        values = {
+            "cb_buffer_size": cio.cb_buffer_size,
+            "cb_nodes": cio.cb_nodes,
+            "ds_buffer_size": cio.ds_buffer_size,
+            "ds_threshold_gap": cio.ds_threshold_gap,
+        }
+        if overrides:
+            for key, val in overrides.items():
+                if key not in values:
+                    raise KeyError(f"unknown MPI-IO hint: {key!r}")
+                values[key] = int(val)
+        return cls(**values)
+
+    def resolve_cb_nodes(self, comm_size: int, n_controllers: int) -> int:
+        """Number of aggregators: the hint, else min(P, 2 x controllers)."""
+        if self.cb_nodes > 0:
+            return max(1, min(self.cb_nodes, comm_size))
+        return max(1, min(comm_size, 2 * n_controllers))

@@ -1,0 +1,35 @@
+"""Graph partitioning: the MeTis stand-in.
+
+The paper's applications partition mesh *nodes* with a partitioning vector
+"generated from a partitioning tool, such as MeTis".  This package provides
+that tool: a multilevel k-way partitioner in the METIS mould —
+
+1. **coarsening** by heavy-edge matching until the graph is small,
+2. **initial partitioning** by greedy graph growing on the coarsest graph,
+3. **uncoarsening** with boundary Kernighan–Lin/Fiduccia–Mattheyses-style
+   refinement at every level —
+
+plus the trivial baselines (block, random) and quality metrics (edge cut,
+imbalance, ghost statistics) that the benchmarks report.
+
+Example::
+
+    g = Graph.from_edges(n_nodes, edge1, edge2)
+    part = multilevel_kway(g, k=64, seed=1)     # the partitioning vector
+    print(edge_cut(g, part), imbalance(part, 64))
+"""
+
+from repro.partition.graph import Graph
+from repro.partition.metrics import edge_cut, ghost_stats, imbalance
+from repro.partition.baselines import block_partition, random_partition
+from repro.partition.multilevel import multilevel_kway
+
+__all__ = [
+    "Graph",
+    "edge_cut",
+    "imbalance",
+    "ghost_stats",
+    "block_partition",
+    "random_partition",
+    "multilevel_kway",
+]

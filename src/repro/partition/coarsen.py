@@ -1,0 +1,78 @@
+"""Coarsening: heavy-edge matching and graph contraction."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.partition.graph import Graph
+
+__all__ = ["heavy_edge_matching", "contract"]
+
+UNMATCHED = -1
+
+
+def heavy_edge_matching(graph: Graph, rng: np.random.Generator) -> np.ndarray:
+    """Greedy heavy-edge matching (HEM).
+
+    Vertices are visited in random order; an unmatched vertex matches its
+    unmatched neighbor of maximum edge weight (ties to the first seen).
+    Returns ``match`` with ``match[v]`` = partner (or ``v`` itself if no
+    partner was available).
+    """
+    n = graph.n
+    match = np.full(n, UNMATCHED, dtype=np.int64)
+    order = rng.permutation(n)
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+    for v in order.tolist():
+        if match[v] != UNMATCHED:
+            continue
+        best = -1
+        best_w = -1
+        for i in range(xadj[v], xadj[v + 1]):
+            u = adjncy[i]
+            if match[u] == UNMATCHED and u != v:
+                w = adjwgt[i]
+                if w > best_w:
+                    best_w = w
+                    best = u
+        if best >= 0:
+            match[v] = best
+            match[best] = v
+        else:
+            match[v] = v
+    return match
+
+
+def contract(graph: Graph, match: np.ndarray) -> Tuple[Graph, np.ndarray]:
+    """Contract matched pairs into coarse vertices.
+
+    Returns ``(coarse_graph, cmap)`` where ``cmap[v]`` is the coarse vertex
+    of fine vertex ``v``.  Coarse vertex weights are sums; internal (matched)
+    edges disappear; parallel edges merge with weights summed (handled by
+    :meth:`Graph.from_edges`).
+    """
+    n = graph.n
+    # Number coarse vertices: one per matched pair / singleton, in order of
+    # the smaller endpoint.
+    reps = np.minimum(np.arange(n, dtype=np.int64), match)
+    is_rep = reps == np.arange(n)
+    cmap_rep = np.cumsum(is_rep) - 1
+    cmap = cmap_rep[reps]
+    n_coarse = int(is_rep.sum())
+    # Coarse vertex weights.
+    cvwgt = np.bincount(cmap, weights=graph.vwgt, minlength=n_coarse).astype(np.int64)
+    # Fine adjacency in coarse ids (directed copies; from_edges merges).
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+    csrc = cmap[src]
+    cdst = cmap[graph.adjncy]
+    keep = csrc < cdst  # one direction only; drops contracted (equal) pairs
+    coarse = Graph.from_edges(
+        n_coarse,
+        csrc[keep],
+        cdst[keep],
+        edge_weights=graph.adjwgt[keep],
+        vertex_weights=cvwgt,
+    )
+    return coarse, cmap

@@ -1,0 +1,130 @@
+"""Initial partitioning of the coarsest graph: greedy graph growing.
+
+Seeds are spread by repeated farthest-first BFS; regions then grow one
+frontier vertex at a time, always extending the currently lightest part
+(greedy graph growing partitioning, GGGP-style).  Unreached vertices
+(disconnected components) back-fill the lightest parts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+import numpy as np
+
+from repro.partition.graph import Graph
+
+__all__ = ["greedy_grow"]
+
+
+def _bfs_far_vertex(graph: Graph, start: int) -> int:
+    """Vertex at maximal BFS distance from ``start``."""
+    n = graph.n
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[start] = 0
+    frontier = [start]
+    last = start
+    while frontier:
+        nxt: List[int] = []
+        for v in frontier:
+            for u in graph.neighbors(v).tolist():
+                if dist[u] < 0:
+                    dist[u] = dist[v] + 1
+                    nxt.append(u)
+                    last = u
+        frontier = nxt
+    return last
+
+
+def _spread_seeds(graph: Graph, k: int, rng: np.random.Generator) -> List[int]:
+    """k seeds via farthest-first traversal from a random start."""
+    first = int(rng.integers(graph.n))
+    seeds = [_bfs_far_vertex(graph, first)]
+    n = graph.n
+    dist = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    for _ in range(k - 1):
+        # Multi-source BFS from current seeds to find the farthest vertex.
+        newest = seeds[-1]
+        d = np.full(n, -1, dtype=np.int64)
+        d[newest] = 0
+        frontier = [newest]
+        while frontier:
+            nxt: List[int] = []
+            for v in frontier:
+                for u in graph.neighbors(v).tolist():
+                    if d[u] < 0:
+                        d[u] = d[v] + 1
+                        nxt.append(u)
+            frontier = nxt
+        reached = d >= 0
+        dist[reached] = np.minimum(dist[reached], d[reached])
+        dist[~reached & (dist == np.iinfo(np.int64).max)] = -2  # unreachable
+        candidates = np.where(dist >= 0)[0]
+        if len(candidates) == 0:
+            seeds.append(int(rng.integers(n)))
+        else:
+            seeds.append(int(candidates[np.argmax(dist[candidates])]))
+    return seeds[:k]
+
+
+def greedy_grow(graph: Graph, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Grow ``k`` balanced regions from spread seeds; returns part vector."""
+    n = graph.n
+    part = np.full(n, -1, dtype=np.int64)
+    if k == 1:
+        return np.zeros(n, dtype=np.int64)
+    if k >= n:
+        return np.arange(n, dtype=np.int64) % k
+    seeds = _spread_seeds(graph, k, rng)
+    loads = np.zeros(k, dtype=np.int64)
+    frontiers: List[List[int]] = [[] for _ in range(k)]
+    counter = 0
+    for p, s in enumerate(seeds):
+        if part[s] != -1:
+            # Seed collision (tiny graphs): pick any free vertex.
+            free = np.where(part == -1)[0]
+            s = int(free[0])
+        part[s] = p
+        loads[p] += int(graph.vwgt[s])
+        frontiers[p] = [s]
+    # Grow: repeatedly extend the lightest part that still has a frontier.
+    heap = [(int(loads[p]), p) for p in range(k)]
+    heapq.heapify(heap)
+    assigned = int((part != -1).sum())
+    stale_rounds = 0
+    while assigned < n and heap:
+        load, p = heapq.heappop(heap)
+        if load != loads[p]:
+            heapq.heappush(heap, (int(loads[p]), p))
+            stale_rounds += 1
+            if stale_rounds > 4 * k:
+                break
+            continue
+        stale_rounds = 0
+        # Find an unassigned vertex adjacent to part p.
+        grown = False
+        frontier = frontiers[p]
+        while frontier and not grown:
+            v = frontier[-1]
+            for u in graph.neighbors(v).tolist():
+                if part[u] == -1:
+                    part[u] = p
+                    loads[p] += int(graph.vwgt[u])
+                    frontier.append(u)
+                    assigned += 1
+                    grown = True
+                    counter += 1
+                    break
+            if not grown:
+                frontier.pop()
+        if grown or frontier:
+            heapq.heappush(heap, (int(loads[p]), p))
+        # Parts with exhausted frontiers drop out of the heap.
+    # Back-fill disconnected leftovers onto the lightest parts.
+    leftovers = np.where(part == -1)[0]
+    for v in leftovers.tolist():
+        p = int(np.argmin(loads))
+        part[v] = p
+        loads[p] += int(graph.vwgt[v])
+    return part

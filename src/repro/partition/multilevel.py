@@ -1,0 +1,93 @@
+"""The multilevel k-way driver (METIS-style partitioning vector generator)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.partition.coarsen import contract, heavy_edge_matching
+from repro.partition.graph import Graph
+from repro.partition.initial import greedy_grow
+from repro.partition.refine import balance_kway, refine_kway
+
+__all__ = ["multilevel_kway", "MultilevelReport"]
+
+
+@dataclass
+class MultilevelReport:
+    """Diagnostics of one multilevel run (attached to the result array)."""
+
+    levels: int
+    coarsest_n: int
+    sizes: List[int]
+
+
+def multilevel_kway(
+    graph: Graph,
+    k: int,
+    seed: int = 0,
+    *,
+    tolerance: float = 1.05,
+    refine_passes: int = 4,
+    coarsen_to: int = 0,
+) -> np.ndarray:
+    """Partition ``graph`` into ``k`` parts; returns the partitioning vector.
+
+    Parameters
+    ----------
+    graph:
+        The (node) graph to partition.
+    k:
+        Number of parts (the process count in SDM's use).
+    seed:
+        RNG seed — same seed, same vector (partitioning vectors must be
+        reproducible for history files to make sense).
+    tolerance:
+        Balance bound: max part weight <= tolerance * ideal.
+    refine_passes:
+        Boundary refinement passes per level.
+    coarsen_to:
+        Stop coarsening at this many vertices (default ``max(120, 12*k)``).
+    """
+    if k < 1:
+        raise PartitionError(f"k must be >= 1, got {k}")
+    if graph.n == 0:
+        return np.empty(0, dtype=np.int64)
+    if k == 1:
+        return np.zeros(graph.n, dtype=np.int64)
+    if k > graph.n:
+        raise PartitionError(f"k={k} exceeds vertex count {graph.n}")
+    rng = np.random.default_rng(seed)
+    target = coarsen_to if coarsen_to > 0 else max(120, 12 * k)
+
+    # Coarsening phase.
+    levels: List[Graph] = [graph]
+    maps: List[np.ndarray] = []
+    g = graph
+    while g.n > target:
+        match = heavy_edge_matching(g, rng)
+        coarse, cmap = contract(g, match)
+        if coarse.n > 0.95 * g.n:
+            break  # matching stalled (e.g. star graphs): stop coarsening
+        levels.append(coarse)
+        maps.append(cmap)
+        g = coarse
+
+    # Initial partition on the coarsest graph.
+    part = greedy_grow(levels[-1], k, rng)
+    part = balance_kway(levels[-1], part, k, tolerance=tolerance)
+    part = refine_kway(levels[-1], part, k, passes=refine_passes, tolerance=tolerance)
+
+    # Uncoarsen with balance + refinement at each level.
+    for level in range(len(maps) - 1, -1, -1):
+        part = part[maps[level]]
+        part = balance_kway(levels[level], part, k, tolerance=tolerance)
+        part = refine_kway(
+            levels[level], part, k, passes=refine_passes, tolerance=tolerance
+        )
+    # Finest level has unit weights: enforce the balance bound strictly.
+    part = balance_kway(graph, part, k, tolerance=tolerance)
+    return part

@@ -1,0 +1,202 @@
+"""The file-system service: namespace, metadata costs, controller contention.
+
+One :class:`FileSystem` is shared by all ranks of a job (created by the
+``services`` factory of :func:`repro.mpi.mpirun`).  Every operation takes the
+calling :class:`~repro.simt.Process` so it can charge virtual time:
+
+* **metadata ops** (create, open, stat, unlink) hold the metadata server
+  (a capacity-limited FIFO resource) for a fixed cost — 64 ranks opening the
+  same file queue up, which is exactly the level-1 penalty of the paper;
+* **data ops** (:meth:`read` / :meth:`write`) acquire one of
+  ``n_controllers`` stream slots for ``request_overhead + runs·run_overhead
+  + bytes/stream_bandwidth`` — so aggregate bandwidth saturates at
+  ``n_controllers`` concurrent streams.
+
+Data is real: writes land in the file's :class:`ByteStore`, reads come back
+out, run lists included.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import MachineModel
+from repro.errors import FileExists, FileNotFound, PFSError
+from repro.pfs.file import RD, RDWR, WR, FileStat, PFSFile, PFSHandle
+from repro.pfs.striping import StripeLayout
+from repro.simt.primitives import Resource
+from repro.simt.process import Process
+from repro.simt.simulator import Simulator
+
+__all__ = ["FileSystem"]
+
+_METADATA_SERVER_WAYS = 2
+"""Concurrent metadata operations the MDS can service."""
+
+
+class FileSystem:
+    """Shared parallel-file-system service for one simulated machine."""
+
+    def __init__(self, sim: Simulator, machine: MachineModel) -> None:
+        self.sim = sim
+        self.machine = machine
+        self._files: Dict[str, PFSFile] = {}
+        self.controllers = Resource(
+            sim, capacity=machine.storage.n_controllers, name="pfs-controllers"
+        )
+        self.metadata_server = Resource(
+            sim, capacity=_METADATA_SERVER_WAYS, name="pfs-mds"
+        )
+        self._write_locks: Dict[str, Resource] = {}
+        # Aggregate counters for benchmark reporting.
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.n_requests = 0
+        self.n_opens = 0
+
+    def write_lock(self, name: str) -> Resource:
+        """Per-file advisory write lock (fcntl-style).
+
+        Data sieving's read-modify-write is not atomic; ROMIO guards it with
+        file locking, and so do we — concurrent sieved writers serialize.
+        """
+        lock = self._write_locks.get(name)
+        if lock is None:
+            lock = Resource(self.sim, capacity=1, name=f"wlock:{name}")
+            self._write_locks[name] = lock
+        return lock
+
+    # ------------------------------------------------------------------
+    # Namespace
+    # ------------------------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        """Namespace lookup without time charge (client-side cache model)."""
+        return name in self._files
+
+    def list_files(self) -> List[str]:
+        """All file names, sorted (no time charge; debugging/tests)."""
+        return sorted(self._files)
+
+    def lookup(self, name: str) -> PFSFile:
+        """Fetch the file object (no time charge; internal/test use)."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFound(f"no such file: {name!r}") from None
+
+    def _charge_metadata(self, proc: Process, cost: float) -> None:
+        with self.metadata_server.request(proc):
+            proc.hold(cost)
+
+    def create(self, proc: Process, name: str, *, exist_ok: bool = False) -> PFSFile:
+        """Create an empty file (metadata-op cost; FIFO at the MDS)."""
+        self._charge_metadata(proc, self.machine.storage.metadata_op_cost)
+        if name in self._files:
+            if exist_ok:
+                return self._files[name]
+            raise FileExists(f"file exists: {name!r}")
+        layout = StripeLayout(
+            stripe_size=self.machine.storage.stripe_size,
+            n_controllers=self.machine.storage.n_controllers,
+        )
+        f = PFSFile(name, layout, ctime=self.sim.now)
+        self._files[name] = f
+        return f
+
+    def open(
+        self, proc: Process, name: str, mode: int = RD, *, create: bool = False
+    ) -> PFSHandle:
+        """Open a file, charging the per-process open cost.
+
+        With ``create=True`` the file is created if missing (one extra
+        metadata op, only on actual creation).
+        """
+        if mode not in (RD, WR, RDWR):
+            raise PFSError(f"bad open mode: {mode!r}")
+        if name not in self._files:
+            if not create:
+                raise FileNotFound(f"no such file: {name!r}")
+            self.create(proc, name, exist_ok=True)
+        self._charge_metadata(proc, self.machine.storage.file_open_cost)
+        self.n_opens += 1
+        self.sim.trace.record(self.sim.now, proc.name, "pfs.open", {"file": name})
+        return PFSHandle(self, self._files[name], mode)
+
+    def close(self, proc: Process, handle: PFSHandle) -> None:
+        """Close a handle (client-side cost, no MDS trip)."""
+        handle.check_open()
+        proc.hold(self.machine.storage.file_close_cost)
+        handle.closed = True
+
+    def stat(self, proc: Process, name: str) -> FileStat:
+        """Stat by name (metadata-op cost)."""
+        self._charge_metadata(proc, self.machine.storage.metadata_op_cost)
+        f = self.lookup(name)
+        return FileStat(name=f.name, size=f.size, ctime=f.ctime, mtime=f.mtime)
+
+    def unlink(self, proc: Process, name: str) -> None:
+        """Remove a file (metadata-op cost)."""
+        self._charge_metadata(proc, self.machine.storage.metadata_op_cost)
+        if name not in self._files:
+            raise FileNotFound(f"no such file: {name!r}")
+        del self._files[name]
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def write(self, proc: Process, handle: PFSHandle, offsets, lengths, data) -> int:
+        """One write request over a run list; returns bytes written.
+
+        Holds a controller stream for the modelled service time, then lands
+        the real bytes.  ``data`` is contiguous and must match the run total.
+        """
+        handle.check_writable()
+        offsets = np.atleast_1d(np.asarray(offsets, dtype=np.int64))
+        lengths = np.atleast_1d(np.asarray(lengths, dtype=np.int64))
+        nbytes = int(lengths.sum())
+        service = self.machine.storage.stream_time(
+            nbytes, write=True, runs=len(offsets)
+        )
+        with self.controllers.request(proc):
+            proc.hold(service)
+        handle.file.store.writev(offsets, lengths, data)
+        handle.file.mtime = self.sim.now
+        self.bytes_written += nbytes
+        self.n_requests += 1
+        self.sim.trace.record(
+            self.sim.now, proc.name, "pfs.write",
+            {"file": handle.file.name, "bytes": nbytes, "runs": len(offsets)},
+        )
+        return nbytes
+
+    def read(self, proc: Process, handle: PFSHandle, offsets, lengths) -> np.ndarray:
+        """One read request over a run list; returns the gathered bytes."""
+        handle.check_readable()
+        offsets = np.atleast_1d(np.asarray(offsets, dtype=np.int64))
+        lengths = np.atleast_1d(np.asarray(lengths, dtype=np.int64))
+        nbytes = int(lengths.sum())
+        service = self.machine.storage.stream_time(
+            nbytes, write=False, runs=len(offsets)
+        )
+        with self.controllers.request(proc):
+            proc.hold(service)
+        self.bytes_read += nbytes
+        self.n_requests += 1
+        self.sim.trace.record(
+            self.sim.now, proc.name, "pfs.read",
+            {"file": handle.file.name, "bytes": nbytes, "runs": len(offsets)},
+        )
+        return handle.file.store.readv(offsets, lengths)
+
+    def write_at(self, proc: Process, handle: PFSHandle, offset: int, data) -> int:
+        """Contiguous-write convenience."""
+        raw = np.asarray(data).reshape(-1).view(np.uint8)
+        return self.write(proc, handle, [offset], [len(raw)], raw)
+
+    def read_at(self, proc: Process, handle: PFSHandle, offset: int, length: int) -> np.ndarray:
+        """Contiguous-read convenience."""
+        return self.read(proc, handle, [offset], [length])

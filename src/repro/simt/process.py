@@ -1,0 +1,161 @@
+"""Simulated processes backed by OS threads.
+
+The kernel's central invariant: **at most one thread runs at a time** — either
+the scheduler (inside :meth:`Simulator.run`) or exactly one process thread.
+Control transfer is a pair of :class:`threading.Event` handshakes:
+
+* scheduler → process: the scheduler sets ``proc._resume`` and then blocks on
+  the simulator's ``_sched_wake`` event;
+* process → scheduler: the process sets ``_sched_wake`` and blocks on its own
+  ``_resume`` (:meth:`Process._park`).
+
+Because of this invariant, simulation code can freely mutate shared Python
+objects (mailboxes, database tables, file-system state) without locks, and
+runs are fully deterministic: ties in the event queue are broken by insertion
+sequence number.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simt.simulator import Simulator
+
+__all__ = ["Process", "Killed"]
+
+
+class Killed(BaseException):
+    """Raised inside a process thread to unwind it when the simulation aborts.
+
+    Derives from :class:`BaseException` so that application-level
+    ``except Exception`` blocks cannot swallow it.
+    """
+
+
+class Process:
+    """A simulated process: a function run on a dedicated thread under the
+    simulator's one-runner-at-a-time discipline.
+
+    Application code receives the :class:`Process` as the first argument of
+    its function and uses it to interact with virtual time:
+
+    * :meth:`hold` — advance this process's virtual time,
+    * :meth:`park` — block until another actor schedules a resume,
+    * :attr:`now` — the current virtual time.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name (appears in traces and deadlock reports).
+    daemon:
+        Daemon processes do not keep the simulation alive; they are killed
+        when all non-daemon processes have finished.
+    result:
+        Return value of the process function once it has finished.
+    error:
+        The exception the process function raised, if any.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        name: str,
+        daemon: bool,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.daemon = daemon
+        self.alive = True
+        self.started = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.wait_reason: str = "start"
+        self._wake_value: Any = None
+        self._resume = threading.Event()
+        self._thread = threading.Thread(
+            target=self._bootstrap,
+            args=(fn, args, kwargs),
+            name=f"simt:{name}",
+            daemon=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Public API (called from inside the process function)
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.sim.now
+
+    def hold(self, dt: float) -> None:
+        """Advance this process's virtual time by ``dt`` seconds.
+
+        Other runnable processes execute during the hold — this is how
+        computation, transfer, and service times are charged.
+        """
+        if dt < 0:
+            raise ValueError(f"cannot hold for negative time: {dt!r}")
+        self.sim.schedule_resume(self, delay=dt)
+        self._park(reason=f"hold({dt:.3g})")
+
+    def park(self, reason: str = "wait") -> Any:
+        """Block until some other actor resumes this process.
+
+        Returns the value passed to :meth:`Simulator.schedule_resume`.
+        Low-level primitive used by Signals, Resources, Channels, and the MPI
+        matching engine.
+        """
+        return self._park(reason=reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name} {state} at t={self.sim.now:.6g}>"
+
+    # ------------------------------------------------------------------
+    # Kernel internals
+    # ------------------------------------------------------------------
+
+    def _bootstrap(self, fn: Callable[..., Any], args: tuple, kwargs: dict) -> None:
+        """Thread body: wait for the first resume, run ``fn``, sign off."""
+        try:
+            # Initial handshake: control is NOT with this thread yet, so wait
+            # for the scheduler without signalling it.
+            self._resume.wait()
+            self._resume.clear()
+            self.started = True
+            if self.sim._aborting:
+                raise Killed()
+            self.result = fn(self, *args, **kwargs)
+        except Killed:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported via sim
+            self.error = exc
+        finally:
+            self.alive = False
+            self.sim._on_process_exit(self)
+            # Hand control back for the last time; this thread then dies.
+            self.sim._signal_scheduler()
+
+    def _park(self, reason: str) -> Any:
+        """Yield control to the scheduler and block until resumed."""
+        if self._thread is not threading.current_thread():
+            raise RuntimeError(
+                f"process {self.name!r} parked from foreign thread "
+                f"{threading.current_thread().name!r}"
+            )
+        if self.sim._aborting:
+            raise Killed()
+        self.wait_reason = reason
+        self.sim._signal_scheduler()
+        self._resume.wait()
+        self._resume.clear()
+        if self.sim._aborting:
+            raise Killed()
+        value, self._wake_value = self._wake_value, None
+        return value

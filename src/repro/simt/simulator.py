@@ -1,0 +1,203 @@
+"""The discrete-event scheduler and virtual clock.
+
+Event-queue entries are ``(time, seq, kind, payload, value)`` tuples ordered
+by ``(time, seq)``; ``seq`` is a monotonically increasing counter so
+simultaneous events fire in the order they were scheduled, which makes runs
+deterministic.  Two event kinds exist:
+
+* ``resume`` — transfer control to a parked :class:`Process` (optionally
+  passing it a wake value);
+* ``call`` — run a plain callback on the scheduler thread.  Callbacks must
+  not block; they are used for timed actions that do not belong to any
+  process, such as a message arriving in a mailbox.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimDeadlockError, SimError, SimProcessCrashed
+from repro.simt.process import Process
+from repro.simt.trace import Trace
+
+__all__ = ["Simulator"]
+
+_RESUME = 0
+_CALL = 1
+
+
+class Simulator:
+    """Discrete-event simulator: virtual clock plus an event queue.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.spawn(rank_fn, arg0, name="rank0")
+        sim.spawn(rank_fn, arg1, name="rank1")
+        sim.run()                     # returns when all non-daemon procs end
+        print(sim.now)                # total virtual time
+
+    The simulator owns a :class:`~repro.simt.trace.Trace` that subsystems may
+    use to record timestamped annotations for debugging and benchmarking.
+    """
+
+    def __init__(self, trace: Optional[Trace] = None) -> None:
+        self.now: float = 0.0
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self._queue: List[Tuple[float, int, int, Any, Any]] = []
+        self._seq = 0
+        self._procs: List[Process] = []
+        self._running: Optional[Process] = None
+        self._aborting = False
+        self._crashed: Optional[Process] = None
+        self._finished = False
+        import threading
+
+        self._sched_wake = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Spawning and scheduling
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+        daemon: bool = False,
+        delay: float = 0.0,
+        **kwargs: Any,
+    ) -> Process:
+        """Create a process running ``fn(proc, *args, **kwargs)``.
+
+        The process starts at virtual time ``now + delay``.  Daemon processes
+        are killed when every non-daemon process has finished.
+        """
+        if self._finished:
+            raise SimError("cannot spawn into a finished simulation")
+        if name is None:
+            name = f"proc{len(self._procs)}"
+        proc = Process(self, fn, args, kwargs, name=name, daemon=daemon)
+        self._procs.append(proc)
+        proc._thread.start()
+        self.schedule_resume(proc, delay=delay)
+        return proc
+
+    def schedule_resume(self, proc: Process, delay: float = 0.0, value: Any = None) -> None:
+        """Schedule ``proc`` to resume at ``now + delay`` with ``value``.
+
+        ``value`` is returned from the process's pending
+        :meth:`~repro.simt.process.Process.park` call.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        self._push(self.now + delay, _RESUME, proc, value)
+
+    def call_at(self, t: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` on the scheduler thread at absolute time ``t``.
+
+        ``fn`` must not block; it may schedule further events.
+        """
+        if t < self.now:
+            raise ValueError(f"call_at into the past: {t!r} < now={self.now!r}")
+        self._push(t, _CALL, fn, None)
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` on the scheduler thread ``delay`` seconds from now."""
+        self.call_at(self.now + delay, fn)
+
+    def _push(self, t: float, kind: int, payload: Any, value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (t, self._seq, kind, payload, value))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until all non-daemon processes finish (or ``until`` is hit).
+
+        Returns the final virtual time.  Raises
+        :class:`~repro.errors.SimProcessCrashed` if any process raised, and
+        :class:`~repro.errors.SimDeadlockError` if live processes remain but
+        no event can ever wake them.
+        """
+        if self._finished:
+            raise SimError("simulation already finished")
+        while True:
+            if self._crashed is not None:
+                self._drain()
+                crashed = self._crashed
+                self._finished = True
+                raise SimProcessCrashed(
+                    f"process {crashed.name!r} raised "
+                    f"{type(crashed.error).__name__}: {crashed.error}"
+                ) from crashed.error
+            live = [p for p in self._procs if p.alive and not p.daemon]
+            if not self._queue:
+                if live:
+                    report = ", ".join(f"{p.name}[{p.wait_reason}]" for p in live)
+                    self._drain()
+                    self._finished = True
+                    raise SimDeadlockError(
+                        f"no events pending but {len(live)} process(es) blocked: {report}"
+                    )
+                break
+            if not live and all(
+                not (p.alive and not p.daemon) for p in self._procs
+            ) and self._only_daemon_events():
+                # All real work done; don't let daemons spin forever.
+                break
+            t, _seq, kind, payload, value = heapq.heappop(self._queue)
+            if until is not None and t > until:
+                # Leave the event for a later run() call.
+                self._push(t, kind, payload, value)
+                self.now = until
+                return self.now
+            self.now = max(self.now, t)
+            if kind == _CALL:
+                payload()
+                continue
+            proc: Process = payload
+            if not proc.alive:
+                continue
+            proc._wake_value = value
+            self._running = proc
+            proc._resume.set()
+            self._sched_wake.wait()
+            self._sched_wake.clear()
+            self._running = None
+        self._drain()
+        self._finished = True
+        return self.now
+
+    def _only_daemon_events(self) -> bool:
+        """True if every queued resume targets a daemon process."""
+        for _t, _seq, kind, payload, _value in self._queue:
+            if kind == _CALL:
+                return False
+            if not payload.daemon:
+                return False
+        return True
+
+    def _drain(self) -> None:
+        """Kill all still-alive processes so their threads exit cleanly."""
+        self._aborting = True
+        for proc in self._procs:
+            while proc.alive:
+                proc._resume.set()
+                self._sched_wake.wait()
+                self._sched_wake.clear()
+        self._queue.clear()
+
+    # ------------------------------------------------------------------
+    # Kernel internals (called from process threads)
+    # ------------------------------------------------------------------
+
+    def _signal_scheduler(self) -> None:
+        self._sched_wake.set()
+
+    def _on_process_exit(self, proc: Process) -> None:
+        if proc.error is not None and not self._aborting:
+            self._crashed = proc

@@ -1,0 +1,68 @@
+"""Timestamped annotation recording for simulations.
+
+A :class:`Trace` is a cheap append-only log of ``(time, actor, label, data)``
+records.  It is disabled by default (recording costs one branch); benchmarks
+and debugging sessions enable it to reconstruct timelines — e.g. when each
+rank entered a collective, or when the history-file daemon finished writing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional
+
+__all__ = ["Trace", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace annotation."""
+
+    time: float
+    actor: str
+    label: str
+    data: Any = None
+
+
+@dataclass
+class Trace:
+    """Append-only event log with optional label filtering.
+
+    Attributes
+    ----------
+    enabled:
+        When False (the default), :meth:`record` is a no-op.
+    """
+
+    enabled: bool = False
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def record(self, time: float, actor: str, label: str, data: Any = None) -> None:
+        """Append a record if tracing is enabled."""
+        if self.enabled:
+            self.records.append(TraceRecord(time, actor, label, data))
+
+    def by_label(self, label: str) -> List[TraceRecord]:
+        """All records whose label matches exactly."""
+        return [r for r in self.records if r.label == label]
+
+    def by_actor(self, actor: str) -> List[TraceRecord]:
+        """All records from one actor."""
+        return [r for r in self.records if r.actor == actor]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()
+
+    def last(self, label: Optional[str] = None) -> Optional[TraceRecord]:
+        """Most recent record (optionally restricted to one label)."""
+        if label is None:
+            return self.records[-1] if self.records else None
+        hits = self.by_label(label)
+        return hits[-1] if hits else None

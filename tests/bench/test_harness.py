@@ -1,0 +1,99 @@
+"""Bench harness: time dilation invariants and result tables."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ResultTable, scaled_machine
+from repro.config import origin2000
+
+
+# ---------------------------------------------------------------------------
+# scaled_machine
+# ---------------------------------------------------------------------------
+
+def test_scale_one_is_identity_on_rates():
+    base = origin2000()
+    m = scaled_machine(base, 1.0)
+    assert m.network.bandwidth == base.network.bandwidth
+    assert m.compute.element_op == base.compute.element_op
+    assert m.storage.stream_read_bandwidth == base.storage.stream_read_bandwidth
+
+
+def test_dilation_scales_rates_not_fixed_costs():
+    base = origin2000()
+    m = scaled_machine(base, 10.0)
+    assert m.network.bandwidth == pytest.approx(base.network.bandwidth / 10)
+    assert m.compute.element_op == pytest.approx(base.compute.element_op * 10)
+    assert m.storage.stream_write_bandwidth == pytest.approx(
+        base.storage.stream_write_bandwidth / 10
+    )
+    # Fixed per-operation costs unchanged: that is the whole point.
+    assert m.network.latency == base.network.latency
+    assert m.storage.file_open_cost == base.storage.file_open_cost
+    assert m.database.query_cost == base.database.query_cost
+
+
+def test_dilation_time_invariance_property():
+    """A transfer of bytes/scale on the dilated machine takes exactly as
+    long as the full transfer on the base machine (minus latency rounding)."""
+    base = origin2000()
+    for scale in (2.0, 64.0, 1000.0):
+        m = scaled_machine(base, scale)
+        full_bytes = 1 << 26
+        t_base = base.network.transfer_time(full_bytes)
+        t_scaled = m.network.transfer_time(full_bytes / scale)
+        assert t_scaled == pytest.approx(t_base, rel=1e-12)
+        t_base_io = base.storage.stream_time(full_bytes, write=True)
+        t_scaled_io = m.storage.stream_time(full_bytes / scale, write=True)
+        assert t_scaled_io == pytest.approx(t_base_io, rel=1e-12)
+
+
+def test_dilation_scales_byte_granularity_parameters():
+    base = origin2000()
+    m = scaled_machine(base, 100.0)
+    assert m.storage.stripe_size == base.storage.stripe_size // 100
+    assert m.collective_io.cb_buffer_size == base.collective_io.cb_buffer_size // 100
+
+
+def test_dilation_rejects_upscaling():
+    with pytest.raises(ValueError):
+        scaled_machine(origin2000(), 0.5)
+
+
+def test_dilation_names_the_machine():
+    m = scaled_machine(origin2000(), 64.0)
+    assert "scale64" in m.name
+
+
+# ---------------------------------------------------------------------------
+# ResultTable
+# ---------------------------------------------------------------------------
+
+def test_table_add_get_value():
+    t = ResultTable("demo")
+    t.add("exp", "cfgA", "time", 1.5, "s", paper_value=2.0)
+    t.add("exp", "cfgB", "time", 3.0, "s")
+    assert t.value("cfgA", "time") == 1.5
+    assert t.get("cfgB", "time").paper_value is None
+    with pytest.raises(KeyError):
+        t.value("cfgC", "time")
+
+
+def test_table_render_contains_all_cells():
+    t = ResultTable("My Title")
+    t.add("e1", "config-x", "bandwidth", 123.456, "MB/s", paper_value=100.0,
+          note="a note")
+    text = t.render()
+    assert "My Title" in text
+    assert "config-x" in text
+    assert "123.46" in text
+    assert "100" in text
+    assert "a note" in text
+    # Header present and aligned block renders without exception.
+    assert "measured" in text and "paper" in text
+
+
+def test_table_render_empty():
+    t = ResultTable("empty")
+    text = t.render()
+    assert "empty" in text

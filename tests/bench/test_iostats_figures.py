@@ -1,0 +1,97 @@
+"""I/O report, exscan, and smoke coverage of the figure runners."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import run_fig5, run_fig6, run_fig7
+from repro.bench.iostats import io_report
+from repro.config import fast_test
+from repro.core import SDM, sdm_services
+from repro.dtypes import DOUBLE
+from repro.mpi import SUM, mpirun
+
+
+# ---------------------------------------------------------------------------
+# exscan
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("p", [1, 2, 5])
+def test_exscan_exclusive_prefix(p):
+    def program(ctx):
+        return ctx.comm.exscan(ctx.rank + 1, op=SUM)
+
+    job = mpirun(program, p, machine=fast_test())
+    expect = [None] + [r * (r + 1) // 2 for r in range(1, p)]
+    assert job.values == expect
+
+
+def test_exscan_for_file_offsets_idiom():
+    """The offsets idiom: each rank's append offset = exscan of its bytes."""
+
+    def program(ctx):
+        nbytes = (ctx.rank + 1) * 100
+        offset = ctx.comm.exscan(nbytes, op=SUM)
+        return 0 if offset is None else offset
+
+    job = mpirun(program, 4, machine=fast_test())
+    assert job.values == [0, 100, 300, 600]
+
+
+# ---------------------------------------------------------------------------
+# io_report
+# ---------------------------------------------------------------------------
+
+def test_io_report_summarizes_job():
+    def program(ctx):
+        sdm = SDM(ctx, "rep")
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=64)
+        handle = sdm.set_attributes(result)
+        mine = np.arange(32, dtype=np.int64) + 32 * ctx.rank
+        sdm.data_view(handle, "d", mine)
+        with ctx.phase("write"):
+            sdm.write(handle, "d", 0, mine * 1.0)
+        buf = np.empty(32)
+        with ctx.phase("read"):
+            sdm.read(handle, "d", 0, buf)
+        sdm.finalize(handle)
+        return None
+
+    job = mpirun(program, 2, machine=fast_test(), services=sdm_services())
+    report = io_report(job)
+    assert report.bytes_written == 64 * 8
+    assert report.bytes_read == 64 * 8
+    assert report.n_opens >= 2
+    assert "write" in report.phase_bandwidth
+    text = report.render()
+    assert "bytes written" in text
+    assert "rep/d.dat" in text
+
+
+# ---------------------------------------------------------------------------
+# Figure runners (tiny smoke configurations)
+# ---------------------------------------------------------------------------
+
+def test_run_fig5_smoke():
+    table = run_fig5(nprocs=4, cells=4)
+    configs = {r.config for r in table.rows}
+    assert configs == {"original", "sdm_no_history", "sdm_with_history"}
+    # All values positive and history run actually used the history.
+    assert all(r.value > 0 for r in table.rows)
+    assert table.value("sdm_with_history", "total") < table.value(
+        "original", "total"
+    )
+
+
+def test_run_fig6_smoke():
+    table = run_fig6(nprocs=4, cells=4)
+    assert len(table.rows) == 6
+    assert all(r.unit == "MB/s" and r.value > 0 for r in table.rows)
+
+
+def test_run_fig7_smoke():
+    table = run_fig7(proc_counts=(4,), cells=4)
+    assert {r.config for r in table.rows} == {
+        "original/P4", "level1/P4", "level23/P4"
+    }
+    assert table.value("level1/P4", "write") > table.value("original/P4", "write")

@@ -1,0 +1,153 @@
+"""Failure injection: corrupted metadata, mid-collective crashes, misuse."""
+
+import numpy as np
+import pytest
+
+from repro.config import fast_test
+from repro.core import SDM, sdm_services, snapshot_services
+from repro.dtypes import DOUBLE
+from repro.errors import (
+    SDMHistoryMismatch,
+    SDMStateError,
+    SimDeadlockError,
+    SimProcessCrashed,
+)
+from repro.mesh import box_tet_mesh, install_mesh_file, mesh_file_layout
+from repro.mpi import mpirun
+from repro.partition import block_partition
+
+
+def make_setup():
+    mesh = box_tet_mesh(3, 3, 3)
+    part = block_partition(mesh.n_nodes, 4)
+    x = np.arange(mesh.n_edges, dtype=np.float64)
+    y = np.arange(mesh.n_nodes, dtype=np.float64)
+    return mesh, part, x, y
+
+
+def services_with_mesh(mesh, x, y, seed_from=None):
+    base = sdm_services(seed_from=seed_from)
+
+    def factory(sim, machine):
+        built = base(sim, machine)
+        if not built["fs"].exists("uns3d.msh"):
+            install_mesh_file(built["fs"], "uns3d.msh", mesh.edge1, mesh.edge2,
+                              {"x": x}, {"y": y})
+        return built
+
+    return factory
+
+
+def partition_program(mesh, part):
+    layout = mesh_file_layout(mesh.n_edges, mesh.n_nodes, ["x"], ["y"])
+
+    def program(ctx):
+        sdm = SDM(ctx, "fi")
+        sdm.make_importlist(["edge1", "edge2", "x", "y"], file_name="uns3d.msh",
+                            index_names=["edge1", "edge2"])
+        chunk = sdm.import_index("edge1", "edge2", layout.offset("edge1"),
+                                 layout.offset("edge2"), mesh.n_edges)
+        local = sdm.partition_index(part, chunk)
+        if chunk is not None:
+            sdm.index_registry(local)
+        sdm.finalize()
+        return chunk is None
+
+    return program
+
+
+def test_corrupted_history_missing_rank_rows_detected():
+    """index_table says a history exists, but the per-rank rows are gone —
+    SDM must fail loudly, not silently recompute."""
+    mesh, part, x, y = make_setup()
+    job = mpirun(partition_program(mesh, part), 4, machine=fast_test(),
+                 services=services_with_mesh(mesh, x, y))
+    snap = snapshot_services(job)
+
+    # Corrupt: drop the per-rank rows but keep the index_table entry.
+    from repro.metadb import Database
+
+    db = Database.loads(snap.db_dump)
+    db.execute("DELETE FROM index_history_table")
+    snap.db_dump = db.dump()
+
+    with pytest.raises(SimProcessCrashed) as ei:
+        mpirun(partition_program(mesh, part), 4, machine=fast_test(),
+               services=services_with_mesh(mesh, x, y, seed_from=snap))
+    assert isinstance(ei.value.__cause__, SDMHistoryMismatch)
+
+
+def test_crash_in_one_rank_mid_collective_terminates_job():
+    def program(ctx):
+        if ctx.rank == 2:
+            raise RuntimeError("rank 2 dies before the collective")
+        ctx.comm.barrier()
+
+    with pytest.raises(SimProcessCrashed) as ei:
+        mpirun(program, 4, machine=fast_test())
+    assert "rank2" in str(ei.value)
+
+
+def test_mismatched_collective_participation_deadlocks():
+    """One rank skips a collective: detected as a deadlock, not a hang."""
+
+    def program(ctx):
+        if ctx.rank != 0:
+            ctx.comm.barrier()
+
+    with pytest.raises(SimDeadlockError):
+        mpirun(program, 3, machine=fast_test())
+
+
+def test_wrong_buffer_length_for_view_rejected():
+    def program(ctx):
+        sdm = SDM(ctx, "fi")
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=16)
+        handle = sdm.set_attributes(result)
+        sdm.data_view(handle, "d", np.arange(4, dtype=np.int64) + 4 * ctx.rank)
+        sdm.write(handle, "d", 0, np.zeros(3))  # wrong length
+
+    with pytest.raises(SimProcessCrashed) as ei:
+        mpirun(program, 2, machine=fast_test(), services=sdm_services())
+    assert isinstance(ei.value.__cause__, SDMStateError)
+
+
+def test_partition_index_without_import_rejected():
+    mesh, part, x, y = make_setup()
+
+    def program(ctx):
+        sdm = SDM(ctx, "fi")
+        sdm.partition_index(part, None)  # never imported, no history
+
+    with pytest.raises(SimProcessCrashed) as ei:
+        mpirun(program, 2, machine=fast_test(),
+               services=services_with_mesh(mesh, x, y))
+    assert isinstance(ei.value.__cause__, SDMStateError)
+
+
+def test_size_queries_before_partition_rejected():
+    def program(ctx):
+        sdm = SDM(ctx, "fi")
+        sdm.partition_index_size()
+
+    with pytest.raises(SimProcessCrashed) as ei:
+        mpirun(program, 2, machine=fast_test(), services=sdm_services())
+    assert isinstance(ei.value.__cause__, SDMStateError)
+
+
+def test_read_of_never_written_timestep_rejected():
+    from repro.errors import SDMUnknownDataset
+
+    def program(ctx):
+        sdm = SDM(ctx, "fi")
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=8)
+        handle = sdm.set_attributes(result)
+        mine = np.arange(4, dtype=np.int64) + 4 * ctx.rank
+        sdm.data_view(handle, "d", mine)
+        sdm.read(handle, "d", 5, np.empty(4))
+
+    with pytest.raises(SimProcessCrashed) as ei:
+        mpirun(program, 2, machine=fast_test(), services=sdm_services())
+    assert isinstance(ei.value.__cause__, SDMUnknownDataset)

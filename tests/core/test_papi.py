@@ -1,0 +1,99 @@
+"""The paper-literal API aliases (repro.core.papi)."""
+
+import numpy as np
+import pytest
+
+from repro.config import fast_test
+from repro.core import Organization, sdm_services
+from repro.core.papi import (
+    SDM_associate_attributes,
+    SDM_data_view,
+    SDM_finalize,
+    SDM_import,
+    SDM_initialize,
+    SDM_make_datalist,
+    SDM_make_importlist,
+    SDM_partition_data_size,
+    SDM_partition_index,
+    SDM_partition_index_size,
+    SDM_partition_table,
+    SDM_read,
+    SDM_release_importlist,
+    SDM_set_attributes,
+    SDM_write,
+)
+from repro.dtypes import DOUBLE
+from repro.errors import SDMStateError, SimProcessCrashed
+from repro.mesh import install_mesh_file, mesh_file_layout
+from repro.mpi import mpirun
+
+EDGE1 = np.array([0, 1, 0, 1], dtype=np.int64)
+EDGE2 = np.array([1, 4, 3, 2], dtype=np.int64)
+VECTOR = np.array([0, 1, 1, 0, 1], dtype=np.int64)
+
+
+def services(sim, machine):
+    built = sdm_services()(sim, machine)
+    install_mesh_file(
+        built["fs"], "uns3d.msh", EDGE1, EDGE2,
+        {"x": np.arange(4, dtype=np.float64)},
+        {"y": np.arange(5, dtype=np.float64) * 10},
+    )
+    return built
+
+
+def test_papi_full_figure23_flow():
+    layout = mesh_file_layout(4, 5, ["x"], ["y"])
+
+    def program(ctx):
+        sdm = SDM_initialize(ctx, "papi-app", organization=Organization.LEVEL_1)
+        result = SDM_make_datalist(sdm, 2, ["p", "q"])
+        SDM_associate_attributes(sdm, 2, result, data_type=DOUBLE, global_size=5)
+        handle = SDM_set_attributes(sdm, 2, result)
+
+        SDM_make_importlist(
+            sdm, 4, ["edge1", "edge2", "x", "y"], file_name="uns3d.msh",
+            index_names=["edge1", "edge2"],
+        )
+        chunk = sdm.import_index(
+            "edge1", "edge2", layout.offset("edge1"), layout.offset("edge2"), 4
+        )
+        SDM_partition_table(sdm, VECTOR)
+        local = SDM_partition_index(sdm, VECTOR, chunk)
+        x_local = SDM_import(sdm, "x", layout.offset("x"), 4,
+                             map_array=local.edge_map)
+        y_local = SDM_import(sdm, "y", layout.offset("y"), 5,
+                             map_array=local.node_map)
+        SDM_release_importlist(sdm, 4)
+
+        SDM_data_view(sdm, handle, "p", local.owned_nodes)
+        SDM_write(sdm, handle, "p", 0, local.owned_nodes * 3.0)
+        back = np.empty(len(local.owned_nodes))
+        SDM_read(sdm, handle, "p", 0, back)
+        SDM_finalize(sdm, handle, 2)
+        return (
+            SDM_partition_index_size(sdm),
+            SDM_partition_data_size(sdm),
+            x_local.tolist(),
+            y_local.tolist(),
+            back.tolist(),
+        )
+
+    job = mpirun(program, 2, machine=fast_test(), services=services)
+    edges0, nodes0, x0, y0, back0 = job.values[0]
+    assert (edges0, nodes0) == (2, 3)       # paper Figure 1: p0
+    assert x0 == [0.0, 2.0]                  # x(0), x(2)
+    assert y0 == [0.0, 10.0, 30.0]           # y(0), y(1), y(3)
+    assert back0 == [0.0, 9.0]               # owned nodes 0, 3 times 3
+    edges1, nodes1, x1, y1, back1 = job.values[1]
+    assert (edges1, nodes1) == (3, 4)        # paper Figure 1: p1
+
+
+def test_papi_count_mismatch_rejected():
+    def program(ctx):
+        sdm = SDM_initialize(ctx, "bad")
+        SDM_make_datalist(sdm, 3, ["only", "two"])
+
+    with pytest.raises(SimProcessCrashed) as ei:
+        mpirun(program, 2, machine=fast_test(), services=sdm_services())
+    assert isinstance(ei.value.__cause__, SDMStateError)

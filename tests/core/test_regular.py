@@ -1,0 +1,131 @@
+"""Regular-application (block/subarray) data views."""
+
+import numpy as np
+import pytest
+
+from repro.config import fast_test
+from repro.core import SDM, Organization, sdm_services
+from repro.core.regular import (
+    block_decompose,
+    subarray_element_ids,
+    subarray_view,
+)
+from repro.dtypes import DOUBLE
+from repro.errors import SDMStateError
+from repro.mpi import mpirun
+
+
+# ---------------------------------------------------------------------------
+# block_decompose
+# ---------------------------------------------------------------------------
+
+def test_block_decompose_2x2_even():
+    blocks = [block_decompose((8, 8), (2, 2), r) for r in range(4)]
+    assert blocks[0] == ((4, 4), (0, 0))
+    assert blocks[1] == ((4, 4), (0, 4))
+    assert blocks[2] == ((4, 4), (4, 0))
+    assert blocks[3] == ((4, 4), (4, 4))
+
+
+def test_block_decompose_remainders_lead():
+    sub0, st0 = block_decompose((7,), (3,), 0)
+    sub1, st1 = block_decompose((7,), (3,), 1)
+    sub2, st2 = block_decompose((7,), (3,), 2)
+    assert (sub0, st0) == ((3,), (0,))
+    assert (sub1, st1) == ((2,), (3,))
+    assert (sub2, st2) == ((2,), (5,))
+
+
+def test_block_decompose_covers_exactly():
+    shape, grid = (10, 7, 5), (2, 3, 1)
+    seen = np.zeros(shape, dtype=int)
+    for r in range(6):
+        sub, st = block_decompose(shape, grid, r)
+        sl = tuple(slice(s, s + c) for s, c in zip(st, sub))
+        seen[sl] += 1
+    assert (seen == 1).all()
+
+
+def test_block_decompose_validation():
+    with pytest.raises(SDMStateError):
+        block_decompose((8,), (2, 2), 0)       # rank mismatch
+    with pytest.raises(SDMStateError):
+        block_decompose((2,), (4,), 0)         # more procs than elements
+    with pytest.raises(SDMStateError):
+        block_decompose((8, 8), (2, 2), 4)     # rank outside grid
+
+
+# ---------------------------------------------------------------------------
+# subarray_element_ids
+# ---------------------------------------------------------------------------
+
+def test_element_ids_match_numpy_reference():
+    shape, sub, starts = (4, 6), (2, 3), (1, 2)
+    ids = subarray_element_ids(shape, sub, starts)
+    ref = np.arange(24).reshape(shape)[1:3, 2:5].reshape(-1)
+    np.testing.assert_array_equal(ids, ref)
+
+
+def test_element_ids_3d_sorted():
+    ids = subarray_element_ids((3, 3, 3), (2, 1, 2), (1, 0, 1))
+    assert (np.diff(ids) > 0).all()
+    ref = np.arange(27).reshape(3, 3, 3)[1:3, 0:1, 1:3].reshape(-1)
+    np.testing.assert_array_equal(ids, ref)
+
+
+def test_element_ids_out_of_bounds_rejected():
+    with pytest.raises(SDMStateError):
+        subarray_element_ids((4, 4), (3, 3), (2, 0))
+
+
+# ---------------------------------------------------------------------------
+# End to end: the regular-application SDM flow
+# ---------------------------------------------------------------------------
+
+def test_regular_2d_checkpoint_roundtrip():
+    shape = (12, 12)
+    grid = (2, 2)
+
+    def program(ctx):
+        sdm = SDM(ctx, "regular", organization=Organization.LEVEL_3)
+        result = sdm.make_datalist(["field"])
+        sdm.associate_attributes(result, data_type=DOUBLE,
+                                 global_size=int(np.prod(shape)))
+        handle = sdm.set_attributes(result)
+        sub, starts = block_decompose(shape, grid, ctx.rank)
+        subarray_view(sdm, handle, "field", shape, sub, starts)
+        # Block values = global row-major index, so the file is checkable.
+        block = (
+            np.arange(np.prod(shape)).reshape(shape)
+            [starts[0]:starts[0]+sub[0], starts[1]:starts[1]+sub[1]]
+        ).astype(np.float64)
+        sdm.write(handle, "field", 0, block.reshape(-1))
+        back = np.empty(block.size)
+        sdm.read(handle, "field", 0, back)
+        sdm.finalize(handle)
+        return block.reshape(-1), back
+
+    job = mpirun(program, 4, machine=fast_test(), services=sdm_services())
+    for wrote, back in job.values:
+        np.testing.assert_array_equal(wrote, back)
+    # The global file is the row-major array 0..143.
+    fs = job.services["fs"]
+    whole = fs.lookup("regular/group1.dat").store.read(
+        0, int(np.prod(shape)) * 8
+    ).view(np.float64)
+    np.testing.assert_array_equal(whole, np.arange(np.prod(shape), dtype=np.float64))
+
+
+def test_subarray_view_size_mismatch_rejected():
+    def program(ctx):
+        sdm = SDM(ctx, "regular")
+        result = sdm.make_datalist(["field"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=10)
+        handle = sdm.set_attributes(result)
+        subarray_view(sdm, handle, "field", (4, 4), (2, 2), (0, 0))
+
+    from repro.errors import SimProcessCrashed
+
+    with pytest.raises(SimProcessCrashed) as ei:
+        mpirun(program, 2, machine=fast_test(), services=sdm_services())
+    assert isinstance(ei.value.__cause__, SDMStateError)

@@ -1,0 +1,161 @@
+"""flatten/merge_runs/pack/unpack behaviour + property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes import (
+    FLOAT64,
+    INT32,
+    Contiguous,
+    IndexedBlock,
+    Vector,
+    flatten,
+    merge_runs,
+    pack,
+    unpack,
+)
+from repro.errors import DatatypeError
+
+
+# ---------------------------------------------------------------------------
+# merge_runs
+# ---------------------------------------------------------------------------
+
+def test_merge_runs_coalesces_adjacent():
+    off = np.array([0, 4, 8, 20], dtype=np.int64)
+    ln = np.array([4, 4, 4, 4], dtype=np.int64)
+    mo, ml = merge_runs(off, ln)
+    assert mo.tolist() == [0, 20]
+    assert ml.tolist() == [12, 4]
+
+
+def test_merge_runs_drops_zero_length():
+    off = np.array([0, 10, 20], dtype=np.int64)
+    ln = np.array([4, 0, 4], dtype=np.int64)
+    mo, ml = merge_runs(off, ln)
+    assert mo.tolist() == [0, 20]
+    assert ml.tolist() == [4, 4]
+
+
+def test_merge_runs_empty():
+    mo, ml = merge_runs(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+    assert len(mo) == 0 and len(ml) == 0
+
+
+def test_merge_runs_preserves_typemap_order_no_sort():
+    off = np.array([100, 0], dtype=np.int64)
+    ln = np.array([4, 4], dtype=np.int64)
+    mo, ml = merge_runs(off, ln)
+    assert mo.tolist() == [100, 0]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(0, 50)),
+        min_size=0,
+        max_size=50,
+    )
+)
+def test_merge_runs_conserves_bytes_property(run_list):
+    off = np.array([o for o, _ in run_list], dtype=np.int64)
+    ln = np.array([l for _, l in run_list], dtype=np.int64)
+    mo, ml = merge_runs(off, ln)
+    assert int(ml.sum()) == int(ln.sum())
+    assert (ml > 0).all()
+    # No two consecutive merged runs abut.
+    if len(mo) > 1:
+        assert (mo[1:] != mo[:-1] + ml[:-1]).all()
+
+
+# ---------------------------------------------------------------------------
+# flatten tiling
+# ---------------------------------------------------------------------------
+
+def test_flatten_count_tiles_at_extent():
+    dt = Vector(count=2, blocklength=1, stride=2, base=INT32).with_extent(16)
+    off, ln = flatten(dt, offset=100, count=2)
+    assert off.tolist() == [100, 108, 116, 124]
+    assert ln.tolist() == [4, 4, 4, 4]
+
+
+def test_flatten_zero_count():
+    off, ln = flatten(Contiguous(4, INT32), count=0)
+    assert len(off) == 0
+
+
+def test_flatten_negative_count_rejected():
+    with pytest.raises(DatatypeError):
+        flatten(Contiguous(4, INT32), count=-1)
+
+
+def test_flatten_size_invariant_across_types():
+    for dt in [
+        Contiguous(7, FLOAT64),
+        Vector(5, 2, 3, INT32),
+        IndexedBlock(2, [9, 1, 4], FLOAT64),
+    ]:
+        off, ln = flatten(dt, count=3)
+        assert int(ln.sum()) == 3 * dt.size
+
+
+# ---------------------------------------------------------------------------
+# pack / unpack
+# ---------------------------------------------------------------------------
+
+def test_pack_gathers_strided_doubles():
+    buf = np.arange(8, dtype=np.float64)
+    dt = Vector(count=4, blocklength=1, stride=2, base=FLOAT64)
+    packed = pack(buf, dt)
+    np.testing.assert_array_equal(
+        packed.view(np.float64), np.array([0.0, 2.0, 4.0, 6.0])
+    )
+
+
+def test_unpack_is_inverse_of_pack():
+    rng = np.random.default_rng(7)
+    buf = rng.random(32)
+    dt = IndexedBlock(1, [3, 17, 4, 28, 9], FLOAT64)
+    packed = pack(buf, dt)
+    out = np.zeros_like(buf)
+    unpack(packed, out, dt)
+    for disp in [3, 17, 4, 28, 9]:
+        assert out[disp] == buf[disp]
+    untouched = sorted(set(range(32)) - {3, 17, 4, 28, 9})
+    assert (out[untouched] == 0).all()
+
+
+def test_pack_source_too_small_rejected():
+    buf = np.zeros(2, dtype=np.float64)
+    dt = IndexedBlock(1, [5], FLOAT64)
+    with pytest.raises(DatatypeError):
+        pack(buf, dt)
+
+
+def test_unpack_size_mismatch_rejected():
+    buf = np.zeros(10, dtype=np.float64)
+    dt = Contiguous(4, FLOAT64)
+    with pytest.raises(DatatypeError):
+        unpack(np.zeros(3, dtype=np.uint8), buf, dt)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(0, 63), min_size=1, max_size=32, unique=True),
+    st.integers(1, 3),
+)
+def test_pack_unpack_roundtrip_property(displacements, blocklength):
+    """pack→unpack restores exactly the selected elements, for any map."""
+    disp = np.array(displacements, dtype=np.int64) * blocklength
+    dt = IndexedBlock(blocklength, disp, FLOAT64)
+    n = int(disp.max()) + blocklength + 1
+    rng = np.random.default_rng(42)
+    buf = rng.random(n)
+    packed = pack(buf, dt)
+    assert len(packed) == dt.size
+    out = np.full(n, -1.0)
+    unpack(packed, out, dt)
+    for d in disp.tolist():
+        np.testing.assert_array_equal(out[d : d + blocklength], buf[d : d + blocklength])

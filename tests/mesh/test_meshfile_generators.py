@@ -1,0 +1,94 @@
+"""Mesh file layout/install and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.config import fast_test
+from repro.errors import MeshError
+from repro.mesh import (
+    fun3d_like_problem,
+    install_mesh_file,
+    mesh_file_layout,
+    rt_like_problem,
+    validate_mesh,
+)
+from repro.pfs import FileSystem
+from repro.simt import Simulator
+
+
+def make_fs():
+    return FileSystem(Simulator(), fast_test())
+
+
+def test_layout_offsets_match_paper_arithmetic():
+    lay = mesh_file_layout(100, 40, ["x"], ["y"])
+    assert lay.offset("edge1") == 0
+    assert lay.offset("edge2") == 100 * 4
+    # Paper: file_offset = 2*totalEdges*sizeof(int) for the first data array.
+    assert lay.offset("x") == 2 * 100 * 4
+    assert lay.offset("y") == 2 * 100 * 4 + 100 * 8
+    assert lay.total_bytes == 2 * 100 * 4 + 100 * 8 + 40 * 8
+
+
+def test_install_and_read_back():
+    fs = make_fs()
+    e1 = np.array([0, 0, 1], dtype=np.int64)
+    e2 = np.array([1, 2, 2], dtype=np.int64)
+    x = np.array([1.0, 2.0, 3.0])
+    y = np.array([10.0, 20.0, 30.0])
+    lay = install_mesh_file(fs, "uns3d.msh", e1, e2, {"x": x}, {"y": y})
+    f = fs.lookup("uns3d.msh")
+    assert f.size == lay.total_bytes
+    got_e1 = f.store.read(lay.offset("edge1"), 12).view(np.int32)
+    np.testing.assert_array_equal(got_e1, e1.astype(np.int32))
+    got_y = f.store.read(lay.offset("y"), 24).view(np.float64)
+    np.testing.assert_array_equal(got_y, y)
+
+
+def test_install_rejects_bad_arrays():
+    fs = make_fs()
+    with pytest.raises(MeshError):
+        install_mesh_file(
+            fs, "bad", np.array([0]), np.array([1]),
+            {"x": np.zeros(5)}, {},  # wrong edge-array length
+        )
+
+
+def test_install_rejects_existing_file():
+    fs = make_fs()
+    install_mesh_file(fs, "m", np.array([0]), np.array([1]), {}, {"y": np.zeros(2)})
+    with pytest.raises(MeshError):
+        install_mesh_file(fs, "m", np.array([0]), np.array([1]), {}, {"y": np.zeros(2)})
+
+
+def test_fun3d_problem_shape():
+    prob = fun3d_like_problem(6)
+    assert validate_mesh(prob.mesh) == []
+    assert set(prob.edge_arrays) == {"xe0", "xe1", "xe2", "xe3"}
+    assert set(prob.node_arrays) == {"yn0", "yn1", "yn2", "yn3"}
+    for arr in prob.edge_arrays.values():
+        assert len(arr) == prob.mesh.n_edges
+    for arr in prob.node_arrays.values():
+        assert len(arr) == prob.mesh.n_nodes
+    expected = (
+        2 * prob.mesh.n_edges * 4
+        + 4 * prob.mesh.n_edges * 8
+        + 4 * prob.mesh.n_nodes * 8
+    )
+    assert prob.import_bytes == expected
+
+
+def test_fun3d_problem_deterministic():
+    a = fun3d_like_problem(4, seed=9)
+    b = fun3d_like_problem(4, seed=9)
+    np.testing.assert_array_equal(a.edge_arrays["xe0"], b.edge_arrays["xe0"])
+
+
+def test_rt_problem_byte_ratio():
+    prob = rt_like_problem(8)
+    node_bytes = prob.mesh.n_nodes * 8
+    tri_bytes = prob.n_triangles * 8
+    ratio = tri_bytes / node_bytes
+    assert abs(ratio - 74.0 / 36.0) < 0.01
+    assert prob.triangle_nodes.shape == (prob.n_triangles, 3)
+    assert len(prob.triangle_field) == prob.n_triangles

@@ -1,0 +1,263 @@
+"""End-to-end MPI-IO File tests under mpirun: correctness of independent and
+collective paths against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.config import fast_test, origin2000
+from repro.dtypes import FLOAT64, INT32, Contiguous, IndexedBlock, Vector
+from repro.errors import FileExists, FileNotFound, MPIIOError, SimProcessCrashed
+from repro.mpiio import (
+    File,
+    MODE_CREATE,
+    MODE_EXCL,
+    MODE_RDONLY,
+    MODE_RDWR,
+    MODE_WRONLY,
+)
+from repro.mpi import mpirun
+from repro.pfs import FileSystem
+
+
+def fs_services(sim, machine):
+    return {"fs": FileSystem(sim, machine)}
+
+
+def run(fn, nprocs, machine=None):
+    return mpirun(fn, nprocs, machine=machine or fast_test(), services=fs_services)
+
+
+def test_collective_contiguous_write_then_read():
+    """Each rank writes its block; file equals the concatenation."""
+    n = 100
+
+    def program(ctx):
+        fs = ctx.service("fs")
+        f = File.open(ctx.comm, fs, "blocks.dat", MODE_CREATE | MODE_WRONLY)
+        data = np.full(n, ctx.rank, dtype=np.float64)
+        f.write_at_all(ctx.rank * n * 8, data)
+        f.close()
+        f = File.open(ctx.comm, fs, "blocks.dat", MODE_RDONLY)
+        out = np.empty(n, dtype=np.float64)
+        f.read_at_all(ctx.rank * n * 8, out)
+        f.close()
+        return out
+
+    job = run(program, 4)
+    for r, out in enumerate(job.values):
+        np.testing.assert_array_equal(out, np.full(n, r, dtype=np.float64))
+    fs = job.services["fs"]
+    whole = fs.lookup("blocks.dat").store.read(0, 4 * n * 8).view(np.float64)
+    np.testing.assert_array_equal(whole, np.repeat([0.0, 1.0, 2.0, 3.0], n))
+
+
+def test_collective_interleaved_write_via_vector_view():
+    """Round-robin element interleaving: rank r owns elements r, r+P, ..."""
+    per_rank = 50
+
+    def program(ctx):
+        fs = ctx.service("fs")
+        P = ctx.size
+        f = File.open(ctx.comm, fs, "inter.dat", MODE_CREATE | MODE_WRONLY)
+        ft = Contiguous(1, FLOAT64).with_extent(8 * P)
+        f.set_view(disp=8 * ctx.rank, etype=FLOAT64, filetype=ft)
+        data = np.arange(per_rank, dtype=np.float64) * 10 + ctx.rank
+        f.write_at_all(0, data)
+        f.close()
+        return None
+
+    job = run(program, 4)
+    fs = job.services["fs"]
+    whole = fs.lookup("inter.dat").store.read(0, 4 * per_rank * 8).view(np.float64)
+    expect = np.empty(4 * per_rank)
+    for r in range(4):
+        expect[r::4] = np.arange(per_rank) * 10 + r
+    np.testing.assert_array_equal(whole, expect)
+
+
+def test_collective_irregular_map_array_roundtrip():
+    """IndexedBlock views: each rank reads an arbitrary subset of a global
+    array written earlier — the SDM import pattern."""
+    n_global = 1000
+
+    def program(ctx):
+        fs = ctx.service("fs")
+        rng = np.random.default_rng(100 + ctx.rank)
+        mine = np.sort(
+            rng.choice(n_global, size=120, replace=False)
+        ).astype(np.int64)
+        if ctx.rank == 0:
+            # Rank 0 seeds the file independently first.
+            f0 = File.open(ctx.comm, fs, "glob.dat", MODE_CREATE | MODE_RDWR)
+        else:
+            f0 = File.open(ctx.comm, fs, "glob.dat", MODE_CREATE | MODE_RDWR)
+        if ctx.rank == 0:
+            f0.write_at(0, np.arange(n_global, dtype=np.float64))
+        f0.close()
+        f = File.open(ctx.comm, fs, "glob.dat", MODE_RDONLY)
+        f.set_view(etype=FLOAT64, filetype=IndexedBlock(1, mine, FLOAT64))
+        out = np.empty(len(mine), dtype=np.float64)
+        f.read_at_all(0, out)
+        f.close()
+        return (mine, out)
+
+    job = run(program, 4)
+    for mine, out in job.values:
+        np.testing.assert_array_equal(out, mine.astype(np.float64))
+
+
+def test_collective_overlapping_writes_deterministic():
+    """Ghost-style overlap: every rank writes element 0; highest rank wins."""
+
+    def program(ctx):
+        fs = ctx.service("fs")
+        f = File.open(ctx.comm, fs, "ov.dat", MODE_CREATE | MODE_WRONLY)
+        data = np.array([float(ctx.rank + 1)])
+        f.write_at_all(0, data)
+        f.close()
+        return None
+
+    job = run(program, 4)
+    fs = job.services["fs"]
+    val = fs.lookup("ov.dat").store.read(0, 8).view(np.float64)[0]
+    assert val == 4.0
+
+
+def test_independent_write_read_with_sieving():
+    """Per-rank interleaved independent access (data sieving path)."""
+
+    def program(ctx):
+        fs = ctx.service("fs")
+        f = File.open(ctx.comm, fs, "ind.dat", MODE_CREATE | MODE_RDWR)
+        # Every rank owns every size-th double, offset by its rank.
+        ft = Contiguous(1, FLOAT64).with_extent(8 * ctx.size)
+        f.set_view(disp=8 * ctx.rank, etype=FLOAT64, filetype=ft)
+        data = np.arange(20, dtype=np.float64) + 100 * ctx.rank
+        f.write_at(0, data)
+        ctx.comm.barrier()
+        out = np.empty(20, dtype=np.float64)
+        f.read_at(0, out)
+        f.close()
+        return out
+
+    job = run(program, 2)
+    for r, out in enumerate(job.values):
+        np.testing.assert_array_equal(out, np.arange(20, dtype=np.float64) + 100 * r)
+
+
+def test_individual_file_pointer_write_read():
+    def program(ctx):
+        fs = ctx.service("fs")
+        f = File.open(ctx.comm, fs, "ptr.dat", MODE_CREATE | MODE_RDWR)
+        if ctx.rank == 0:
+            f.write(np.arange(4, dtype=np.int32))
+            f.write(np.arange(4, 8, dtype=np.int32))
+            assert f.get_position() == 32  # bytes (etype BYTE)
+        ctx.comm.barrier()
+        f.seek(0)
+        out = np.empty(8, dtype=np.int32)
+        f.read(out)
+        f.close()
+        return out
+
+    job = run(program, 2)
+    for out in job.values:
+        np.testing.assert_array_equal(out, np.arange(8, dtype=np.int32))
+
+
+def test_open_missing_without_create_fails_on_all_ranks():
+    def program(ctx):
+        fs = ctx.service("fs")
+        File.open(ctx.comm, fs, "nope.dat", MODE_RDONLY)
+
+    with pytest.raises(SimProcessCrashed) as ei:
+        run(program, 2)
+    assert isinstance(ei.value.__cause__, FileNotFound)
+
+
+def test_open_excl_on_existing_fails():
+    def program(ctx):
+        fs = ctx.service("fs")
+        f = File.open(ctx.comm, fs, "x.dat", MODE_CREATE | MODE_WRONLY)
+        f.close()
+        File.open(ctx.comm, fs, "x.dat", MODE_CREATE | MODE_EXCL | MODE_WRONLY)
+
+    with pytest.raises(SimProcessCrashed) as ei:
+        run(program, 2)
+    assert isinstance(ei.value.__cause__, FileExists)
+
+
+def test_write_on_rdonly_rejected():
+    def program(ctx):
+        fs = ctx.service("fs")
+        f = File.open(ctx.comm, fs, "ro.dat", MODE_CREATE | MODE_RDONLY)
+        f.write_at(0, np.zeros(1))
+
+    with pytest.raises(SimProcessCrashed):
+        run(program, 2)
+
+
+def test_operations_on_closed_file_rejected():
+    def program(ctx):
+        fs = ctx.service("fs")
+        f = File.open(ctx.comm, fs, "c.dat", MODE_CREATE | MODE_WRONLY)
+        f.close()
+        f.write_at(0, np.zeros(1))
+
+    with pytest.raises(SimProcessCrashed) as ei:
+        run(program, 2)
+    assert isinstance(ei.value.__cause__, MPIIOError)
+
+
+def test_collective_beats_independent_for_interleaved_pattern():
+    """The paper's core claim: collective I/O >> per-process I/O for
+    interleaved irregular access."""
+    per_rank = 2000
+    P = 8
+
+    def collective(ctx):
+        fs = ctx.service("fs")
+        f = File.open(ctx.comm, fs, "c.dat", MODE_CREATE | MODE_WRONLY)
+        ft = Contiguous(1, FLOAT64).with_extent(8 * ctx.size)
+        f.set_view(disp=8 * ctx.rank, etype=FLOAT64, filetype=ft)
+        t0 = ctx.now
+        f.write_at_all(0, np.zeros(per_rank, dtype=np.float64))
+        dt = ctx.now - t0
+        f.close()
+        return dt
+
+    def independent(ctx):
+        fs = ctx.service("fs")
+        f = File.open(ctx.comm, fs, "i.dat", MODE_CREATE | MODE_WRONLY)
+        ft = Contiguous(1, FLOAT64).with_extent(8 * ctx.size)
+        f.set_view(disp=8 * ctx.rank, etype=FLOAT64, filetype=ft)
+        t0 = ctx.now
+        f.write_at(0, np.zeros(per_rank, dtype=np.float64))
+        dt = ctx.now - t0
+        f.close()
+        return dt
+
+    m = origin2000()
+    t_coll = max(mpirun(collective, P, machine=m, services=fs_services).values)
+    t_ind = max(mpirun(independent, P, machine=m, services=fs_services).values)
+    assert t_coll < t_ind
+
+
+def test_cb_buffer_size_hint_controls_request_count():
+    def make_program(cb):
+        def program(ctx):
+            fs = ctx.service("fs")
+            f = File.open(
+                ctx.comm, fs, "h.dat", MODE_CREATE | MODE_WRONLY,
+                hints={"cb_buffer_size": cb, "cb_nodes": 1},
+            )
+            f.write_at_all(ctx.rank * 8000, np.zeros(1000, dtype=np.float64))
+            f.close()
+            return None
+        return program
+
+    job_small = run(make_program(4096), 2)
+    n_small = job_small.services["fs"].n_requests
+    job_big = run(make_program(1 << 20), 2)
+    n_big = job_big.services["fs"].n_requests
+    assert n_small > n_big

@@ -1,0 +1,58 @@
+"""Property: the distributed ring algorithm equals the sequential rule for
+arbitrary edge lists and partitioning vectors."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import fast_test
+from repro.core.ring import EdgeChunk, ring_partition_index
+from repro.mpi import mpirun
+
+
+@st.composite
+def edge_problem(draw):
+    n_nodes = draw(st.integers(2, 20))
+    n_edges = draw(st.integers(1, 40))
+    nprocs = draw(st.integers(1, 5))
+    rng_seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(rng_seed)
+    e1 = rng.integers(0, n_nodes, size=n_edges)
+    e2 = rng.integers(0, n_nodes, size=n_edges)
+    part = rng.integers(0, nprocs, size=n_nodes)
+    return n_nodes, e1.astype(np.int64), e2.astype(np.int64), part.astype(np.int64), nprocs
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_problem())
+def test_ring_equals_sequential_rule(problem):
+    n_nodes, e1, e2, part, nprocs = problem
+
+    def program(ctx):
+        counts = np.full(ctx.size, len(e1) // ctx.size)
+        counts[: len(e1) % ctx.size] += 1
+        start = int(counts[: ctx.rank].sum())
+        end = start + int(counts[ctx.rank])
+        chunk = EdgeChunk(edge1=e1[start:end], edge2=e2[start:end],
+                          gid_start=start)
+        return ring_partition_index(ctx, part, chunk)
+
+    job = mpirun(program, nprocs, machine=fast_test())
+    for rank, local in enumerate(job.values):
+        keep = (part[e1] == rank) | (part[e2] == rank)
+        expect_gids = np.flatnonzero(keep)
+        np.testing.assert_array_equal(local.edge_map, expect_gids)
+        np.testing.assert_array_equal(local.edge1, e1[keep])
+        np.testing.assert_array_equal(local.edge2, e2[keep])
+        owned = np.flatnonzero(part == rank)
+        if keep.any():
+            expect_nodes = np.union1d(
+                owned, np.unique(np.concatenate([e1[keep], e2[keep]]))
+            )
+        else:
+            expect_nodes = owned
+        np.testing.assert_array_equal(local.node_map, expect_nodes)
+        # Every owned node's incident edges are all local (the completeness
+        # property the ghost replication buys).
+        incident = keep | ((part[e1] != rank) & (part[e2] != rank))
+        assert incident.all()

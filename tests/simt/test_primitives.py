@@ -1,0 +1,271 @@
+"""Unit tests for Signal, SimEvent, Resource, and Channel primitives."""
+
+import pytest
+
+from repro.errors import SimDeadlockError, SimError, SimProcessCrashed
+from repro.simt import Channel, Resource, Signal, SimEvent, Simulator
+
+
+# ---------------------------------------------------------------------------
+# Signal
+# ---------------------------------------------------------------------------
+
+def test_signal_wakes_all_waiters_with_value():
+    got = []
+
+    def waiter(proc, sig):
+        got.append((proc.name, sig.wait(proc), proc.now))
+
+    def firer(proc, sig):
+        proc.hold(2.0)
+        assert sig.n_waiting == 3
+        n = sig.fire("go")
+        assert n == 3
+
+    sim = Simulator()
+    sig = Signal(sim)
+    for i in range(3):
+        sim.spawn(waiter, sig, name=f"w{i}")
+    sim.spawn(firer, sig)
+    sim.run()
+    assert sorted(got) == [("w0", "go", 2.0), ("w1", "go", 2.0), ("w2", "go", 2.0)]
+
+
+def test_signal_fire_with_no_waiters_returns_zero():
+    def fn(proc, sig):
+        assert sig.fire() == 0
+
+    sim = Simulator()
+    sig = Signal(sim)
+    sim.spawn(fn, sig)
+    sim.run()
+
+
+def test_signal_wait_after_fire_blocks_until_next_fire():
+    def late_waiter(proc, sig):
+        proc.hold(5.0)  # miss the first fire
+        sig.wait(proc)
+
+    def firer(proc, sig):
+        proc.hold(1.0)
+        sig.fire()
+
+    sim = Simulator()
+    sig = Signal(sim)
+    sim.spawn(late_waiter, sig)
+    sim.spawn(firer, sig)
+    with pytest.raises(SimDeadlockError):
+        sim.run()
+
+
+# ---------------------------------------------------------------------------
+# SimEvent
+# ---------------------------------------------------------------------------
+
+def test_simevent_wait_before_and_after_set():
+    order = []
+
+    def early(proc, evt):
+        order.append(("early", evt.wait(proc), proc.now))
+
+    def setter(proc, evt):
+        proc.hold(3.0)
+        evt.set(99)
+
+    def late(proc, evt):
+        proc.hold(7.0)
+        order.append(("late", evt.wait(proc), proc.now))
+
+    sim = Simulator()
+    evt = SimEvent(sim)
+    sim.spawn(early, evt)
+    sim.spawn(setter, evt)
+    sim.spawn(late, evt)
+    sim.run()
+    assert order == [("early", 99, 3.0), ("late", 99, 7.0)]
+    assert evt.is_set and evt.value == 99
+
+
+def test_simevent_double_set_is_error():
+    def fn(proc, evt):
+        evt.set(1)
+        evt.set(2)
+
+    sim = Simulator()
+    evt = SimEvent(sim)
+    sim.spawn(fn, evt)
+    with pytest.raises(SimProcessCrashed) as ei:
+        sim.run()
+    assert isinstance(ei.value.__cause__, SimError)
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+def test_resource_serializes_beyond_capacity():
+    """4 jobs of 1s on a capacity-2 server finish at 1,1,2,2."""
+    finish = []
+
+    def job(proc, res):
+        with res.request(proc):
+            proc.hold(1.0)
+        finish.append((proc.name, proc.now))
+
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    for i in range(4):
+        sim.spawn(job, res, name=f"j{i}")
+    sim.run()
+    assert finish == [("j0", 1.0), ("j1", 1.0), ("j2", 2.0), ("j3", 2.0)]
+
+
+def test_resource_fifo_order_under_contention():
+    grants = []
+
+    def job(proc, res, dt):
+        res.acquire(proc)
+        grants.append(proc.name)
+        proc.hold(dt)
+        res.release()
+
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    for i in range(5):
+        sim.spawn(job, res, 1.0, name=f"j{i}")
+    sim.run()
+    assert grants == [f"j{i}" for i in range(5)]
+
+
+def test_resource_invalid_capacity_and_over_release():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+    res = Resource(sim, capacity=1)
+
+    def fn(proc):
+        res.release()  # never acquired
+
+    sim.spawn(fn)
+    with pytest.raises(SimProcessCrashed) as ei:
+        sim.run()
+    assert isinstance(ei.value.__cause__, SimError)
+
+
+def test_resource_counts_available_and_waiting():
+    observed = {}
+
+    def holder(proc, res, sig):
+        res.acquire(proc)
+        sig.wait(proc)
+        res.release()
+
+    def prober(proc, res, sig):
+        proc.hold(1.0)
+        observed["available"] = res.available
+        observed["waiting"] = res.n_waiting
+        sig.fire()
+
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    sig = Signal(sim)
+    for i in range(3):
+        sim.spawn(holder, res, sig, name=f"h{i}")
+    sim.spawn(prober, res, sig)
+    # h2 waits; after fire, h0/h1 release and h2 acquires, then a second
+    # fire is needed for h2 — fire again from a late process.
+    def second_fire(proc):
+        proc.hold(2.0)
+        sig.fire()
+
+    sim.spawn(second_fire)
+    sim.run()
+    assert observed == {"available": 0, "waiting": 1}
+
+
+# ---------------------------------------------------------------------------
+# Channel
+# ---------------------------------------------------------------------------
+
+def test_channel_put_then_get_immediate():
+    def producer(proc, ch):
+        ch.put("a")
+        ch.put("b")
+
+    def consumer(proc, ch):
+        proc.hold(1.0)
+        return [ch.get(proc), ch.get(proc)]
+
+    sim = Simulator()
+    ch = Channel(sim)
+    sim.spawn(producer, ch)
+    c = sim.spawn(consumer, ch)
+    sim.run()
+    assert c.result == ["a", "b"]
+
+
+def test_channel_get_blocks_until_delayed_delivery():
+    def producer(proc, ch):
+        ch.put("late", delay=4.0)
+
+    def consumer(proc, ch):
+        item = ch.get(proc)
+        return (item, proc.now)
+
+    sim = Simulator()
+    ch = Channel(sim)
+    sim.spawn(producer, ch)
+    c = sim.spawn(consumer, ch)
+    sim.run()
+    assert c.result == ("late", 4.0)
+
+
+def test_channel_delayed_items_become_visible_in_delivery_order():
+    def producer(proc, ch):
+        ch.put("slow", delay=5.0)
+        ch.put("fast", delay=1.0)
+
+    def consumer(proc, ch):
+        return [ch.get(proc), ch.get(proc)]
+
+    sim = Simulator()
+    ch = Channel(sim)
+    sim.spawn(producer, ch)
+    c = sim.spawn(consumer, ch)
+    sim.run()
+    assert c.result == ["fast", "slow"]
+
+
+def test_channel_try_get_nonblocking():
+    def fn(proc, ch):
+        ok0, _ = ch.try_get()
+        ch.put("x")
+        ok1, item = ch.try_get()
+        return (ok0, ok1, item, len(ch))
+
+    sim = Simulator()
+    ch = Channel(sim)
+    p = sim.spawn(fn, ch)
+    sim.run()
+    assert p.result == (False, True, "x", 0)
+
+
+def test_channel_multiple_getters_fifo():
+    got = []
+
+    def getter(proc, ch):
+        got.append((proc.name, ch.get(proc)))
+
+    def producer(proc, ch):
+        proc.hold(1.0)
+        for i in range(3):
+            ch.put(i)
+
+    sim = Simulator()
+    ch = Channel(sim)
+    for i in range(3):
+        sim.spawn(getter, ch, name=f"g{i}")
+    sim.spawn(producer, ch)
+    sim.run()
+    assert got == [("g0", 0), ("g1", 1), ("g2", 2)]

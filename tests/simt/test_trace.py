@@ -1,0 +1,69 @@
+"""Trace recording: kernel-level log plus PFS instrumentation."""
+
+import numpy as np
+
+from repro.config import fast_test
+from repro.mpi import mpirun
+from repro.mpiio import File, MODE_CREATE, MODE_RDWR
+from repro.pfs import FileSystem
+from repro.simt import Trace, TraceRecord
+
+
+def test_trace_disabled_records_nothing():
+    t = Trace(enabled=False)
+    t.record(1.0, "a", "label")
+    assert len(t) == 0
+    assert t.last() is None
+
+
+def test_trace_enabled_records_and_filters():
+    t = Trace(enabled=True)
+    t.record(1.0, "rank0", "open", {"file": "x"})
+    t.record(2.0, "rank1", "write", {"bytes": 10})
+    t.record(3.0, "rank0", "write", {"bytes": 20})
+    assert len(t) == 3
+    assert [r.time for r in t] == [1.0, 2.0, 3.0]
+    assert len(t.by_actor("rank0")) == 2
+    assert len(t.by_label("write")) == 2
+    assert t.last("open") == TraceRecord(1.0, "rank0", "open", {"file": "x"})
+    assert t.last().data == {"bytes": 20}
+    t.clear()
+    assert len(t) == 0
+
+
+def test_mpirun_trace_captures_pfs_activity():
+    def services(sim, machine):
+        return {"fs": FileSystem(sim, machine)}
+
+    def program(ctx):
+        fs = ctx.service("fs")
+        f = File.open(ctx.comm, fs, "t.dat", MODE_CREATE | MODE_RDWR)
+        f.write_at_all(ctx.rank * 80, np.arange(10, dtype=np.float64))
+        f.close()
+        return None
+
+    job = mpirun(program, 2, machine=fast_test(), services=services,
+                 trace=True)
+    trace = job.sim.trace
+    opens = trace.by_label("pfs.open")
+    writes = trace.by_label("pfs.write")
+    assert len(opens) == 2  # one per rank
+    assert all(r.data["file"] == "t.dat" for r in opens)
+    assert sum(r.data["bytes"] for r in writes) == 160
+    # Timestamps are monotone within the log.
+    times = [r.time for r in trace]
+    assert times == sorted(times)
+
+
+def test_mpirun_without_trace_stays_empty():
+    def services(sim, machine):
+        return {"fs": FileSystem(sim, machine)}
+
+    def program(ctx):
+        fs = ctx.service("fs")
+        f = File.open(ctx.comm, fs, "t.dat", MODE_CREATE | MODE_RDWR)
+        f.close()
+        return None
+
+    job = mpirun(program, 2, machine=fast_test(), services=services)
+    assert len(job.sim.trace) == 0

@@ -1,0 +1,31 @@
+"""Smoke tests: the shipped examples run end to end and self-verify.
+
+Each example asserts its own correctness internally (paper-figure
+partitioning, read-back equality, growth factors), so "main() completes"
+is a meaningful check.  The two quickest examples run here; the heavier
+ones are exercised by the benchmark suite's workloads.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(name, capsys):
+    runpy.run_path(f"examples/{name}.py", run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart_matches_paper(capsys):
+    out = run_example("quickstart", capsys)
+    assert "matches the paper's Figure 1 partitioning. OK" in out
+    assert "partitioned edges  : [0, 2]" in out
+    assert "partitioned edges  : [0, 1, 3]" in out
+
+
+def test_file_organizations_example(capsys):
+    out = run_example("file_organizations", capsys)
+    assert "cross-run read of q@t=1 via execution_table verified. OK" in out
+    assert "level 1: 6 file(s)" in out
+    assert "level 3: 1 file(s)" in out
