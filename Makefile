@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-metadb bench
+
+## tier-1 verify: the full unit/property suite
+test:
+	$(PYTHON) -m pytest -x -q
+
+## metadata query-path ablation (scan vs index, parse vs statement cache)
+bench-metadb:
+	$(PYTHON) -m pytest benchmarks/bench_ablation_metadb.py --benchmark-only -q
+
+## every paper-reproduction benchmark
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -70,6 +70,14 @@ class DatasetRecord:
     global_size: int
 
 
+def _dataset_from_row(
+    runid: int, name: str, pattern: str, type_name: str, order: str, size
+) -> DatasetRecord:
+    """Build a DatasetRecord from an access_pattern_table row."""
+    dtype = _TYPE_BY_NAME.get(type_name, FLOAT64)
+    return DatasetRecord(runid, name, pattern, dtype, order, int(size))
+
+
 class SDMCatalog:
     """Read-only view over a (possibly finished) SDM metadata database."""
 
@@ -83,7 +91,11 @@ class SDMCatalog:
         """Attach to the job's shared database and file system services."""
         from repro.metadb.schema import SDMTables as _Tables
 
-        return cls(ctx, _Tables(ctx.service("db")), ctx.service("fs"))
+        tables = _Tables(ctx.service("db"))
+        # A seeded database (Database.loads) arrives without index
+        # declarations; re-declare so catalog lookups probe, not scan.
+        tables.declare_indexes()
+        return cls(ctx, tables, ctx.service("fs"))
 
     # ------------------------------------------------------------------
     # Browsing
@@ -107,13 +119,10 @@ class SDMCatalog:
             (runid,),
             proc=self.ctx.proc,
         )
-        out = []
-        for name, pattern, type_name, order, size in rows:
-            dtype = _TYPE_BY_NAME.get(type_name, FLOAT64)
-            out.append(
-                DatasetRecord(runid, name, pattern, dtype, order, int(size))
-            )
-        return out
+        return [
+            _dataset_from_row(runid, name, pattern, type_name, order, size)
+            for name, pattern, type_name, order, size in rows
+        ]
 
     def timesteps(self, runid: int, dataset: str) -> List[int]:
         """Timesteps of a dataset with recorded data, ascending."""
@@ -130,12 +139,19 @@ class SDMCatalog:
     # ------------------------------------------------------------------
 
     def _dataset_record(self, runid: int, dataset: str) -> DatasetRecord:
-        for rec in self.datasets(runid):
-            if rec.name == dataset:
-                return rec
-        raise SDMUnknownDataset(
-            f"run {runid} has no dataset {dataset!r}"
+        # Indexed point lookup (runid, dataset both carry secondary
+        # indexes) rather than fetching the run's whole dataset list.
+        rows = self.tables.db.execute(
+            "SELECT basic_pattern, data_type, storage_order, global_size "
+            "FROM access_pattern_table WHERE runid = ? AND dataset = ?",
+            (runid, dataset),
+            proc=self.ctx.proc,
         )
+        if not rows:
+            raise SDMUnknownDataset(
+                f"run {runid} has no dataset {dataset!r}"
+            )
+        return _dataset_from_row(runid, dataset, *rows[0])
 
     def load_group(self, runid: int) -> DataGroup:
         """Rehydrate a :class:`DataGroup` for a past run from the database.

@@ -13,9 +13,38 @@ database as an embedded engine:
 * a :class:`~repro.metadb.engine.Database` front end with optional JSON
   persistence and a per-statement virtual-time cost model (so "the database
   cost to access the metadata" shows up in history-file timings, as the
-  paper reports);
-* :mod:`~repro.metadb.schema` — the paper's six SDM tables and typed
-  accessors.
+  paper reports) — charged on rows *touched*: returned for SELECT,
+  inserted for INSERT, matched for UPDATE/DELETE;
+* :mod:`~repro.metadb.schema` — the paper's six SDM tables, typed
+  accessors, and the :data:`~repro.metadb.schema.SDM_INDEXES` declarations.
+
+Query pipeline architecture
+---------------------------
+
+Statements flow through three layers, each optional-but-default on the SDM
+path:
+
+1. **Statement cache** (:meth:`~repro.metadb.engine.Database.prepare`) —
+   parsed ASTs are memoized by exact SQL text in a bounded LRU, so the
+   parameterized statements SDM issues in loops (one per timestep, rank,
+   dataset) tokenize and parse exactly once per process.  Both
+   :meth:`~repro.metadb.engine.Database.execute` and
+   :meth:`~repro.metadb.engine.Database.query_dicts` share it, so a dict
+   query costs a single parse (historically it parsed twice).
+2. **Equality planner** (``Database._index_candidates``) — a WHERE tree is
+   decomposed into its top-level AND of ``column = literal/?`` conjuncts;
+   each conjunct on an indexed column probes the table's secondary hash
+   index (value → ascending rowids) and the smallest candidate set wins.
+   The full WHERE expression is still evaluated on every candidate row, so
+   the planner only ever *narrows* the scan: results, ordering, and NULL
+   semantics are bit-identical to the fallback full scan (property-tested
+   in ``tests/properties/test_metadb_index_property.py``).
+3. **Secondary indexes** (:meth:`~repro.metadb.table.Table.create_index`,
+   declared per column via
+   :meth:`~repro.metadb.engine.Database.create_index`) — maintained
+   incrementally on INSERT and UPDATE; DELETE compacts rowids and rebuilds.
+   ``Database.n_parses`` / ``n_index_probes`` / ``n_full_scans`` expose
+   cache and planner behavior for tests and benchmarks.
 
 Example::
 
@@ -28,7 +57,7 @@ Example::
 from repro.metadb.types import ColumnType, BLOB, INTEGER, REAL, TEXT
 from repro.metadb.table import Column, Row, Table
 from repro.metadb.engine import Database
-from repro.metadb.schema import SDM_SCHEMA, SDMTables
+from repro.metadb.schema import SDM_INDEXES, SDM_SCHEMA, SDMTables
 
 __all__ = [
     "ColumnType",
@@ -41,5 +70,6 @@ __all__ = [
     "Table",
     "Database",
     "SDM_SCHEMA",
+    "SDM_INDEXES",
     "SDMTables",
 ]

@@ -5,16 +5,30 @@ offline inspection) or *attached* to a simulator, in which case every
 statement issued with a ``proc`` serializes through the database server
 resource and charges ``query_cost + rows x row_cost`` of virtual time —
 the "database cost to access the metadata" the paper folds into the
-history-file path.
+history-file path.  ``rows`` is the number of rows the statement *touched*:
+returned for SELECT, written for INSERT, matched for UPDATE/DELETE.
+
+Two optimizations keep the metadata path off the application's critical
+path as tables grow:
+
+* **Statement cache** — parsed ASTs are memoized by SQL text
+  (:meth:`Database.prepare`), so the parameterized statements SDM issues in
+  loops (one per timestep, per rank, per dataset) parse once per process.
+* **Equality planner** — WHERE trees whose top level is an AND of
+  ``column = literal/?`` conjuncts probe a secondary hash index on the
+  table (:meth:`Database.create_index`) and verify only the candidate
+  rows, instead of evaluating the predicate against every row.
 """
 
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineModel
 from repro.errors import MetaDBError, TableExists, TableNotFound
+from repro.metadb.expr import BoolOp, ColumnRef, Compare, Expr, Literal, Param
 from repro.metadb.sqlparser import (
     CreateTable,
     Delete,
@@ -35,6 +49,31 @@ __all__ = ["Database"]
 _SERVER_CONNECTIONS = 4
 """Concurrent statements the database server executes."""
 
+_STMT_CACHE_CAPACITY = 512
+"""Parsed statements kept per database (LRU eviction beyond this)."""
+
+
+def _equality_conjuncts(where: Expr) -> List[Tuple[str, Expr]]:
+    """``(column, value-expr)`` pairs that must *all* hold for a row to match.
+
+    Walks ``Compare('=')`` nodes with a column ref on one side and a
+    literal or parameter on the other, recursing through ``BoolOp('AND')``
+    (nested ANDs from parenthesized input included).  Other node kinds
+    contribute no conjuncts but do not invalidate their AND siblings; OR
+    and NOT subtrees are opaque.
+    """
+    if isinstance(where, Compare) and where.op == "=":
+        for ref, value in ((where.left, where.right), (where.right, where.left)):
+            if isinstance(ref, ColumnRef) and isinstance(value, (Literal, Param)):
+                return [(ref.name, value)]
+        return []
+    if isinstance(where, BoolOp) and where.op == "AND":
+        out: List[Tuple[str, Expr]] = []
+        for operand in where.operands:
+            out.extend(_equality_conjuncts(operand))
+        return out
+    return []
+
 
 class Database:
     """An embedded SQL database with optional virtual-time accounting."""
@@ -48,6 +87,13 @@ class Database:
         self.sim = sim
         self.machine = machine
         self.n_statements = 0
+        self.n_parses = 0
+        """Statements actually parsed (cache misses)."""
+        self.n_index_probes = 0
+        """WHERE evaluations answered from a secondary index."""
+        self.n_full_scans = 0
+        """WHERE evaluations that walked the whole table."""
+        self._stmt_cache: "OrderedDict[str, Any]" = OrderedDict()
         self._server: Optional[Resource] = None
         if sim is not None and machine is not None:
             self._server = Resource(
@@ -57,6 +103,21 @@ class Database:
     # ------------------------------------------------------------------
     # Statement execution
     # ------------------------------------------------------------------
+
+    def prepare(self, sql: str):
+        """Parse one statement, memoized by SQL text (LRU)."""
+        cache = self._stmt_cache
+        try:
+            stmt = cache[sql]
+        except KeyError:
+            stmt = parse(sql)
+            self.n_parses += 1
+            cache[sql] = stmt
+            if len(cache) > _STMT_CACHE_CAPACITY:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(sql)
+        return stmt
 
     def execute(
         self,
@@ -70,11 +131,15 @@ class Database:
         ``proc`` is given and the database is attached to a simulation, the
         statement's virtual-time cost is charged to that process.
         """
-        stmt = parse(sql)
-        rows = self._dispatch(stmt, list(params))
+        return self._run(self.prepare(sql), params, proc)
+
+    def _run(
+        self, stmt, params: Sequence[Any], proc: Optional[Process]
+    ) -> List[Tuple[Any, ...]]:
+        rows, touched = self._dispatch(stmt, list(params))
         self.n_statements += 1
         if proc is not None and self._server is not None:
-            cost = self.machine.database.statement_time(rows=len(rows))
+            cost = self.machine.database.statement_time(rows=touched)
             with self._server.request(proc):
                 proc.hold(cost)
         return rows
@@ -91,16 +156,23 @@ class Database:
         proc: Optional[Process] = None,
     ) -> List[Dict[str, Any]]:
         """SELECT convenience: rows as dicts keyed by column name."""
-        stmt = parse(sql)
+        stmt = self.prepare(sql)
         if not isinstance(stmt, Select):
             raise MetaDBError("query_dicts requires a SELECT statement")
-        rows = self.execute(sql, params, proc=proc)
-        table = self._table(stmt.table)
+        rows = self._run(stmt, params, proc)
         if stmt.aggregate is not None:
             name = stmt.aggregate[0].lower()
             return [{name: rows[0][0]}]
-        names = list(stmt.columns) if stmt.columns is not None else table.column_names
+        names = (
+            list(stmt.columns)
+            if stmt.columns is not None
+            else self._table(stmt.table).column_names
+        )
         return [dict(zip(names, row)) for row in rows]
+
+    def create_index(self, table: str, column: str) -> None:
+        """Declare a secondary hash index used by equality WHERE clauses."""
+        self._table(table).create_index(column)
 
     # ------------------------------------------------------------------
 
@@ -110,15 +182,22 @@ class Database:
         except KeyError:
             raise TableNotFound(f"no such table: {name!r}") from None
 
-    def _dispatch(self, stmt, params: List[Any]) -> List[Tuple[Any, ...]]:
+    def _dispatch(self, stmt, params: List[Any]) -> Tuple[List[Tuple[Any, ...]], int]:
+        """Execute one parsed statement.
+
+        Returns ``(result rows, rows touched)`` — touched is what the cost
+        model bills: rows returned by a SELECT, inserted by an INSERT,
+        matched by an UPDATE or DELETE, zero for DDL.
+        """
         if isinstance(stmt, CreateTable):
-            return self._create(stmt)
+            return self._create(stmt), 0
         if isinstance(stmt, DropTable):
-            return self._drop(stmt)
+            return self._drop(stmt), 0
         if isinstance(stmt, Insert):
-            return self._insert(stmt, params)
+            return self._insert(stmt, params), 1
         if isinstance(stmt, Select):
-            return self._select(stmt, params)
+            rows = self._select(stmt, params)
+            return rows, len(rows)
         if isinstance(stmt, Update):
             return self._update(stmt, params)
         if isinstance(stmt, Delete):
@@ -149,12 +228,49 @@ class Database:
         table.insert(values, stmt.columns)
         return []
 
+    # -- planner ---------------------------------------------------------
+
+    def _index_candidates(
+        self, table: Table, where: Expr, params: Sequence[Any]
+    ) -> Optional[List[int]]:
+        """Rowids worth checking against ``where``, or None to full-scan.
+
+        Probes the table's secondary indexes with every indexed equality
+        conjunct and keeps the smallest candidate set; the caller still
+        evaluates the complete WHERE on each candidate, so this only ever
+        *narrows* the scan — NULL/type semantics are decided by the same
+        ``Expr.eval`` as the slow path.
+        """
+        best: Optional[List[int]] = None
+        for column, value_expr in _equality_conjuncts(where):
+            if column not in table.indexes:
+                continue
+            value = value_expr.eval({}, params)
+            if value is None:
+                # `col = NULL` matches no row; the whole AND is empty.
+                return []
+            bucket = table.probe_index(column, value)
+            if bucket is None:  # unhashable probe value: scan instead
+                continue
+            if not bucket:
+                return []
+            if best is None or len(bucket) < len(best):
+                best = bucket
+        return best
+
     def _match_rowids(self, table: Table, where, params) -> List[int]:
         if where is None:
             return [i for i, _ in table.scan()]
+        candidates = self._index_candidates(table, where, params)
+        if candidates is None:
+            self.n_full_scans += 1
+            pairs = table.scan()
+        else:
+            self.n_index_probes += 1
+            pairs = ((i, table.rows[i]) for i in candidates)
         names = table.column_names
         hits = []
-        for i, row in table.scan():
+        for i, row in pairs:
             ctx = dict(zip(names, row))
             if where.eval(ctx, params):
                 hits.append(i)
@@ -199,7 +315,7 @@ class Database:
         positions = [table.column_pos(c) for c in stmt.columns]
         return [tuple(r[p] for p in positions) for r in rows]
 
-    def _update(self, stmt: Update, params: List[Any]) -> list:
+    def _update(self, stmt: Update, params: List[Any]) -> Tuple[list, int]:
         table = self._table(stmt.table)
         rowids = self._match_rowids(table, stmt.where, params)
         names = table.column_names
@@ -209,21 +325,24 @@ class Database:
             ctx = dict(zip(names, row))
             for pos, _col, e in positions:
                 row[pos] = table.columns[pos].type.coerce(e.eval(ctx, params))
-            table.rows[i] = tuple(row)
-        return []
+            table.replace_row(i, tuple(row))
+        return [], len(rowids)
 
-    def _delete(self, stmt: Delete, params: List[Any]) -> list:
+    def _delete(self, stmt: Delete, params: List[Any]) -> Tuple[list, int]:
         table = self._table(stmt.table)
         rowids = self._match_rowids(table, stmt.where, params)
-        table.delete_rowids(rowids)
-        return []
+        return [], table.delete_rowids(rowids)
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
     def dump(self) -> str:
-        """Serialize the whole database to a JSON string."""
+        """Serialize the whole database to a JSON string.
+
+        Secondary indexes are not serialized (open item: see ROADMAP);
+        re-declare them after :meth:`loads`.
+        """
         doc = {}
         for name, table in self.tables.items():
             doc[name] = {

@@ -18,6 +18,14 @@ Six tables, as created by ``SDM_initialize``:
 :class:`SDMTables` wraps a :class:`~repro.metadb.engine.Database` with typed
 methods for exactly the statements SDM issues, so the SQL lives here and the
 runtime stays readable.
+
+:data:`SDM_INDEXES` declares secondary hash indexes on the hot lookup
+columns — every WHERE clause SDM issues is an equality conjunction over
+these — so the engine's planner probes a dict instead of scanning.  (This
+flattens the *host* execution time of the simulator itself as runs and
+timesteps accumulate; the simulated virtual-time charge is set by the
+:class:`~repro.config.DatabaseModel` cost model and is per-row-touched
+either way.)
 """
 
 from __future__ import annotations
@@ -28,7 +36,13 @@ from typing import List, Optional, Sequence, Tuple
 from repro.metadb.engine import Database
 from repro.simt.process import Process
 
-__all__ = ["SDM_SCHEMA", "SDMTables", "HistoryRecord", "HistoryRankRecord"]
+__all__ = [
+    "SDM_SCHEMA",
+    "SDM_INDEXES",
+    "SDMTables",
+    "HistoryRecord",
+    "HistoryRankRecord",
+]
 
 SDM_SCHEMA: Tuple[str, ...] = (
     """CREATE TABLE IF NOT EXISTS run_table (
@@ -60,6 +74,24 @@ SDM_SCHEMA: Tuple[str, ...] = (
     )""",
 )
 
+SDM_INDEXES: Tuple[Tuple[str, str], ...] = (
+    ("run_table", "runid"),
+    ("access_pattern_table", "runid"),
+    ("access_pattern_table", "dataset"),
+    ("execution_table", "runid"),
+    ("execution_table", "dataset"),
+    ("execution_table", "timestep"),
+    ("execution_table", "file_name"),
+    ("import_table", "runid"),
+    ("import_table", "imported_name"),
+    ("index_table", "problem_size"),
+    ("index_table", "num_procs"),
+    ("index_history_table", "problem_size"),
+    ("index_history_table", "num_procs"),
+    ("index_history_table", "rank"),
+)
+"""(table, column) pairs indexed for SDM's equality lookups."""
+
 
 @dataclass(frozen=True)
 class HistoryRecord:
@@ -89,9 +121,21 @@ class SDMTables:
         self.db = db
 
     def create_all(self, proc: Optional[Process] = None) -> None:
-        """Create the six tables (idempotent)."""
+        """Create the six tables and their secondary indexes (idempotent)."""
         for ddl in SDM_SCHEMA:
             self.db.execute(ddl, proc=proc)
+        self.declare_indexes()
+
+    def declare_indexes(self) -> None:
+        """Declare :data:`SDM_INDEXES` on whichever SDM tables exist.
+
+        Idempotent.  Needed separately from :meth:`create_all` because
+        :meth:`Database.loads` restores rows but not index declarations —
+        a reader attaching to a seeded database re-declares here.
+        """
+        for table, column in SDM_INDEXES:
+            if table in self.db.tables:
+                self.db.create_index(table, column)
 
     # -- run_table -------------------------------------------------------
 

@@ -1,7 +1,8 @@
-"""Tables: typed row storage with schema validation."""
+"""Tables: typed row storage with schema validation and secondary indexes."""
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -23,7 +24,14 @@ class Column:
 
 
 class Table:
-    """Heap of typed rows, append-ordered (insertion order is stable)."""
+    """Heap of typed rows, append-ordered (insertion order is stable).
+
+    A table may carry secondary hash indexes on individual columns
+    (:meth:`create_index`): each maps a stored value to the ascending list
+    of rowids holding it, so equality lookups probe a dict instead of
+    scanning the heap.  Indexes are maintained on insert and in-place
+    update; deletion compacts rowids, so it rebuilds them.
+    """
 
     def __init__(self, name: str, columns: Sequence[Column]) -> None:
         if not columns:
@@ -35,6 +43,7 @@ class Table:
         self.columns = list(columns)
         self._index: Dict[str, int] = {c.name: i for i, c in enumerate(columns)}
         self.rows: List[Row] = []
+        self.indexes: Dict[str, Dict[Any, List[int]]] = {}
 
     @property
     def column_names(self) -> List[str]:
@@ -67,6 +76,11 @@ class Table:
             raise SQLTypeError(
                 f"{len(columns)} columns but {len(values)} values"
             )
+        if len(set(columns)) != len(columns):
+            dupes = sorted({c for c in columns if list(columns).count(c) > 1})
+            raise SQLTypeError(
+                f"duplicate column(s) {dupes} in INSERT column list"
+            )
         row: List[Any] = [None] * len(self.columns)
         for name, value in zip(columns, values):
             pos = self.column_pos(name)
@@ -78,12 +92,30 @@ class Table:
     ) -> Row:
         """Append a validated row; returns it."""
         row = self.coerce_row(values, columns)
+        rowid = len(self.rows)
         self.rows.append(row)
+        for col, buckets in self.indexes.items():
+            buckets.setdefault(row[self._index[col]], []).append(rowid)
         return row
 
     def scan(self) -> Iterable[Tuple[int, Row]]:
         """Iterate ``(rowid, row)`` pairs in insertion order."""
         return enumerate(self.rows)
+
+    def replace_row(self, rowid: int, row: Row) -> None:
+        """Overwrite one row in place, keeping indexes consistent."""
+        old = self.rows[rowid]
+        self.rows[rowid] = row
+        for col, buckets in self.indexes.items():
+            pos = self._index[col]
+            if old[pos] is row[pos] or old[pos] == row[pos]:
+                continue  # same dict key (1 == 1.0 == True hash together)
+            bucket = buckets.get(old[pos])
+            if bucket is not None:
+                bucket.remove(rowid)
+                if not bucket:
+                    del buckets[old[pos]]
+            insort(buckets.setdefault(row[pos], []), rowid)
 
     def delete_rowids(self, rowids: Iterable[int]) -> int:
         """Remove rows by position; returns how many were removed."""
@@ -92,7 +124,39 @@ class Table:
             return 0
         before = len(self.rows)
         self.rows = [r for i, r in enumerate(self.rows) if i not in doomed]
+        if self.indexes:
+            # Compaction renumbers every surviving rowid: rebuild.
+            for col in self.indexes:
+                self.indexes[col] = self._build_index(col)
         return before - len(self.rows)
+
+    # -- secondary indexes ------------------------------------------------
+
+    def _build_index(self, column: str) -> Dict[Any, List[int]]:
+        pos = self.column_pos(column)
+        buckets: Dict[Any, List[int]] = {}
+        for i, row in enumerate(self.rows):
+            buckets.setdefault(row[pos], []).append(i)
+        return buckets
+
+    def create_index(self, column: str) -> None:
+        """Declare a hash index on one column (idempotent)."""
+        if column not in self.indexes:
+            self.indexes[column] = self._build_index(column)
+
+    def probe_index(self, column: str, value: Any) -> Optional[List[int]]:
+        """Ascending rowids where ``column == value``; None if unindexed.
+
+        An unhashable probe value also returns None (the caller falls back
+        to a scan, which compares without hashing).
+        """
+        buckets = self.indexes.get(column)
+        if buckets is None:
+            return None
+        try:
+            return buckets.get(value, [])
+        except TypeError:
+            return None
 
     def __len__(self) -> int:
         return len(self.rows)

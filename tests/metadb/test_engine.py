@@ -49,6 +49,17 @@ def test_insert_with_explicit_columns_fills_nulls(db):
     assert rows == [(9, "x", None, None)]
 
 
+def test_insert_duplicate_column_rejected(db):
+    # Regression: a repeated column used to silently keep the later value.
+    with pytest.raises(SQLTypeError):
+        db.execute("INSERT INTO runs (runid, runid) VALUES (1, 2)")
+    with pytest.raises(SQLTypeError):
+        db.execute(
+            "INSERT INTO runs (dataset, runid, dataset) VALUES ('a', 1, 'b')"
+        )
+    assert db.execute("SELECT * FROM runs") == []
+
+
 def test_type_validation(db):
     with pytest.raises(SQLTypeError):
         db.execute("INSERT INTO runs VALUES (?, ?, ?, ?)", ("no", "p", 0.0, None))

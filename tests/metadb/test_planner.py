@@ -1,0 +1,154 @@
+"""Statement cache, equality planner, index maintenance, cost accounting."""
+
+import pytest
+
+from repro.config import origin2000
+from repro.errors import SQLTypeError
+from repro.metadb import Database, SDMTables
+from repro.metadb.schema import SDM_INDEXES
+from repro.simt import Simulator
+
+
+@pytest.fixture()
+def db():
+    d = Database()
+    d.execute("CREATE TABLE t (a INTEGER, b TEXT, c INTEGER)")
+    for i in range(20):
+        d.execute("INSERT INTO t VALUES (?, ?, ?)", (i % 5, f"s{i % 3}", i))
+    return d
+
+
+# -- statement cache ----------------------------------------------------
+
+
+def test_statement_cache_parses_once(db):
+    parses = db.n_parses
+    for i in range(10):
+        db.execute("SELECT * FROM t WHERE a = ?", (i,))
+    assert db.n_parses == parses + 1
+
+
+def test_query_dicts_single_parse(db):
+    parses = db.n_parses
+    rows = db.query_dicts("SELECT a, b FROM t WHERE c = ?", (7,))
+    assert rows == [{"a": 2, "b": "s1"}]
+    assert db.n_parses == parses + 1  # regression: used to parse twice
+    db.query_dicts("SELECT a, b FROM t WHERE c = ?", (8,))
+    assert db.n_parses == parses + 1
+
+
+def test_cache_is_per_sql_text(db):
+    parses = db.n_parses
+    db.execute("SELECT * FROM t WHERE a = 1")
+    db.execute("SELECT * FROM t WHERE a = 2")
+    assert db.n_parses == parses + 2
+
+
+# -- equality planner ----------------------------------------------------
+
+
+def test_indexed_equality_probes_skip_the_scan(db):
+    db.create_index("t", "a")
+    db.execute("SELECT * FROM t WHERE a = ?", (3,))
+    assert (db.n_index_probes, db.n_full_scans) == (1, 0)
+    # AND with an unindexed residue still probes, then filters.
+    rows = db.execute("SELECT c FROM t WHERE a = ? AND c >= ?", (3, 10))
+    assert (db.n_index_probes, db.n_full_scans) == (2, 0)
+    assert rows == [(13,), (18,)]
+
+
+def test_unindexed_or_non_equality_falls_back_to_scan(db):
+    db.create_index("t", "a")
+    db.execute("SELECT * FROM t WHERE c = ?", (7,))  # no index on c
+    db.execute("SELECT * FROM t WHERE a > ?", (3,))  # not an equality
+    db.execute("SELECT * FROM t WHERE a = ? OR c = ?", (1, 7))  # OR is opaque
+    assert (db.n_index_probes, db.n_full_scans) == (0, 3)
+
+
+def test_probe_results_match_scan_results(db):
+    expect = db.execute("SELECT * FROM t WHERE a = ? AND b = ?", (2, "s1"))
+    db.create_index("t", "a")
+    db.create_index("t", "b")
+    assert db.execute("SELECT * FROM t WHERE a = ? AND b = ?", (2, "s1")) == expect
+    assert db.n_index_probes == 1
+
+
+def test_null_equality_matches_nothing(db):
+    db.execute("INSERT INTO t (b, c) VALUES ('only-b', 99)")  # a is NULL
+    db.create_index("t", "a")
+    assert db.execute("SELECT * FROM t WHERE a = ?", (None,)) == []
+    # ... but IS NULL still finds the row (scan path).
+    assert db.execute("SELECT c FROM t WHERE a IS NULL") == [(99,)]
+
+
+def test_index_maintained_across_insert_update_delete(db):
+    db.create_index("t", "a")
+    db.execute("INSERT INTO t VALUES (42, 'new', 100)")
+    assert db.execute("SELECT c FROM t WHERE a = 42") == [(100,)]
+    db.execute("UPDATE t SET a = ? WHERE c = ?", (43, 100))
+    assert db.execute("SELECT c FROM t WHERE a = 42") == []
+    assert db.execute("SELECT c FROM t WHERE a = 43") == [(100,)]
+    db.execute("DELETE FROM t WHERE a = ?", (0,))
+    assert db.execute("SELECT * FROM t WHERE a = 0") == []
+    assert db.execute("SELECT COUNT(*) FROM t") == [(17,)]
+
+
+# -- cost accounting (regression: rows *touched*, not rows returned) ----
+
+
+def test_write_statements_charged_for_matched_rows():
+    sim = Simulator()
+    machine = origin2000()
+    db = Database(sim, machine)
+    db.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+    for i in range(50):
+        db.execute("INSERT INTO t VALUES (?, ?)", (i, i % 2))
+
+    def program(proc):
+        spans = []
+        for sql, params in (
+            ("UPDATE t SET a = 0 WHERE b = ?", (1,)),
+            ("DELETE FROM t WHERE b = ?", (1,)),
+            ("INSERT INTO t VALUES (100, 100)", ()),
+        ):
+            t0 = proc.now
+            db.execute(sql, params, proc=proc)
+            spans.append(proc.now - t0)
+        return spans
+
+    p = sim.spawn(program)
+    sim.run()
+    t_update, t_delete, t_insert = p.result
+    cost = machine.database.statement_time
+    assert t_update == pytest.approx(cost(rows=25))
+    assert t_delete == pytest.approx(cost(rows=25))
+    assert t_insert == pytest.approx(cost(rows=1))
+
+
+# -- schema wiring -------------------------------------------------------
+
+
+def test_create_all_declares_sdm_indexes():
+    tables = SDMTables(Database())
+    tables.create_all()
+    tables.create_all()  # idempotent, indexes included
+    for table, column in SDM_INDEXES:
+        assert column in tables.db.tables[table].indexes
+    tables.record_execution(1, "p", 0, "f.L3", 0, 100)
+    assert tables.lookup_execution(1, "p", 0) == ("f.L3", 0, 100)
+    assert tables.db.n_index_probes > 0
+    assert tables.db.n_full_scans == 0
+
+
+def test_seeded_database_reindexes_via_declare_indexes():
+    # Database.loads restores rows but not index declarations; a reader
+    # attaching to a snapshot re-declares and probes again.
+    producer = SDMTables(Database())
+    producer.create_all()
+    producer.record_execution(1, "p", 3, "f.L3", 300, 100)
+
+    reader = SDMTables(Database.loads(producer.db.dump()))
+    assert reader.db.tables["execution_table"].indexes == {}
+    reader.declare_indexes()
+    assert reader.lookup_execution(1, "p", 3) == ("f.L3", 300, 100)
+    assert (reader.db.n_index_probes, reader.db.n_full_scans) == (1, 0)

@@ -1,0 +1,97 @@
+"""Property: the indexed query path is indistinguishable from a full scan.
+
+Two databases with identical contents — one with secondary hash indexes on
+``a`` and ``b``, one without — must return identical rows (same order, same
+NULL semantics) for every SELECT, and end in identical states after every
+UPDATE/DELETE.  The indexed database's index structures must also stay
+consistent with a from-scratch rebuild after each mutation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metadb import Database
+
+_INT = st.one_of(st.none(), st.integers(-5, 5))
+_TXT = st.sampled_from(["x", "y", "z", None])
+
+# (WHERE template, parameter kinds).  Equality conjuncts over indexed and
+# unindexed columns, reversed operand order, OR/NOT/IS NULL subtrees,
+# parenthesized nesting, and contradictory double-equality.
+_TEMPLATES = [
+    ("a = ?", ("int",)),
+    ("b = ?", ("txt",)),
+    ("? = a", ("int",)),
+    ("a = ? AND b = ?", ("int", "txt")),
+    ("a = ? AND c >= ?", ("int", "int")),
+    ("a = ? AND a = ?", ("int", "int")),
+    ("a = ? AND (b = ? OR c = ?)", ("int", "txt", "int")),
+    ("a = ? OR b = ?", ("int", "txt")),
+    ("NOT a = ?", ("int",)),
+    ("a = ? AND b IS NULL", ("int",)),
+    ("(a = ? AND b = ?) AND c != ?", ("int", "txt", "int")),
+]
+
+
+@st.composite
+def _case(draw):
+    rows = draw(
+        st.lists(st.tuples(_INT, _TXT, _INT), min_size=0, max_size=30)
+    )
+    template, kinds = draw(st.sampled_from(_TEMPLATES))
+    params = tuple(
+        draw(_INT) if kind == "int" else draw(_TXT) for kind in kinds
+    )
+    return rows, template, params
+
+
+def _build(rows, indexed):
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER, b TEXT, c INTEGER)")
+    for row in rows:
+        db.execute("INSERT INTO t VALUES (?, ?, ?)", row)
+    if indexed:
+        db.create_index("t", "a")
+        db.create_index("t", "b")
+    return db
+
+
+def _check_index_integrity(db):
+    table = db.tables["t"]
+    for column, buckets in table.indexes.items():
+        assert buckets == table._build_index(column)
+
+
+@settings(max_examples=250, deadline=None)
+@given(_case())
+def test_index_probe_agrees_with_full_scan(case):
+    rows, template, params = case
+    plain = _build(rows, indexed=False)
+    fast = _build(rows, indexed=True)
+
+    select = f"SELECT * FROM t WHERE {template}"
+    assert fast.execute(select, params) == plain.execute(select, params)
+    count = f"SELECT COUNT(*) FROM t WHERE {template}"
+    assert fast.execute(count, params) == plain.execute(count, params)
+    ordered = f"SELECT a, c FROM t WHERE {template} ORDER BY c, a DESC"
+    assert fast.execute(ordered, params) == plain.execute(ordered, params)
+
+    # Mutations leave both engines in the same state, and the incremental
+    # index maintenance matches a from-scratch rebuild.
+    update = f"UPDATE t SET a = ? WHERE {template}"
+    fast.execute(update, (3,) + params)
+    plain.execute(update, (3,) + params)
+    _check_index_integrity(fast)
+    assert fast.execute("SELECT * FROM t") == plain.execute("SELECT * FROM t")
+
+    delete = f"DELETE FROM t WHERE {template}"
+    fast.execute(delete, params)
+    plain.execute(delete, params)
+    _check_index_integrity(fast)
+    assert fast.execute("SELECT * FROM t") == plain.execute("SELECT * FROM t")
+
+    # Probes still agree after the rebuild that DELETE triggers.
+    probe = "SELECT * FROM t WHERE a = ? AND b = ?"
+    for needle in (3, 0, None):
+        args = (needle, "x")
+        assert fast.execute(probe, args) == plain.execute(probe, args)
