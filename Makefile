@@ -1,16 +1,23 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-metadb bench
+.PHONY: test test-metadb bench bench-metadb
 
-## tier-1 verify: the full unit/property suite
-test:
-	$(PYTHON) -m pytest -x -q
+## tier-1 verify: the metadb subset first (fast signal), then everything else
+test: test-metadb
+	$(PYTHON) -m pytest -x -q --ignore=tests/metadb \
+	    --ignore=tests/properties/test_metadb_index_property.py \
+	    --ignore=tests/properties/test_sql_property.py
 
-## metadata query-path ablation (scan vs index, parse vs statement cache)
+## metadb engine/planner unit tests + the scan-equivalence property harness
+test-metadb:
+	$(PYTHON) -m pytest tests/metadb tests/properties/test_metadb_index_property.py tests/properties/test_sql_property.py -q
+
+## metadata query-path ablation (scan vs hash vs ordered vs composite,
+## parse vs statement cache); emits BENCH_metadb.json for cross-PR tracking
 bench-metadb:
-	$(PYTHON) -m pytest benchmarks/bench_ablation_metadb.py --benchmark-only -q
+	METADB_BENCH_JSON=BENCH_metadb.json $(PYTHON) -m pytest benchmarks/bench_ablation_metadb.py --benchmark-only -q
 
-## every paper-reproduction benchmark
-bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+## every paper-reproduction benchmark (metadb first, JSON included)
+bench: bench-metadb
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q --ignore=benchmarks/bench_ablation_metadb.py

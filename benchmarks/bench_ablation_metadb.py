@@ -1,22 +1,38 @@
-"""Ablation: metadata query path — full scan vs secondary-index probes.
+"""Ablation: metadata query path — scan vs hash vs ordered vs composite.
 
 The paper charges "the database cost to access the metadata" to every SDM
 operation, so the metadata path must not grow with the amount of metadata
-accumulated.  The seed engine re-parsed every statement and evaluated the
-WHERE expression against every row; the query pipeline adds a statement
-cache and per-column hash indexes with an equality planner.  This bench
-isolates both choices on the hottest SDM statement shape (the
-``execution_table`` point lookup behind every ``SDM.read``):
+accumulated.  This bench isolates the index generations on the two
+hottest SDM statement shapes:
 
-* ``scan``  — no indexes declared: every SELECT walks the whole table,
-* ``index`` — ``SDM_INDEXES``-style hash indexes probe candidate rowids,
+* the ``execution_table`` point lookup behind every ``SDM.read``
+  (``WHERE runid = ? AND dataset = ? AND timestep = ?``):
+
+  - ``scan``      — no indexes: every SELECT walks the whole table,
+  - ``hash``      — PR-1-style single-column hash indexes (smallest
+    bucket wins, residual conjuncts filtered),
+  - ``composite`` — one composite hash probe on the full column triple;
+
+* the end-of-file probe behind every packed append
+  (``WHERE file_name = ? ORDER BY file_offset DESC LIMIT 1``):
+
+  - ``scan``    — filter plus sort,
+  - ``ordered`` — one bisect into an ordered ``(file_name, file_offset)``
+    index;
 
 at 100 / 1 000 / 10 000 rows, plus a parse ablation (statement cache
 cleared before each execute vs warm) at the largest size.  Real
 wall-clock throughput: the engine itself is the system under test.
+
+Set ``METADB_BENCH_JSON=<path>`` (the Makefile's ``bench-metadb`` target
+points it at ``BENCH_metadb.json``) to also emit the rows as JSON, so the
+scan/hash/ordered/composite perf trajectory is tracked across PRs.
 """
 
+import json
+import os
 import random
+from dataclasses import asdict
 from time import perf_counter
 
 import pytest
@@ -32,12 +48,32 @@ _LOOKUP = (
     "WHERE runid = ? AND dataset = ? AND timestep = ?"
 )
 
+_EOF_PROBE = (
+    "SELECT file_offset, nbytes FROM execution_table WHERE file_name = ? "
+    "ORDER BY file_offset DESC LIMIT 1"
+)
+
+_INDEX_SETS = {
+    "scan": (),
+    "hash": ((("runid",), "hash"), (("timestep",), "hash")),
+    "composite": ((("runid", "dataset", "timestep"), "hash"),),
+    "ordered": ((("file_name", "file_offset"), "ordered"),),
+}
+
 
 def _params_for(i):
     return (i % 50, f"d{i % 4}", i)
 
 
-def _build(n_rows, indexed):
+def _file_for(i):
+    return f"grp{i % 8}.L3"
+
+
+def _eof_params_for(i):
+    return (_file_for(i),)
+
+
+def _build(n_rows, indexes):
     db = Database()
     db.execute(
         "CREATE TABLE execution_table ("
@@ -48,53 +84,95 @@ def _build(n_rows, indexed):
         runid, dataset, timestep = _params_for(i)
         db.execute(
             "INSERT INTO execution_table VALUES (?, ?, ?, ?, ?, ?)",
-            (runid, dataset, timestep, f"grp{i % 8}.L3", i * 100, 100),
+            (runid, dataset, timestep, _file_for(i), i * 100, 100),
         )
-    if indexed:
-        db.create_index("execution_table", "runid")
-        db.create_index("execution_table", "timestep")
+    for columns, kind in _INDEX_SETS[indexes]:
+        db.create_index("execution_table", columns, kind)
     return db
 
 
-def _throughput(db, n_rows, warm_cache=True):
-    """Statements/second over random point lookups (every one a hit)."""
+def _throughput(db, n_rows, sql, params_for, warm_cache=True):
+    """Statements/second over random lookups (every one a hit)."""
     rng = random.Random(7)
     targets = [rng.randrange(n_rows) for _ in range(N_STATEMENTS)]
     t0 = perf_counter()
     for i in targets:
         if not warm_cache:
             db._stmt_cache.clear()
-        rows = db.execute(_LOOKUP, _params_for(i))
+        rows = db.execute(sql, params_for(i))
         assert rows, "benchmark lookups must hit"
     return N_STATEMENTS / (perf_counter() - t0)
 
 
 def run_matrix():
     table = ResultTable(
-        "Ablation (metadb) - full scan vs secondary-index equality probes"
+        "Ablation (metadb) - scan vs hash vs ordered vs composite indexes"
     )
     speedups = {}
     for n in SIZES:
-        scan_db = _build(n, indexed=False)
-        index_db = _build(n, indexed=True)
-        scan = _throughput(scan_db, n)
-        probe = _throughput(index_db, n)
-        assert scan_db.n_index_probes == 0 and index_db.n_full_scans == 0
-        speedups[n] = probe / scan
-        table.add("ablation-metadb", f"scan/{n}rows", "throughput", scan, "stmt/s")
-        table.add("ablation-metadb", f"index/{n}rows", "throughput", probe, "stmt/s")
-        table.add("ablation-metadb", f"index-vs-scan/{n}rows", "speedup",
-                  speedups[n], "x")
+        # Point lookup: full scan vs single-column hash vs composite hash.
+        scan = _throughput(_build(n, "scan"), n, _LOOKUP, _params_for)
+        hash_db = _build(n, "hash")
+        single = _throughput(hash_db, n, _LOOKUP, _params_for)
+        composite_db = _build(n, "composite")
+        composite = _throughput(composite_db, n, _LOOKUP, _params_for)
+        assert hash_db.n_full_scans == composite_db.n_full_scans == 0
+        # End-of-file probe: filter-and-sort vs one ordered-index bisect.
+        eof_scan = _throughput(_build(n, "scan"), n, _EOF_PROBE, _eof_params_for)
+        ordered_db = _build(n, "ordered")
+        eof_ordered = _throughput(ordered_db, n, _EOF_PROBE, _eof_params_for)
+        assert ordered_db.n_sorted_probes == N_STATEMENTS
+        assert ordered_db.n_full_scans == 0
+
+        speedups[n] = {
+            "hash": single / scan,
+            "composite": composite / scan,
+            "ordered": eof_ordered / eof_scan,
+        }
+        for config, value in (
+            (f"lookup-scan/{n}rows", scan),
+            (f"lookup-hash/{n}rows", single),
+            (f"lookup-composite/{n}rows", composite),
+            (f"eof-scan/{n}rows", eof_scan),
+            (f"eof-ordered/{n}rows", eof_ordered),
+        ):
+            table.add("ablation-metadb", config, "throughput", value, "stmt/s")
+        for kind, value in speedups[n].items():
+            table.add(
+                "ablation-metadb", f"{kind}-vs-scan/{n}rows", "speedup",
+                value, "x",
+            )
 
     # Parse ablation at the largest size: cold (seed behavior, one parse
     # per statement) vs warm statement cache.
-    index_db = _build(SIZES[-1], indexed=True)
-    cold = _throughput(index_db, SIZES[-1], warm_cache=False)
-    warm = _throughput(index_db, SIZES[-1], warm_cache=True)
+    index_db = _build(SIZES[-1], "composite")
+    cold = _throughput(index_db, SIZES[-1], _LOOKUP, _params_for, warm_cache=False)
+    warm = _throughput(index_db, SIZES[-1], _LOOKUP, _params_for, warm_cache=True)
     table.add("ablation-metadb", "parse-per-stmt", "throughput", cold, "stmt/s")
     table.add("ablation-metadb", "stmt-cache", "throughput", warm, "stmt/s")
     table.add("ablation-metadb", "cache-vs-parse", "speedup", warm / cold, "x")
     return table, speedups, warm / cold
+
+
+def _emit_json(table, speedups, cache_gain):
+    """Write the matrix to $METADB_BENCH_JSON for cross-PR tracking."""
+    path = os.environ.get("METADB_BENCH_JSON")
+    if not path:
+        return
+    doc = {
+        "benchmark": "ablation-metadb",
+        "n_statements": N_STATEMENTS,
+        "sizes": list(SIZES),
+        "rows": [asdict(row) for row in table.rows],
+        "speedups": {
+            str(n): {k: round(v, 2) for k, v in by_kind.items()}
+            for n, by_kind in speedups.items()
+        },
+        "cache_gain": round(cache_gain, 2),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
 
 
 @pytest.mark.benchmark(group="ablation-metadb")
@@ -103,12 +181,22 @@ def test_index_probes_beat_full_scan(benchmark, report):
         run_matrix, rounds=1, iterations=1
     )
     report(table)
-    # Index probes win everywhere and by >= 5x once the table is big; the
-    # gap widens with table size (probes are O(1), scans are O(rows)).
-    assert all(s > 1.0 for s in speedups.values())
-    assert speedups[10_000] >= 5.0
-    assert speedups[10_000] > speedups[100]
+    _emit_json(table, speedups, cache_gain)
+    # Every index kind wins everywhere; the gap widens with table size
+    # (probes are O(1)/O(log rows), scans are O(rows)) and by 10k rows the
+    # composite point lookup and the ordered end-of-file probe are both
+    # >= 50x faster than the scan they replace.
+    for by_kind in speedups.values():
+        assert all(s > 1.0 for s in by_kind.values())
+    assert speedups[10_000]["composite"] >= 50.0
+    assert speedups[10_000]["ordered"] >= 50.0
+    assert speedups[10_000]["composite"] > speedups[100]["composite"]
     # Caching the parsed statement is itself a measurable win.
     assert cache_gain > 1.2
-    benchmark.extra_info["speedup_10k"] = round(speedups[10_000], 1)
+    benchmark.extra_info["composite_speedup_10k"] = round(
+        speedups[10_000]["composite"], 1
+    )
+    benchmark.extra_info["ordered_speedup_10k"] = round(
+        speedups[10_000]["ordered"], 1
+    )
     benchmark.extra_info["cache_gain"] = round(cache_gain, 2)

@@ -92,8 +92,10 @@ class SDMCatalog:
         from repro.metadb.schema import SDMTables as _Tables
 
         tables = _Tables(ctx.service("db"))
-        # A seeded database (Database.loads) arrives without index
-        # declarations; re-declare so catalog lookups probe, not scan.
+        # Database.loads restores persisted index declarations, so a
+        # snapshot arrives ready to probe; re-declaring here covers
+        # pre-persistence snapshots and hand-seeded databases (idempotent
+        # either way).
         tables.declare_indexes()
         return cls(ctx, tables, ctx.service("fs"))
 
@@ -102,7 +104,8 @@ class SDMCatalog:
     # ------------------------------------------------------------------
 
     def runs(self) -> List[RunRecord]:
-        """All recorded runs, oldest first."""
+        """All recorded runs, oldest first (a sorted walk of run_table's
+        ordered runid index — no scan, no sort)."""
         rows = self.tables.db.execute(
             "SELECT runid, application, dimension, problem_size, "
             "num_timesteps FROM run_table ORDER BY runid",
@@ -125,7 +128,12 @@ class SDMCatalog:
         ]
 
     def timesteps(self, runid: int, dataset: str) -> List[int]:
-        """Timesteps of a dataset with recorded data, ascending."""
+        """Timesteps of a dataset with recorded data, ascending.
+
+        Served as a sorted probe of execution_table's ordered
+        ``(runid, dataset, timestep)`` index: the equality prefix binds
+        the first two columns and the slice comes back already ordered.
+        """
         rows = self.tables.db.execute(
             "SELECT timestep FROM execution_table "
             "WHERE runid = ? AND dataset = ? ORDER BY timestep",
@@ -139,8 +147,8 @@ class SDMCatalog:
     # ------------------------------------------------------------------
 
     def _dataset_record(self, runid: int, dataset: str) -> DatasetRecord:
-        # Indexed point lookup (runid, dataset both carry secondary
-        # indexes) rather than fetching the run's whole dataset list.
+        # One composite-index probe on (runid, dataset) rather than
+        # fetching the run's whole dataset list.
         rows = self.tables.db.execute(
             "SELECT basic_pattern, data_type, storage_order, global_size "
             "FROM access_pattern_table WHERE runid = ? AND dataset = ?",

@@ -8,16 +8,21 @@ the "database cost to access the metadata" the paper folds into the
 history-file path.  ``rows`` is the number of rows the statement *touched*:
 returned for SELECT, written for INSERT, matched for UPDATE/DELETE.
 
-Two optimizations keep the metadata path off the application's critical
+Three optimizations keep the metadata path off the application's critical
 path as tables grow:
 
 * **Statement cache** — parsed ASTs are memoized by SQL text
   (:meth:`Database.prepare`), so the parameterized statements SDM issues in
   loops (one per timestep, per rank, per dataset) parse once per process.
-* **Equality planner** — WHERE trees whose top level is an AND of
-  ``column = literal/?`` conjuncts probe a secondary hash index on the
-  table (:meth:`Database.create_index`) and verify only the candidate
-  rows, instead of evaluating the predicate against every row.
+* **Conjunct planner** — WHERE trees are decomposed into their top-level
+  AND of equality and range conjuncts (:func:`~repro.metadb.expr.conjuncts_of`)
+  and the cheapest access path is chosen among a composite/single hash
+  probe, an ordered-index slice, and the full scan; candidate rows are
+  still verified against the complete WHERE, so results are
+  scan-identical.
+* **Sorted probes** — ``ORDER BY ... [LIMIT n]`` whose WHERE is fully
+  covered by an ordered index's leading columns is answered straight from
+  the index, skipping both the scan and the sort.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineModel
 from repro.errors import MetaDBError, TableExists, TableNotFound
-from repro.metadb.expr import BoolOp, ColumnRef, Compare, Expr, Literal, Param
+from repro.metadb.expr import Expr, conjuncts_of
 from repro.metadb.sqlparser import (
     CreateTable,
     Delete,
@@ -53,26 +58,27 @@ _STMT_CACHE_CAPACITY = 512
 """Parsed statements kept per database (LRU eviction beyond this)."""
 
 
-def _equality_conjuncts(where: Expr) -> List[Tuple[str, Expr]]:
-    """``(column, value-expr)`` pairs that must *all* hold for a row to match.
+def _descending_rowids(
+    entries, start: int, end: int, limit: Optional[int] = None
+) -> List[int]:
+    """Rowids of ``entries[start:end]`` in ``ORDER BY ... DESC`` order.
 
-    Walks ``Compare('=')`` nodes with a column ref on one side and a
-    literal or parameter on the other, recursing through ``BoolOp('AND')``
-    (nested ANDs from parenthesized input included).  Other node kinds
-    contribute no conjuncts but do not invalidate their AND siblings; OR
-    and NOT subtrees are opaque.
+    Keys descend, but insertion order is preserved *within* each group of
+    equal keys — exactly what the scan path's stable ``reverse=True`` sort
+    produces.  Walks backwards group by group, so a small LIMIT touches
+    only the tail of the slice (the ``LIMIT 1`` end-of-file probe is O(1)
+    past the bisect when keys are distinct).
     """
-    if isinstance(where, Compare) and where.op == "=":
-        for ref, value in ((where.left, where.right), (where.right, where.left)):
-            if isinstance(ref, ColumnRef) and isinstance(value, (Literal, Param)):
-                return [(ref.name, value)]
-        return []
-    if isinstance(where, BoolOp) and where.op == "AND":
-        out: List[Tuple[str, Expr]] = []
-        for operand in where.operands:
-            out.extend(_equality_conjuncts(operand))
-        return out
-    return []
+    out: List[int] = []
+    i = end
+    while i > start and (limit is None or len(out) < limit):
+        j = i - 1
+        key = entries[j][0]
+        while j > start and entries[j - 1][0] == key:
+            j -= 1
+        out.extend(rowid for _, rowid in entries[j:i])
+        i = j
+    return out if limit is None else out[:limit]
 
 
 class Database:
@@ -90,9 +96,12 @@ class Database:
         self.n_parses = 0
         """Statements actually parsed (cache misses)."""
         self.n_index_probes = 0
-        """WHERE evaluations answered from a secondary index."""
+        """WHERE evaluations narrowed by a secondary index."""
         self.n_full_scans = 0
         """WHERE evaluations that walked the whole table."""
+        self.n_sorted_probes = 0
+        """SELECTs whose WHERE/ORDER BY/LIMIT was answered entirely from
+        an ordered index (no scan, no sort)."""
         self._stmt_cache: "OrderedDict[str, Any]" = OrderedDict()
         self._server: Optional[Resource] = None
         if sim is not None and machine is not None:
@@ -170,9 +179,16 @@ class Database:
         )
         return [dict(zip(names, row)) for row in rows]
 
-    def create_index(self, table: str, column: str) -> None:
-        """Declare a secondary hash index used by equality WHERE clauses."""
-        self._table(table).create_index(column)
+    def create_index(self, table: str, columns, kind: str = "hash") -> None:
+        """Declare a secondary index on a column or column tuple.
+
+        ``kind='hash'`` serves equality WHERE conjuncts (all indexed
+        columns must be bound; a multi-column tuple is a composite index
+        probed once).  ``kind='ordered'`` serves equality on a leading
+        column prefix, range predicates on the next column, and
+        ``ORDER BY`` over the remaining columns.
+        """
+        self._table(table).create_index(columns, kind)
 
     # ------------------------------------------------------------------
 
@@ -230,32 +246,95 @@ class Database:
 
     # -- planner ---------------------------------------------------------
 
+    @staticmethod
+    def _conjunct_values(cj, params: Sequence[Any]):
+        """Evaluate every conjunct's value expression once.
+
+        Returns ``(eq_vals, lowers, uppers)`` dicts keyed by column (first
+        conjunct per column wins; duplicates are still re-verified by the
+        full WHERE evaluation), or None when any value is NULL — a
+        comparison with NULL is always False, so the whole AND matches
+        nothing.
+        """
+        eq_vals: Dict[str, Any] = {}
+        for col, e in cj.eq:
+            v = e.eval({}, params)
+            if v is None:
+                return None
+            eq_vals.setdefault(col, v)
+        lowers: Dict[str, Tuple[str, Any]] = {}
+        uppers: Dict[str, Tuple[str, Any]] = {}
+        for bounds, conjuncts in ((lowers, cj.lower), (uppers, cj.upper)):
+            for col, op, e in conjuncts:
+                v = e.eval({}, params)
+                if v is None:
+                    return None
+                bounds.setdefault(col, (op, v))
+        return eq_vals, lowers, uppers
+
     def _index_candidates(
         self, table: Table, where: Expr, params: Sequence[Any]
     ) -> Optional[List[int]]:
         """Rowids worth checking against ``where``, or None to full-scan.
 
-        Probes the table's secondary indexes with every indexed equality
-        conjunct and keeps the smallest candidate set; the caller still
-        evaluates the complete WHERE on each candidate, so this only ever
-        *narrows* the scan — NULL/type semantics are decided by the same
-        ``Expr.eval`` as the slow path.
+        Access paths, best (fewest candidates) wins:
+
+        1. every hash index whose columns are all bound by equality
+           conjuncts — a composite index probes its value tuple once;
+        2. every ordered index with a non-empty equality-bound column
+           prefix and/or range bounds on the following column — candidates
+           are a contiguous ``bisect`` slice.
+
+        The caller still evaluates the complete WHERE on each candidate,
+        so this only ever *narrows* the scan — NULL/type semantics are
+        decided by the same ``Expr.eval`` as the slow path.
         """
+        cj = conjuncts_of(where)
+        if cj.empty:
+            return None
+        values = self._conjunct_values(cj, params)
+        if values is None:
+            return []
+        eq_vals, lowers, uppers = values
+
         best: Optional[List[int]] = None
-        for column, value_expr in _equality_conjuncts(where):
-            if column not in table.indexes:
+        for index in table.hash_indexes():
+            if not all(c in eq_vals for c in index.columns):
                 continue
-            value = value_expr.eval({}, params)
-            if value is None:
-                # `col = NULL` matches no row; the whole AND is empty.
-                return []
-            bucket = table.probe_index(column, value)
+            bucket = index.probe(tuple(eq_vals[c] for c in index.columns))
             if bucket is None:  # unhashable probe value: scan instead
                 continue
             if not bucket:
                 return []
             if best is None or len(bucket) < len(best):
                 best = bucket
+
+        best_slice = None  # (count, index, start, end)
+        for index in table.ordered_indexes():
+            k = 0
+            while k < len(index.columns) and index.columns[k] in eq_vals:
+                k += 1
+            nxt = index.columns[k] if k < len(index.columns) else None
+            lo = lowers.get(nxt) if nxt is not None else None
+            hi = uppers.get(nxt) if nxt is not None else None
+            if k == 0 and lo is None and hi is None:
+                continue  # index leads with an unbound column
+            prefix = [eq_vals[c] for c in index.columns[:k]]
+            try:
+                start, end = index.slice_bounds(prefix, lo, hi)
+            except TypeError:  # unorderable probe value: scan instead
+                continue
+            count = end - start
+            if count == 0:
+                return []
+            if best_slice is None or count < best_slice[0]:
+                best_slice = (count, index, start, end)
+
+        if best_slice is not None and (best is None or best_slice[0] < len(best)):
+            _, index, start, end = best_slice
+            # Candidates must be evaluated in insertion order so that
+            # un-ORDERed results stay scan-identical.
+            return sorted(rowid for _, rowid in index.entries[start:end])
         return best
 
     def _match_rowids(self, table: Table, where, params) -> List[int]:
@@ -276,23 +355,88 @@ class Database:
                 hits.append(i)
         return hits
 
+    def _sorted_rowids(
+        self, table: Table, stmt: Select, params: Sequence[Any]
+    ) -> Optional[List[int]]:
+        """Rowids already filtered, ordered, and limited — or None.
+
+        The whole query must be answerable from one ordered index with no
+        WHERE re-evaluation: the WHERE decomposes *completely* into at
+        most one equality conjunct per column, plus at most one lower and
+        one upper bound on the first ORDER BY column; some ordered index's
+        columns are exactly those equality columns (in any order) followed
+        by the ORDER BY columns (in order, uniform direction).  The index
+        slice then contains exactly the matching rows, pre-sorted with the
+        same key and tie-break the scan path's stable sort would use.
+        """
+        directions = {desc for _, desc in stmt.order_by}
+        if len(directions) != 1:
+            return None
+        desc = directions.pop()
+        cj = conjuncts_of(stmt.where)
+        if not cj.complete:
+            return None
+        eq_cols = [c for c, _ in cj.eq]
+        order_cols = tuple(c for c, _ in stmt.order_by)
+        if len(set(eq_cols)) != len(eq_cols) or set(eq_cols) & set(order_cols):
+            return None
+        if len(cj.lower) > 1 or len(cj.upper) > 1:
+            return None
+        range_cols = {c for c, _, _ in cj.lower} | {c for c, _, _ in cj.upper}
+        if range_cols and range_cols != {order_cols[0]}:
+            return None
+        k = len(eq_cols)
+        for index in table.ordered_indexes():
+            if len(index.columns) != k + len(order_cols):
+                continue
+            if set(index.columns[:k]) != set(eq_cols):
+                continue
+            if index.columns[k:] != order_cols:
+                continue
+            values = self._conjunct_values(cj, params)
+            if values is None:
+                return []  # a NULL conjunct value: nothing matches
+            eq_vals, lowers, uppers = values
+            prefix = [eq_vals[c] for c in index.columns[:k]]
+            try:
+                start, end = index.slice_bounds(
+                    prefix, lowers.get(order_cols[0]), uppers.get(order_cols[0])
+                )
+            except TypeError:  # unorderable probe value: scan instead
+                return None
+            if desc:
+                return _descending_rowids(
+                    index.entries, start, end, stmt.limit
+                )
+            if stmt.limit is not None:
+                end = min(end, start + stmt.limit)
+            return [rowid for _, rowid in index.entries[start:end]]
+        return None
+
     def _select(self, stmt: Select, params: List[Any]) -> List[Tuple[Any, ...]]:
         table = self._table(stmt.table)
-        rowids = self._match_rowids(table, stmt.where, params)
-        rows = [table.rows[i] for i in rowids]
+        rows = None
         if stmt.order_by:
-            # Sort by keys right-to-left for stable multi-key ordering;
-            # None sorts first ascending (last descending).
-            for col, desc in reversed(stmt.order_by):
-                pos = table.column_pos(col)
-                rows.sort(
-                    key=lambda r: (r[pos] is not None, r[pos])
-                    if r[pos] is not None
-                    else (False, 0),
-                    reverse=desc,
-                )
-        if stmt.limit is not None:
-            rows = rows[: stmt.limit]
+            rowids = self._sorted_rowids(table, stmt, params)
+            if rowids is not None:
+                self.n_sorted_probes += 1
+                rows = [table.rows[i] for i in rowids]
+        if rows is None:
+            rowids = self._match_rowids(table, stmt.where, params)
+            rows = [table.rows[i] for i in rowids]
+            if stmt.order_by:
+                # Sort by keys right-to-left for stable multi-key ordering;
+                # None sorts first ascending (last descending).
+                for col, desc in reversed(stmt.order_by):
+                    pos = table.column_pos(col)
+                    rows.sort(
+                        key=lambda r: (r[pos] is not None, r[pos])
+                        if r[pos] is not None
+                        else (False, 0),
+                        reverse=desc,
+                    )
+            if stmt.limit is not None:
+                rows = rows[: stmt.limit]
         if stmt.aggregate is not None:
             fn, col = stmt.aggregate
             if fn == "COUNT" and col is None:
@@ -340,8 +484,10 @@ class Database:
     def dump(self) -> str:
         """Serialize the whole database to a JSON string.
 
-        Secondary indexes are not serialized (open item: see ROADMAP);
-        re-declare them after :meth:`loads`.
+        Index *declarations* (kind + column tuple) are persisted per
+        table; the structures themselves are rebuilt from the rows on
+        :meth:`loads`, so a restored database is self-contained — no
+        ``create_index`` re-declaration needed.
         """
         doc = {}
         for name, table in self.tables.items():
@@ -351,12 +497,16 @@ class Database:
                     [c.type.to_json(v) for c, v in zip(table.columns, row)]
                     for row in table.rows
                 ],
+                "indexes": [
+                    {"kind": index.kind, "columns": list(index.columns)}
+                    for index in table.indexes.values()
+                ],
             }
         return json.dumps({"tables": doc})
 
     @classmethod
     def loads(cls, text: str) -> "Database":
-        """Rebuild a database from :meth:`dump` output."""
+        """Rebuild a database (rows *and* indexes) from :meth:`dump` output."""
         doc = json.loads(text)
         db = cls()
         for name, spec in doc["tables"].items():
@@ -368,6 +518,10 @@ class Database:
                         c.type.from_json(v) for c, v in zip(columns, row)
                     )
                 )
+            # Pre-index-persistence dumps carry no "indexes" key; they
+            # load fine and simply need re-declaration as before.
+            for index in spec.get("indexes", ()):
+                table.create_index(tuple(index["columns"]), index["kind"])
             db.tables[name] = table
         return db
 

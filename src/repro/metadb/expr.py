@@ -8,8 +8,8 @@ False (which matches how SDM's queries use the database).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import MetaDBError
 
@@ -22,6 +22,8 @@ __all__ = [
     "BoolOp",
     "Not",
     "IsNull",
+    "Conjuncts",
+    "conjuncts_of",
 ]
 
 
@@ -134,3 +136,84 @@ class IsNull(Expr):
     def eval(self, row, params):
         result = self.operand.eval(row, params) is None
         return not result if self.negated else result
+
+
+# ---------------------------------------------------------------------------
+# Conjunct decomposition (what the planner sees)
+# ---------------------------------------------------------------------------
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass
+class Conjuncts:
+    """A WHERE tree decomposed into its top-level AND conjuncts.
+
+    Each entry pairs a column name with a value expression (a
+    :class:`Literal` or :class:`Param`); reversed comparisons
+    (``? < col``) are normalized so the column is always on the left.
+    ``complete`` is True iff *every* node of the tree was consumed — the
+    conjuncts then are not merely necessary for a row to match but
+    sufficient, which is what lets the engine answer a query entirely
+    from an index without re-evaluating the WHERE expression.
+    """
+
+    eq: List[Tuple[str, Expr]] = field(default_factory=list)
+    """``col = value`` conjuncts."""
+    lower: List[Tuple[str, str, Expr]] = field(default_factory=list)
+    """``(col, '>' | '>=', value)`` lower-bound conjuncts."""
+    upper: List[Tuple[str, str, Expr]] = field(default_factory=list)
+    """``(col, '<' | '<=', value)`` upper-bound conjuncts."""
+    complete: bool = True
+
+    @property
+    def empty(self) -> bool:
+        return not (self.eq or self.lower or self.upper)
+
+
+def conjuncts_of(where: Optional[Expr]) -> Conjuncts:
+    """Decompose a WHERE tree for the planner.
+
+    Walks ``Compare`` nodes with a column ref on one side and a literal
+    or parameter on the other, recursing through ``BoolOp('AND')``
+    (nested ANDs from parenthesized input included).  Any other node —
+    OR, NOT, IS NULL, ``!=``, column-to-column comparison — contributes
+    no conjuncts and clears ``complete``, but does not invalidate its
+    AND siblings.
+    """
+    out = Conjuncts()
+    if where is None:
+        return out
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, BoolOp) and node.op == "AND":
+            for operand in node.operands:
+                walk(operand)
+            return
+        if isinstance(node, Compare):
+            op = node.op
+            if isinstance(node.left, ColumnRef) and isinstance(
+                node.right, (Literal, Param)
+            ):
+                col, value = node.left.name, node.right
+            elif isinstance(node.right, ColumnRef) and isinstance(
+                node.left, (Literal, Param)
+            ):
+                col, value = node.right.name, node.left
+                op = _FLIP.get(op, op)
+            else:
+                out.complete = False
+                return
+            if op == "=":
+                out.eq.append((col, value))
+            elif op in (">", ">="):
+                out.lower.append((col, op, value))
+            elif op in ("<", "<="):
+                out.upper.append((col, op, value))
+            else:  # != narrows nothing
+                out.complete = False
+            return
+        out.complete = False
+
+    walk(where)
+    return out

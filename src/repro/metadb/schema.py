@@ -19,9 +19,12 @@ Six tables, as created by ``SDM_initialize``:
 methods for exactly the statements SDM issues, so the SQL lives here and the
 runtime stays readable.
 
-:data:`SDM_INDEXES` declares secondary hash indexes on the hot lookup
-columns — every WHERE clause SDM issues is an equality conjunction over
-these — so the engine's planner probes a dict instead of scanning.  (This
+:data:`SDM_INDEXES` declares secondary indexes on the hot lookup paths:
+composite hash indexes for the multi-column equality probes (the
+``(runid, dataset, timestep)`` point lookup behind every read, the
+``(problem_size, num_procs[, rank])`` history lookups) and ordered
+indexes for the range/ORDER BY shapes (``max_offset_in_file``'s
+end-of-file probe, the catalog's timestep and run listings).  (This
 flattens the *host* execution time of the simulator itself as runs and
 timesteps accumulate; the simulated virtual-time charge is set by the
 :class:`~repro.config.DatabaseModel` cost model and is per-row-touched
@@ -74,23 +77,27 @@ SDM_SCHEMA: Tuple[str, ...] = (
     )""",
 )
 
-SDM_INDEXES: Tuple[Tuple[str, str], ...] = (
-    ("run_table", "runid"),
-    ("access_pattern_table", "runid"),
-    ("access_pattern_table", "dataset"),
-    ("execution_table", "runid"),
-    ("execution_table", "dataset"),
-    ("execution_table", "timestep"),
-    ("execution_table", "file_name"),
-    ("import_table", "runid"),
-    ("import_table", "imported_name"),
-    ("index_table", "problem_size"),
-    ("index_table", "num_procs"),
-    ("index_history_table", "problem_size"),
-    ("index_history_table", "num_procs"),
-    ("index_history_table", "rank"),
+SDM_INDEXES: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
+    # One probe allocates runids; the ordered index also serves the
+    # catalog's `ORDER BY runid` run listing without a sort.
+    ("run_table", ("runid",), "ordered"),
+    # datasets_for_run (single-column) and _dataset_record (composite).
+    ("access_pattern_table", ("runid",), "hash"),
+    ("access_pattern_table", ("runid", "dataset"), "hash"),
+    # lookup_execution probes the composite hash once; the ordered twin
+    # serves the catalog's `WHERE runid/dataset ORDER BY timestep`; the
+    # (file_name, file_offset) index answers max_offset_in_file's
+    # `ORDER BY file_offset DESC LIMIT 1` end-of-file probe directly.
+    ("execution_table", ("runid", "dataset", "timestep"), "hash"),
+    ("execution_table", ("runid", "dataset", "timestep"), "ordered"),
+    ("execution_table", ("file_name", "file_offset"), "ordered"),
+    ("import_table", ("runid", "imported_name"), "hash"),
+    ("index_table", ("problem_size", "num_procs"), "hash"),
+    # history_rank probes the triple; drop_history narrows by the pair.
+    ("index_history_table", ("problem_size", "num_procs", "rank"), "hash"),
+    ("index_history_table", ("problem_size", "num_procs"), "hash"),
 )
-"""(table, column) pairs indexed for SDM's equality lookups."""
+"""(table, column tuple, kind) declarations for SDM's hot lookups."""
 
 
 @dataclass(frozen=True)
@@ -129,13 +136,14 @@ class SDMTables:
     def declare_indexes(self) -> None:
         """Declare :data:`SDM_INDEXES` on whichever SDM tables exist.
 
-        Idempotent.  Needed separately from :meth:`create_all` because
-        :meth:`Database.loads` restores rows but not index declarations —
-        a reader attaching to a seeded database re-declares here.
+        Idempotent.  :meth:`Database.loads` now restores persisted index
+        declarations, so a snapshot-restored database is already indexed;
+        this remains for pre-persistence snapshots and databases seeded by
+        hand (rows inserted directly into :class:`Table`).
         """
-        for table, column in SDM_INDEXES:
+        for table, columns, kind in SDM_INDEXES:
             if table in self.db.tables:
-                self.db.create_index(table, column)
+                self.db.create_index(table, columns, kind)
 
     # -- run_table -------------------------------------------------------
 

@@ -13,8 +13,9 @@ Supported statements (keywords case-insensitive, identifiers preserved):
     DELETE FROM t [WHERE expr]
 
 Expressions: literals (integers, floats, 'strings', NULL), ``?`` parameters,
-column refs, comparisons (= != <> < <= > >=), IS [NOT] NULL, NOT, AND, OR,
-parentheses.
+column refs, comparisons (= != <> < <= > >=), ``x BETWEEN lo AND hi``
+(desugared to ``x >= lo AND x <= hi``, so the planner sees two range
+conjuncts), IS [NOT] NULL, NOT, AND, OR, parentheses.
 """
 
 from __future__ import annotations
@@ -62,7 +63,7 @@ _KEYWORDS = {
     "CREATE", "TABLE", "IF", "NOT", "EXISTS", "DROP", "INSERT", "INTO",
     "VALUES", "SELECT", "FROM", "WHERE", "ORDER", "BY", "ASC", "DESC",
     "LIMIT", "UPDATE", "SET", "DELETE", "AND", "OR", "NULL", "IS",
-    "COUNT", "MAX", "MIN", "SUM",
+    "BETWEEN", "COUNT", "MAX", "MIN", "SUM",
 }
 
 
@@ -370,6 +371,16 @@ class _Parser:
             negated = bool(self.accept("keyword", "NOT"))
             self.expect("keyword", "NULL")
             return IsNull(left, negated)
+        if tok and tok.kind == "keyword" and tok.text == "BETWEEN":
+            # BETWEEN binds tighter than AND: the AND here is part of the
+            # BETWEEN, and the whole thing desugars to two range conjuncts.
+            self.pos += 1
+            low = self._primary()
+            self.expect("keyword", "AND")
+            high = self._primary()
+            return BoolOp(
+                "AND", (Compare(">=", left, low), Compare("<=", left, high))
+            )
         return left
 
     def _primary(self) -> Expr:

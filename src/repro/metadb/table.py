@@ -1,18 +1,46 @@
-"""Tables: typed row storage with schema validation and secondary indexes."""
+"""Tables: typed row storage with schema validation and secondary indexes.
+
+Two index kinds back the engine's planner:
+
+* :class:`HashIndex` — a dict from a tuple of column values to the
+  ascending list of rowids holding it.  One or more columns; an equality
+  probe over *all* indexed columns answers in O(1).
+* :class:`OrderedIndex` — a ``bisect``-maintained sorted array of
+  ``(key, rowid)`` entries over one or more columns.  Serves equality
+  probes on a column *prefix*, range predicates (``<`` ``<=`` ``>`` ``>=``
+  and BETWEEN-style pairs) on the column after the bound prefix, and
+  ``ORDER BY ... [LIMIT n]`` without sorting.
+
+Ordered keys wrap every column value with :func:`_sort_key`, the exact
+key function the engine's ORDER BY uses (NULL sorts first ascending), so
+an index walk and a sort of scanned rows produce identical orderings —
+including rowid-ascending tie-breaks.
+"""
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ColumnNotFound, MetaDBError, SQLTypeError
 from repro.metadb.types import ColumnType
 
-__all__ = ["Column", "Row", "Table"]
+__all__ = ["Column", "Row", "Table", "HashIndex", "OrderedIndex", "index_name"]
 
 Row = Tuple[Any, ...]
 """Rows are plain tuples in column-declaration order."""
+
+INDEX_KINDS = ("hash", "ordered")
+
+_KEY_HI = (2,)
+"""Sorts after every wrapped column value ((False, _) and (True, _))."""
+
+
+def _sort_key(value: Any) -> Tuple[Any, ...]:
+    """Total-order key for one column value; matches ORDER BY semantics
+    (NULL first ascending, ties left to the caller)."""
+    return (True, value) if value is not None else (False, 0)
 
 
 @dataclass(frozen=True)
@@ -23,14 +51,141 @@ class Column:
     type: ColumnType
 
 
+def index_name(kind: str, columns: Sequence[str]) -> str:
+    """Canonical name of an index declaration, e.g. ``hash(runid,dataset)``."""
+    return f"{kind}({','.join(columns)})"
+
+
+class HashIndex:
+    """value-tuple → ascending rowids; equality probes on all columns."""
+
+    kind = "hash"
+
+    def __init__(self, columns: Sequence[str], positions: Sequence[int]) -> None:
+        self.columns = tuple(columns)
+        self.positions = tuple(positions)
+        self.buckets: Dict[Tuple[Any, ...], List[int]] = {}
+
+    @property
+    def name(self) -> str:
+        return index_name(self.kind, self.columns)
+
+    def key_of(self, row: Row) -> Tuple[Any, ...]:
+        return tuple(row[p] for p in self.positions)
+
+    def add(self, rowid: int, row: Row) -> None:
+        self.buckets.setdefault(self.key_of(row), []).append(rowid)
+
+    def move(self, rowid: int, old: Row, new: Row) -> None:
+        old_key, new_key = self.key_of(old), self.key_of(new)
+        if old_key == new_key:
+            return  # same dict key (1 == 1.0 hash together)
+        bucket = self.buckets.get(old_key)
+        if bucket is not None:
+            bucket.remove(rowid)
+            if not bucket:
+                del self.buckets[old_key]
+        insort(self.buckets.setdefault(new_key, []), rowid)
+
+    def rebuild(self, rows: Sequence[Row]) -> None:
+        self.buckets = {}
+        for i, row in enumerate(rows):
+            self.buckets.setdefault(self.key_of(row), []).append(i)
+
+    def probe(self, values: Tuple[Any, ...]) -> Optional[List[int]]:
+        """Ascending rowids where every column equals its value; None when
+        the probe value is unhashable (caller falls back to a scan)."""
+        try:
+            return self.buckets.get(values, [])
+        except TypeError:
+            return None
+
+
+class OrderedIndex:
+    """Sorted ``(wrapped-key-tuple, rowid)`` entries over the columns.
+
+    Every row is present (NULL keys wrap to a value that sorts first), so
+    any contiguous slice is a faithful fragment of the ORDER BY ordering
+    and slicing can only ever *narrow* a scan.
+    """
+
+    kind = "ordered"
+
+    def __init__(self, columns: Sequence[str], positions: Sequence[int]) -> None:
+        self.columns = tuple(columns)
+        self.positions = tuple(positions)
+        self.entries: List[Tuple[Tuple[Any, ...], int]] = []
+
+    @property
+    def name(self) -> str:
+        return index_name(self.kind, self.columns)
+
+    def key_of(self, row: Row) -> Tuple[Any, ...]:
+        return tuple(_sort_key(row[p]) for p in self.positions)
+
+    def add(self, rowid: int, row: Row) -> None:
+        insort(self.entries, (self.key_of(row), rowid))
+
+    def move(self, rowid: int, old: Row, new: Row) -> None:
+        old_key, new_key = self.key_of(old), self.key_of(new)
+        if old_key == new_key:
+            return
+        i = bisect_left(self.entries, (old_key, rowid))
+        if i < len(self.entries) and self.entries[i] == (old_key, rowid):
+            del self.entries[i]
+        insort(self.entries, (new_key, rowid))
+
+    def rebuild(self, rows: Sequence[Row]) -> None:
+        self.entries = sorted((self.key_of(row), i) for i, row in enumerate(rows))
+
+    def slice_bounds(
+        self,
+        prefix: Sequence[Any],
+        lower: Optional[Tuple[str, Any]] = None,
+        upper: Optional[Tuple[str, Any]] = None,
+    ) -> Tuple[int, int]:
+        """``[start, end)`` of entries matching ``columns[:k] == prefix``
+        plus an optional lower/upper bound ``(op, value)`` on column ``k``.
+
+        The slice is *exact*: equality uses the same ``==`` the evaluator
+        does, and range bounds exclude NULL keys (a comparison with NULL is
+        always False).  Raises TypeError if the probe values cannot be
+        ordered against the stored keys — callers fall back to a scan,
+        which raises (or not) with identical semantics.
+        """
+        p = tuple(_sort_key(v) for v in prefix)
+        entries = self.entries
+        if lower is not None:
+            op, value = lower
+            w = _sort_key(value)
+            if op == ">":
+                start = bisect_right(entries, (p + (w, _KEY_HI),))
+            else:  # >=
+                start = bisect_left(entries, (p + (w,),))
+        elif upper is not None:
+            # Skip NULL keys so an upper-bound-only slice stays exact.
+            start = bisect_left(entries, (p + ((True,),),))
+        else:
+            start = bisect_left(entries, (p,)) if p else 0
+        if upper is not None:
+            op, value = upper
+            w = _sort_key(value)
+            if op == "<":
+                end = bisect_left(entries, (p + (w,),))
+            else:  # <=
+                end = bisect_right(entries, (p + (w, _KEY_HI),))
+        else:
+            end = bisect_right(entries, (p + (_KEY_HI,),)) if p else len(entries)
+        return start, max(start, end)
+
+
 class Table:
     """Heap of typed rows, append-ordered (insertion order is stable).
 
-    A table may carry secondary hash indexes on individual columns
-    (:meth:`create_index`): each maps a stored value to the ascending list
-    of rowids holding it, so equality lookups probe a dict instead of
-    scanning the heap.  Indexes are maintained on insert and in-place
-    update; deletion compacts rowids, so it rebuilds them.
+    A table may carry secondary indexes (:meth:`create_index`) of two
+    kinds — ``hash`` (single or composite equality) and ``ordered``
+    (range / ORDER BY) — maintained on insert and in-place update;
+    deletion compacts rowids, so it rebuilds them.
     """
 
     def __init__(self, name: str, columns: Sequence[Column]) -> None:
@@ -43,7 +198,8 @@ class Table:
         self.columns = list(columns)
         self._index: Dict[str, int] = {c.name: i for i, c in enumerate(columns)}
         self.rows: List[Row] = []
-        self.indexes: Dict[str, Dict[Any, List[int]]] = {}
+        self.indexes: Dict[str, Any] = {}
+        """Index name → :class:`HashIndex` | :class:`OrderedIndex`."""
 
     @property
     def column_names(self) -> List[str]:
@@ -94,8 +250,8 @@ class Table:
         row = self.coerce_row(values, columns)
         rowid = len(self.rows)
         self.rows.append(row)
-        for col, buckets in self.indexes.items():
-            buckets.setdefault(row[self._index[col]], []).append(rowid)
+        for index in self.indexes.values():
+            index.add(rowid, row)
         return row
 
     def scan(self) -> Iterable[Tuple[int, Row]]:
@@ -106,16 +262,8 @@ class Table:
         """Overwrite one row in place, keeping indexes consistent."""
         old = self.rows[rowid]
         self.rows[rowid] = row
-        for col, buckets in self.indexes.items():
-            pos = self._index[col]
-            if old[pos] is row[pos] or old[pos] == row[pos]:
-                continue  # same dict key (1 == 1.0 == True hash together)
-            bucket = buckets.get(old[pos])
-            if bucket is not None:
-                bucket.remove(rowid)
-                if not bucket:
-                    del buckets[old[pos]]
-            insort(buckets.setdefault(row[pos], []), rowid)
+        for index in self.indexes.values():
+            index.move(rowid, old, row)
 
     def delete_rowids(self, rowids: Iterable[int]) -> int:
         """Remove rows by position; returns how many were removed."""
@@ -124,39 +272,45 @@ class Table:
             return 0
         before = len(self.rows)
         self.rows = [r for i, r in enumerate(self.rows) if i not in doomed]
-        if self.indexes:
-            # Compaction renumbers every surviving rowid: rebuild.
-            for col in self.indexes:
-                self.indexes[col] = self._build_index(col)
+        # Compaction renumbers every surviving rowid: rebuild.
+        for index in self.indexes.values():
+            index.rebuild(self.rows)
         return before - len(self.rows)
 
     # -- secondary indexes ------------------------------------------------
 
-    def _build_index(self, column: str) -> Dict[Any, List[int]]:
-        pos = self.column_pos(column)
-        buckets: Dict[Any, List[int]] = {}
-        for i, row in enumerate(self.rows):
-            buckets.setdefault(row[pos], []).append(i)
-        return buckets
+    def make_index(self, columns, kind: str = "hash"):
+        """Build (but do not attach) an index over the current rows."""
+        if isinstance(columns, str):
+            columns = (columns,)
+        columns = tuple(columns)
+        if not columns:
+            raise MetaDBError(f"index on {self.name!r} needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise MetaDBError(f"duplicate columns in index on {self.name!r}")
+        positions = tuple(self.column_pos(c) for c in columns)
+        if kind == "hash":
+            index = HashIndex(columns, positions)
+        elif kind == "ordered":
+            index = OrderedIndex(columns, positions)
+        else:
+            raise MetaDBError(
+                f"unknown index kind {kind!r} (expected one of {INDEX_KINDS})"
+            )
+        index.rebuild(self.rows)
+        return index
 
-    def create_index(self, column: str) -> None:
-        """Declare a hash index on one column (idempotent)."""
-        if column not in self.indexes:
-            self.indexes[column] = self._build_index(column)
+    def create_index(self, columns, kind: str = "hash") -> None:
+        """Declare an index on a column or column tuple (idempotent)."""
+        index = self.make_index(columns, kind)
+        if index.name not in self.indexes:
+            self.indexes[index.name] = index
 
-    def probe_index(self, column: str, value: Any) -> Optional[List[int]]:
-        """Ascending rowids where ``column == value``; None if unindexed.
+    def hash_indexes(self) -> List[HashIndex]:
+        return [i for i in self.indexes.values() if i.kind == "hash"]
 
-        An unhashable probe value also returns None (the caller falls back
-        to a scan, which compares without hashing).
-        """
-        buckets = self.indexes.get(column)
-        if buckets is None:
-            return None
-        try:
-            return buckets.get(value, [])
-        except TypeError:
-            return None
+    def ordered_indexes(self) -> List[OrderedIndex]:
+        return [i for i in self.indexes.values() if i.kind == "ordered"]
 
     def __len__(self) -> int:
         return len(self.rows)

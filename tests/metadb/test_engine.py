@@ -103,6 +103,24 @@ def test_where_boolean_logic(db):
     assert rows == [(1,), (3,)]
 
 
+def test_where_between(db):
+    for i in range(5):
+        db.execute("INSERT INTO runs VALUES (?, ?, ?, NULL)", (i, f"d{i}", i * 1.0))
+    assert db.execute("SELECT runid FROM runs WHERE runid BETWEEN 1 AND 3") == [
+        (1,), (2,), (3,),
+    ]
+    assert db.execute(
+        "SELECT runid FROM runs WHERE runid BETWEEN ? AND ?", (3, 1)
+    ) == []
+    # BETWEEN binds tighter than AND.
+    rows = db.execute(
+        "SELECT runid FROM runs WHERE runid BETWEEN 1 AND 3 AND dataset = 'd2'"
+    )
+    assert rows == [(2,)]
+    rows = db.execute("SELECT runid FROM runs WHERE NOT (runid BETWEEN 1 AND 3)")
+    assert rows == [(0,), (4,)]
+
+
 def test_where_is_null(db):
     db.execute("INSERT INTO runs VALUES (1, 'a', NULL, NULL)")
     db.execute("INSERT INTO runs VALUES (2, 'b', 1.0, NULL)")

@@ -1,11 +1,12 @@
-"""Statement cache, equality planner, index maintenance, cost accounting."""
+"""Statement cache, conjunct planner, index maintenance, cost accounting."""
 
 import pytest
 
 from repro.config import origin2000
-from repro.errors import SQLTypeError
+from repro.errors import MetaDBError, SQLTypeError
 from repro.metadb import Database, SDMTables
 from repro.metadb.schema import SDM_INDEXES
+from repro.metadb.table import index_name
 from repro.simt import Simulator
 
 
@@ -60,7 +61,7 @@ def test_indexed_equality_probes_skip_the_scan(db):
 def test_unindexed_or_non_equality_falls_back_to_scan(db):
     db.create_index("t", "a")
     db.execute("SELECT * FROM t WHERE c = ?", (7,))  # no index on c
-    db.execute("SELECT * FROM t WHERE a > ?", (3,))  # not an equality
+    db.execute("SELECT * FROM t WHERE a > ?", (3,))  # no ordered index on a
     db.execute("SELECT * FROM t WHERE a = ? OR c = ?", (1, 7))  # OR is opaque
     assert (db.n_index_probes, db.n_full_scans) == (0, 3)
 
@@ -81,6 +82,93 @@ def test_null_equality_matches_nothing(db):
     assert db.execute("SELECT c FROM t WHERE a IS NULL") == [(99,)]
 
 
+# -- composite indexes ---------------------------------------------------
+
+
+def test_composite_index_probes_once(db):
+    expect = db.execute("SELECT * FROM t WHERE a = ? AND b = ?", (2, "s1"))
+    db.create_index("t", ("a", "b"))
+    db.n_full_scans = 0
+    rows = db.execute("SELECT * FROM t WHERE a = ? AND b = ?", (2, "s1"))
+    assert rows == expect and rows
+    assert (db.n_index_probes, db.n_full_scans) == (1, 0)
+    # Reversed conjunct order binds the same composite key.
+    assert db.execute("SELECT * FROM t WHERE b = ? AND a = ?", ("s1", 2)) == expect
+
+
+def test_composite_index_needs_every_column_bound(db):
+    db.create_index("t", ("a", "b"))
+    db.execute("SELECT * FROM t WHERE a = ?", (2,))  # prefix only: no probe
+    assert (db.n_index_probes, db.n_full_scans) == (0, 1)
+
+
+def test_planner_prefers_smallest_candidate_set(db):
+    db.create_index("t", "a")  # buckets of 4
+    db.create_index("t", ("a", "b"))  # buckets of 1-2
+    db.execute("SELECT * FROM t WHERE a = ? AND b = ?", (2, "s1"))
+    probed = db.tables["t"].indexes[index_name("hash", ("a", "b"))]
+    assert max(len(b) for b in probed.buckets.values()) < 4
+
+
+# -- ordered indexes -----------------------------------------------------
+
+
+def test_range_predicates_use_ordered_index(db):
+    expect_gt = db.execute("SELECT * FROM t WHERE c > ?", (15,))
+    expect_between = db.execute("SELECT * FROM t WHERE c BETWEEN ? AND ?", (5, 8))
+    db.create_index("t", "c", kind="ordered")
+    scans = db.n_full_scans
+    assert db.execute("SELECT * FROM t WHERE c > ?", (15,)) == expect_gt
+    assert (
+        db.execute("SELECT * FROM t WHERE c BETWEEN ? AND ?", (5, 8))
+        == expect_between
+    )
+    assert db.n_full_scans == scans and db.n_index_probes == 2
+
+
+def test_ordered_prefix_plus_range(db):
+    expect = db.execute("SELECT * FROM t WHERE a = ? AND c >= ?", (3, 10))
+    db.create_index("t", ("a", "c"), kind="ordered")
+    db.n_full_scans = 0
+    assert db.execute("SELECT * FROM t WHERE a = ? AND c >= ?", (3, 10)) == expect
+    assert (db.n_index_probes, db.n_full_scans) == (1, 0)
+
+
+def test_order_by_limit_served_without_sort(db):
+    expect = db.execute("SELECT * FROM t WHERE a = ? ORDER BY c DESC LIMIT 1", (3,))
+    db.create_index("t", ("a", "c"), kind="ordered")
+    db.n_full_scans = 0
+    got = db.execute("SELECT * FROM t WHERE a = ? ORDER BY c DESC LIMIT 1", (3,))
+    assert got == expect
+    assert (db.n_sorted_probes, db.n_index_probes, db.n_full_scans) == (1, 0, 0)
+    # Whole-table ORDER BY (no WHERE) walks the index too.
+    db.create_index("t", "c", kind="ordered")
+    expect_all = sorted(r[2] for r in db.tables["t"].rows)
+    assert [r[0] for r in db.execute("SELECT c FROM t ORDER BY c")] == expect_all
+    assert db.n_sorted_probes == 2
+
+
+def test_order_by_with_residual_where_still_sorts(db):
+    # The WHERE is not fully covered by the index prefix, so the engine
+    # must fall back to filter-then-sort (narrowed by the hash index).
+    db.create_index("t", ("a", "c"), kind="ordered")
+    db.create_index("t", "b")
+    rows = db.execute(
+        "SELECT c FROM t WHERE a = ? AND b = ? ORDER BY c DESC", (2, "s1")
+    )
+    assert rows == [(7,)]
+    assert db.n_sorted_probes == 0 and db.n_index_probes == 1
+
+
+def test_incomparable_range_value_falls_back_to_scan(db):
+    db.create_index("t", "c", kind="ordered")
+    with pytest.raises(MetaDBError):  # scan raises the usual type error
+        db.execute("SELECT * FROM t WHERE c > ?", ("not-an-int",))
+
+
+# -- index maintenance ---------------------------------------------------
+
+
 def test_index_maintained_across_insert_update_delete(db):
     db.create_index("t", "a")
     db.execute("INSERT INTO t VALUES (42, 'new', 100)")
@@ -91,6 +179,54 @@ def test_index_maintained_across_insert_update_delete(db):
     db.execute("DELETE FROM t WHERE a = ?", (0,))
     assert db.execute("SELECT * FROM t WHERE a = 0") == []
     assert db.execute("SELECT COUNT(*) FROM t") == [(17,)]
+
+
+def _assert_indexes_match_rebuild(db, table_name="t"):
+    table = db.tables[table_name]
+    for index in table.indexes.values():
+        fresh = table.make_index(index.columns, index.kind)
+        if index.kind == "hash":
+            assert index.buckets == fresh.buckets
+        else:
+            assert index.entries == fresh.entries
+
+
+def test_delete_then_reinsert_keeps_indexes_consistent(db):
+    # Regression: deletion compacts rowids; a subsequent insert must land
+    # in the rebuilt structures, not stale pre-compaction buckets.
+    db.create_index("t", "a")
+    db.create_index("t", ("a", "c"), kind="ordered")
+    db.execute("DELETE FROM t WHERE a = ?", (2,))
+    db.execute("INSERT INTO t VALUES (2, 'back', 50)")
+    _assert_indexes_match_rebuild(db)
+    assert db.execute("SELECT b, c FROM t WHERE a = 2") == [("back", 50)]
+    assert db.execute(
+        "SELECT c FROM t WHERE a = ? AND c >= ?", (2, 0)
+    ) == [(50,)]
+
+
+def test_update_moves_row_between_buckets(db):
+    # Regression: an UPDATE that changes an indexed column must move the
+    # row out of its old hash bucket and ordered slot.
+    db.create_index("t", "a")
+    db.create_index("t", "c", kind="ordered")
+    db.execute("UPDATE t SET a = ?, c = ? WHERE c = ?", (99, 1000, 7))
+    _assert_indexes_match_rebuild(db)
+    assert db.execute("SELECT c FROM t WHERE a = 99") == [(1000,)]
+    assert db.execute("SELECT a FROM t WHERE a = 2 AND c = 7") == []
+    assert db.execute("SELECT c FROM t WHERE c > ?", (900,)) == [(1000,)]
+
+
+def test_update_to_null_key_and_back(db):
+    db.create_index("t", "c", kind="ordered")
+    db.execute("UPDATE t SET c = NULL WHERE a = ?", (1,))
+    _assert_indexes_match_rebuild(db)
+    assert db.execute("SELECT COUNT(*) FROM t WHERE c IS NULL") == [(4,)]
+    assert db.execute("SELECT * FROM t WHERE c > ?", (-1000,)) == [
+        r for r in db.execute("SELECT * FROM t") if r[2] is not None
+    ]
+    db.execute("UPDATE t SET c = ? WHERE c IS NULL", (0,))
+    _assert_indexes_match_rebuild(db)
 
 
 # -- cost accounting (regression: rows *touched*, not rows returned) ----
@@ -132,23 +268,58 @@ def test_create_all_declares_sdm_indexes():
     tables = SDMTables(Database())
     tables.create_all()
     tables.create_all()  # idempotent, indexes included
-    for table, column in SDM_INDEXES:
-        assert column in tables.db.tables[table].indexes
+    for table, columns, kind in SDM_INDEXES:
+        assert index_name(kind, columns) in tables.db.tables[table].indexes
     tables.record_execution(1, "p", 0, "f.L3", 0, 100)
     assert tables.lookup_execution(1, "p", 0) == ("f.L3", 0, 100)
     assert tables.db.n_index_probes > 0
     assert tables.db.n_full_scans == 0
 
 
-def test_seeded_database_reindexes_via_declare_indexes():
-    # Database.loads restores rows but not index declarations; a reader
-    # attaching to a snapshot re-declares and probes again.
+def test_max_offset_served_by_sorted_probe():
+    tables = SDMTables(Database())
+    tables.create_all()
+    for step in range(10):
+        tables.record_execution(1, "p", step, "grp.L3", step * 100, 100)
+        tables.record_execution(1, "q", step, "other.L3", step * 50, 50)
+    assert tables.max_offset_in_file("grp.L3") == 1000
+    assert tables.max_offset_in_file("other.L3") == 500
+    assert tables.max_offset_in_file("missing.L3") == 0
+    assert tables.db.n_sorted_probes == 3
+    assert tables.db.n_full_scans == 0
+
+
+# -- index persistence ---------------------------------------------------
+
+
+def test_indexes_survive_dump_loads_roundtrip(db):
+    db.create_index("t", "a")
+    db.create_index("t", ("a", "b"))
+    db.create_index("t", ("a", "c"), kind="ordered")
+    restored = Database.loads(db.dump())
+    assert sorted(restored.tables["t"].indexes) == sorted(db.tables["t"].indexes)
+    _assert_indexes_match_rebuild(restored)
+    expect = db.execute("SELECT * FROM t WHERE a = ? AND b = ?", (2, "s1"))
+    assert restored.execute("SELECT * FROM t WHERE a = ? AND b = ?", (2, "s1")) == expect
+    assert (restored.n_index_probes, restored.n_full_scans) == (1, 0)
+
+
+def test_snapshot_restored_catalog_probes_without_redeclaration():
+    # Database.loads restores index declarations, so a reader attaching
+    # to a snapshot answers the end-of-file probe from the ordered index
+    # with no create_index / declare_indexes call of its own.
     producer = SDMTables(Database())
     producer.create_all()
     producer.record_execution(1, "p", 3, "f.L3", 300, 100)
 
     reader = SDMTables(Database.loads(producer.db.dump()))
-    assert reader.db.tables["execution_table"].indexes == {}
-    reader.declare_indexes()
+    assert reader.db.tables["execution_table"].indexes.keys() == (
+        producer.db.tables["execution_table"].indexes.keys()
+    )
     assert reader.lookup_execution(1, "p", 3) == ("f.L3", 300, 100)
-    assert (reader.db.n_index_probes, reader.db.n_full_scans) == (1, 0)
+    assert reader.max_offset_in_file("f.L3") == 400
+    assert (reader.db.n_sorted_probes, reader.db.n_full_scans) == (1, 0)
+    reader.declare_indexes()  # still idempotent on a restored database
+    assert reader.db.tables["execution_table"].indexes.keys() == (
+        producer.db.tables["execution_table"].indexes.keys()
+    )

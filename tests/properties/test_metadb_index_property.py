@@ -1,10 +1,16 @@
-"""Property: the indexed query path is indistinguishable from a full scan.
+"""Property: every indexed query plan is indistinguishable from a full scan.
 
-Two databases with identical contents — one with secondary hash indexes on
-``a`` and ``b``, one without — must return identical rows (same order, same
-NULL semantics) for every SELECT, and end in identical states after every
-UPDATE/DELETE.  The indexed database's index structures must also stay
-consistent with a from-scratch rebuild after each mutation.
+Databases with identical contents but different index configurations —
+none (forced full scan), single-column hash, composite hash, ordered, and
+all of them at once — must return byte-identical rows (same order, same
+NULL semantics) for every generated SELECT/ORDER BY/LIMIT combination,
+and end in identical states after every UPDATE/DELETE.  The indexed
+database's structures must also stay consistent with a from-scratch
+rebuild after each mutation, and must survive a ``dump()``/``loads()``
+persistence round-trip.
+
+NULL keys and duplicate keys are generated on purpose: the value domains
+are tiny, so collisions and NULLs occur in most examples.
 """
 
 from hypothesis import given, settings
@@ -15,15 +21,23 @@ from repro.metadb import Database
 _INT = st.one_of(st.none(), st.integers(-5, 5))
 _TXT = st.sampled_from(["x", "y", "z", None])
 
-# (WHERE template, parameter kinds).  Equality conjuncts over indexed and
-# unindexed columns, reversed operand order, OR/NOT/IS NULL subtrees,
-# parenthesized nesting, and contradictory double-equality.
+# (WHERE template, parameter kinds).  Equality and range conjuncts over
+# indexed and unindexed columns, reversed operand order, BETWEEN sugar,
+# OR/NOT/IS NULL subtrees, parenthesized nesting, and contradictory
+# double-equality.
 _TEMPLATES = [
+    (None, ()),
     ("a = ?", ("int",)),
     ("b = ?", ("txt",)),
     ("? = a", ("int",)),
     ("a = ? AND b = ?", ("int", "txt")),
+    ("a = ? AND b = ? AND c = ?", ("int", "txt", "int")),
     ("a = ? AND c >= ?", ("int", "int")),
+    ("a = ? AND c > ? AND c <= ?", ("int", "int", "int")),
+    ("c BETWEEN ? AND ?", ("int", "int")),
+    ("c < ?", ("int",)),
+    ("? < c", ("int",)),
+    ("c >= ? AND c >= ?", ("int", "int")),
     ("a = ? AND a = ?", ("int", "int")),
     ("a = ? AND (b = ? OR c = ?)", ("int", "txt", "int")),
     ("a = ? OR b = ?", ("int", "txt")),
@@ -31,6 +45,37 @@ _TEMPLATES = [
     ("a = ? AND b IS NULL", ("int",)),
     ("(a = ? AND b = ?) AND c != ?", ("int", "txt", "int")),
 ]
+
+_ORDER_BYS = [
+    "",
+    "ORDER BY a",
+    "ORDER BY c",
+    "ORDER BY c DESC",
+    "ORDER BY a, c",
+    "ORDER BY c DESC, a DESC",
+    "ORDER BY b, c",
+    "ORDER BY b DESC",
+]
+
+_LIMITS = [None, 0, 1, 3]
+
+# Named index configurations; "scan" is the reference plan.
+_INDEX_SETS = {
+    "hash": [("a", "hash"), ("b", "hash")],
+    "composite": [(("a", "b"), "hash"), (("a", "b", "c"), "hash")],
+    "ordered": [
+        (("c",), "ordered"),
+        (("a", "c"), "ordered"),
+        (("b",), "ordered"),
+    ],
+    "mixed": [
+        ("a", "hash"),
+        (("a", "b", "c"), "hash"),
+        (("c",), "ordered"),
+        (("a", "c"), "ordered"),
+        (("b", "c"), "ordered"),
+    ],
+}
 
 
 @st.composite
@@ -42,56 +87,84 @@ def _case(draw):
     params = tuple(
         draw(_INT) if kind == "int" else draw(_TXT) for kind in kinds
     )
-    return rows, template, params
+    order_by = draw(st.sampled_from(_ORDER_BYS))
+    limit = draw(st.sampled_from(_LIMITS))
+    index_set = draw(st.sampled_from(sorted(_INDEX_SETS)))
+    return rows, template, params, order_by, limit, index_set
 
 
-def _build(rows, indexed):
+def _build(rows, index_set=None):
     db = Database()
     db.execute("CREATE TABLE t (a INTEGER, b TEXT, c INTEGER)")
     for row in rows:
         db.execute("INSERT INTO t VALUES (?, ?, ?)", row)
-    if indexed:
-        db.create_index("t", "a")
-        db.create_index("t", "b")
+    if index_set is not None:
+        for columns, kind in _INDEX_SETS[index_set]:
+            db.create_index("t", columns, kind)
     return db
 
 
 def _check_index_integrity(db):
     table = db.tables["t"]
-    for column, buckets in table.indexes.items():
-        assert buckets == table._build_index(column)
+    for index in table.indexes.values():
+        fresh = table.make_index(index.columns, index.kind)
+        if index.kind == "hash":
+            assert index.buckets == fresh.buckets
+        else:
+            assert index.entries == fresh.entries
 
 
 @settings(max_examples=250, deadline=None)
 @given(_case())
-def test_index_probe_agrees_with_full_scan(case):
-    rows, template, params = case
-    plain = _build(rows, indexed=False)
-    fast = _build(rows, indexed=True)
+def test_every_index_plan_agrees_with_full_scan(case):
+    rows, template, params, order_by, limit, index_set = case
+    plain = _build(rows)
+    fast = _build(rows, index_set)
 
-    select = f"SELECT * FROM t WHERE {template}"
+    where = f"WHERE {template} " if template else ""
+    tail = f"{where}{order_by}"
+    if limit is not None:
+        tail = f"{tail} LIMIT {limit}"
+
+    select = f"SELECT * FROM t {tail}"
     assert fast.execute(select, params) == plain.execute(select, params)
-    count = f"SELECT COUNT(*) FROM t WHERE {template}"
+    projected = f"SELECT a, c FROM t {tail}"
+    assert fast.execute(projected, params) == plain.execute(projected, params)
+    count = f"SELECT COUNT(*) FROM t {where}"
     assert fast.execute(count, params) == plain.execute(count, params)
-    ordered = f"SELECT a, c FROM t WHERE {template} ORDER BY c, a DESC"
-    assert fast.execute(ordered, params) == plain.execute(ordered, params)
 
-    # Mutations leave both engines in the same state, and the incremental
+    # Persistence round-trips the declarations and the row contents.
+    restored = Database.loads(fast.dump())
+    assert restored.tables["t"].indexes.keys() == fast.tables["t"].indexes.keys()
+    _check_index_integrity(restored)
+    assert restored.execute(select, params) == plain.execute(select, params)
+
+    # Mutations leave every engine in the same state, and the incremental
     # index maintenance matches a from-scratch rebuild.
-    update = f"UPDATE t SET a = ? WHERE {template}"
-    fast.execute(update, (3,) + params)
-    plain.execute(update, (3,) + params)
-    _check_index_integrity(fast)
-    assert fast.execute("SELECT * FROM t") == plain.execute("SELECT * FROM t")
+    if template is not None:
+        update = f"UPDATE t SET a = ? {where}"
+        fast.execute(update, (3,) + params)
+        plain.execute(update, (3,) + params)
+        _check_index_integrity(fast)
+        assert fast.execute("SELECT * FROM t") == plain.execute("SELECT * FROM t")
 
-    delete = f"DELETE FROM t WHERE {template}"
-    fast.execute(delete, params)
-    plain.execute(delete, params)
-    _check_index_integrity(fast)
-    assert fast.execute("SELECT * FROM t") == plain.execute("SELECT * FROM t")
+        delete = f"DELETE FROM t {where}"
+        fast.execute(delete, params)
+        plain.execute(delete, params)
+        _check_index_integrity(fast)
+        assert fast.execute("SELECT * FROM t") == plain.execute("SELECT * FROM t")
 
-    # Probes still agree after the rebuild that DELETE triggers.
+    # Delete-then-reinsert: compaction renumbered rowids; new rows must
+    # land in the rebuilt structures.
+    fast.execute("DELETE FROM t WHERE a = ?", (3,))
+    plain.execute("DELETE FROM t WHERE a = ?", (3,))
+    for row in [(3, "x", 0), (None, None, None), (3, "x", 0)]:
+        fast.execute("INSERT INTO t VALUES (?, ?, ?)", row)
+        plain.execute("INSERT INTO t VALUES (?, ?, ?)", row)
+    _check_index_integrity(fast)
     probe = "SELECT * FROM t WHERE a = ? AND b = ?"
     for needle in (3, 0, None):
         args = (needle, "x")
         assert fast.execute(probe, args) == plain.execute(probe, args)
+    ordered = "SELECT * FROM t ORDER BY c DESC, a DESC LIMIT 4"
+    assert fast.execute(ordered) == plain.execute(ordered)
