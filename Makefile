@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-metadb bench bench-metadb
+.PHONY: test test-metadb test-datapath bench bench-metadb bench-datapath
 
 ## tier-1 verify: the metadb subset first (fast signal), then everything else
 test: test-metadb
@@ -13,11 +13,23 @@ test: test-metadb
 test-metadb:
 	$(PYTHON) -m pytest tests/metadb tests/properties/test_metadb_index_property.py tests/properties/test_sql_property.py -q
 
+## storage-order data path: chunked/canonical/reorganize unit tests + the
+## cross-order read-equivalence property harness
+test-datapath:
+	$(PYTHON) -m pytest tests/core/test_datapath.py tests/properties/test_datapath_property.py -q
+
 ## metadata query-path ablation (scan vs hash vs ordered vs composite,
 ## parse vs statement cache); emits BENCH_metadb.json for cross-PR tracking
 bench-metadb:
 	METADB_BENCH_JSON=BENCH_metadb.json $(PYTHON) -m pytest benchmarks/bench_ablation_metadb.py --benchmark-only -q
 
-## every paper-reproduction benchmark (metadb first, JSON included)
-bench: bench-metadb
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q --ignore=benchmarks/bench_ablation_metadb.py
+## storage-order ablation (chunked vs canonical writes, reorganize cost,
+## read price of each representation); emits BENCH_datapath.json
+bench-datapath:
+	DATAPATH_BENCH_JSON=BENCH_datapath.json $(PYTHON) -m pytest benchmarks/bench_ablation_datapath.py --benchmark-only -q
+
+## every paper-reproduction benchmark (tracked-JSON ablations first)
+bench: bench-metadb bench-datapath
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q \
+	    --ignore=benchmarks/bench_ablation_metadb.py \
+	    --ignore=benchmarks/bench_ablation_datapath.py

@@ -47,6 +47,14 @@ class Fun3dRunConfig:
     read_back: bool = False
     """Also read every checkpoint back (the read half of Figure 6)."""
 
+    storage_order: str = "canonical"
+    """Checkpoint data path: "canonical" exchanges into global order at
+    write time, "chunked" appends distribution order exchange-free."""
+
+    reorganize_after: bool = False
+    """Reorganize every chunked checkpoint into canonical order after the
+    timestep loop (the deferred exchange, paid once, off the hot path)."""
+
     mesh_file: str = "uns3d.msh"
 
 
@@ -77,6 +85,7 @@ def run_fun3d_sdm(
     sdm = SDM(
         ctx, "fun3d", organization=config.organization,
         problem_size=mesh.n_edges, num_timesteps=config.timesteps,
+        storage_order=config.storage_order,
     )
 
     # ------------------------------------------------------- Figure 3 ----
@@ -151,6 +160,14 @@ def run_fun3d_sdm(
                 sdm.write(handle, BIG_DATASET, t, big)
                 bytes_written += len(big) * 8
             checksum += float(p[owned_sel].sum())
+
+    if config.reorganize_after:
+        with ctx.phase("reorganize"):
+            for t in range(config.timesteps):
+                if (t + 1) % config.checkpoint_every != 0:
+                    continue
+                for name in (*NODE_DATASETS, BIG_DATASET):
+                    sdm.reorganize(handle, name, t)
 
     read_checksum = None
     if config.read_back:

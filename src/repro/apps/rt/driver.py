@@ -37,6 +37,8 @@ class RTRunConfig:
     organization: Organization = Organization.LEVEL_2
     timesteps: int = 5
     dt: float = 0.1
+    storage_order: str = "canonical"
+    """Checkpoint data path ("canonical" or exchange-free "chunked")."""
 
 
 @dataclass
@@ -70,6 +72,7 @@ def run_rt_sdm(
     sdm = SDM(
         ctx, "rt", organization=config.organization,
         problem_size=mesh.n_nodes, num_timesteps=config.timesteps,
+        storage_order=config.storage_order,
     )
     result = sdm.make_datalist(["node_data", "triangle_data"])
     sdm.associate_attributes(

@@ -7,20 +7,30 @@ irregular applications.  Each rank constructs an :class:`SDM` instance
 ``import_contiguous`` / ``partition_table`` / ``partition_index`` /
 ``import_irregular``), optionally registers the index distribution in a
 *history file* (``index_registry``), and then writes checkpoint results
-(``data_view`` / ``write``) under one of three file-organization levels.
+(``data_view`` / ``write``) under one of three file-organization levels
+and one of two storage orders — canonical (global order, exchanged at
+write time) or chunked (distribution order, exchange-free, reorganizable
+later via ``reorganize``).
 
-See :mod:`repro.core.api` for the class and :mod:`repro.core.papi` for
-C-style aliases that mirror the paper's Figures 2 and 3 line by line.
+See :mod:`repro.core.api` for the class, :mod:`repro.core.datapath` for
+the storage-order strategies, and :mod:`repro.core.papi` for C-style
+aliases that mirror the paper's Figures 2 and 3 line by line.
 """
 
+from repro.core.datapath import CanonicalOrder, ChunkedOrder, StorageOrder
 from repro.core.groups import DataGroup, DatasetAttrs, ImportAttrs
-from repro.core.layout import Organization
+from repro.core.layout import CANONICAL, CHUNKED, Organization
 from repro.core.api import SDM
 from repro.core.services import sdm_services, snapshot_services
 
 __all__ = [
     "SDM",
     "Organization",
+    "StorageOrder",
+    "CanonicalOrder",
+    "ChunkedOrder",
+    "CANONICAL",
+    "CHUNKED",
     "DatasetAttrs",
     "ImportAttrs",
     "DataGroup",

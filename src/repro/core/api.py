@@ -2,13 +2,16 @@
 
 One :class:`SDM` instance per rank fronts everything: the metadata database
 (through :class:`~repro.metadb.schema.SDMTables`), the parallel file system
-(through :class:`~repro.mpiio.file.File`), the ring index distribution, and
-history files.  Method names are pythonic; :mod:`repro.core.papi` provides
-``SDM_*`` aliases matching the paper's figures symbol for symbol.
+(through :class:`~repro.mpiio.file.File`), the ring index distribution,
+history files, and the pluggable storage-order data path
+(:mod:`repro.core.datapath`).  Method names are pythonic;
+:mod:`repro.core.papi` provides ``SDM_*`` aliases matching the paper's
+figures symbol for symbol.
 
-Typical write-side flow (Figure 2)::
+Typical write-side flow (Figure 2), now parameterized by storage order::
 
-    sdm = SDM(ctx, "fun3d", organization=Organization.LEVEL_2)
+    sdm = SDM(ctx, "fun3d", organization=Organization.LEVEL_2,
+              storage_order="chunked")        # or "canonical" (default)
     result = sdm.make_datalist(["p", "q"])
     for a in result:
         a.data_type = DOUBLE
@@ -18,32 +21,47 @@ Typical write-side flow (Figure 2)::
     sdm.data_view(handle, "q", vector)
     for t in range(max_step):
         ...compute p, q...
-        sdm.write(handle, "p", t, p_buf)
+        sdm.write(handle, "p", t, p_buf)     # chunked: exchange-free append
         sdm.write(handle, "q", t, q_buf)
+    sdm.reorganize(handle, "p", max_step - 1)   # optional: canonical order
     sdm.finalize(handle)
+
+Under ``storage_order="canonical"`` every write runs the two-phase exchange
+and the file holds global element order (the paper's Figure 2 exactly).
+Under ``"chunked"`` each rank appends its block in distribution order and
+records a chunk map; :meth:`SDM.read` serves either representation
+transparently, and :meth:`SDM.reorganize` converts an instance to canonical
+order after the fact.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.datapath import (
+    StorageOrder,
+    locate_instance,
+    read_instance,
+    reorganize as _reorganize,
+    resolve_storage_order,
+)
 from repro.core.groups import DataGroup, DatasetAttrs, DataView, ImportAttrs
 from repro.core.history import (
     HistoryRegistration,
     register_history_async,
     try_load_history,
 )
-from repro.core.layout import Organization, checkpoint_file_name
+from repro.core.layout import Organization
 from repro.core.ring import EdgeChunk, LocalPartition, owned_nodes_of, ring_partition_index
 from repro.dtypes.constructors import IndexedBlock
 from repro.dtypes.primitives import DOUBLE, INT, Primitive
 from repro.errors import SDMStateError, SDMUnknownDataset
 from repro.metadb.schema import SDMTables
 from repro.mpi.job import RankContext
-from repro.mpiio.consts import MODE_CREATE, MODE_RDONLY, MODE_RDWR
+from repro.mpiio.consts import MODE_RDONLY
 from repro.mpiio.file import File
 
 __all__ = ["SDM"]
@@ -61,11 +79,16 @@ class SDM:
         problem_size: int = 0,
         num_timesteps: int = 0,
         io_hints: Optional[Dict[str, int]] = None,
+        storage_order: Union[str, StorageOrder] = "canonical",
     ) -> None:
         self.ctx = ctx
         self.comm = ctx.comm
         self.application = application
         self.organization = Organization(organization)
+        self.storage_order = resolve_storage_order(storage_order)
+        """Write-side data path: ``CanonicalOrder`` assembles global order
+        at write time; ``ChunkedOrder`` appends distribution order and
+        defers the exchange.  Reads are transparent either way."""
         self.io_hints = dict(io_hints) if io_hints else None
         """MPI-IO hints SDM passes on every file open (the paper: SDM uses
         "the ability to pass hints to the implementation about access
@@ -362,9 +385,12 @@ class SDM:
         """Write one dataset instance collectively (``SDM_write``).
 
         Returns the file name written to.  The mapping installed by
-        :meth:`data_view` scatters local values to global positions; under
-        levels 2/3 the instance appends at an offset fetched from (and
-        recorded in) ``execution_table`` by process 0.
+        :meth:`data_view` locates local values in the global array; the
+        configured :attr:`storage_order` decides how they land on disk —
+        canonical (global order, two-phase exchange) or chunked
+        (distribution order, exchange-free).  Under levels 2/3 the
+        instance appends at an offset fetched from (and recorded in)
+        ``execution_table`` by process 0.
         """
         attrs = handle.dataset(name)
         view = handle.view(name)
@@ -373,30 +399,9 @@ class SDM:
                 f"buffer for {name!r} has {len(buf)} elements, "
                 f"view expects {view.local_count}"
             )
-        fname = checkpoint_file_name(
-            self.application, handle.group_id, name, timestep, self.organization
+        return self.storage_order.write(
+            self, handle, attrs, view, name, timestep, buf
         )
-        base = 0
-        if self.organization != Organization.LEVEL_1:
-            if self.ctx.rank == 0:
-                base = self.tables.max_offset_in_file(fname, proc=self.ctx.proc)
-            base = self.comm.bcast(base, root=0)
-        f = self._open_cached(fname, MODE_CREATE | MODE_RDWR)
-        f.set_view(
-            disp=base,
-            etype=attrs.data_type,
-            filetype=IndexedBlock(1, view.map_sorted, attrs.data_type),
-        )
-        data = view.to_file_order(np.asarray(buf, dtype=attrs.data_type.numpy_dtype))
-        f.write_at_all(0, data)
-        if self.ctx.rank == 0:
-            self.tables.record_execution(
-                self.runid, name, timestep, fname, base, attrs.global_bytes(),
-                proc=self.ctx.proc,
-            )
-        if self.organization == Organization.LEVEL_1:
-            self._close_cached(fname)
-        return fname
 
     def read(
         self,
@@ -408,37 +413,45 @@ class SDM:
     ) -> np.ndarray:
         """Read back one dataset instance collectively (``SDM_read``).
 
-        The location comes from ``execution_table``; the installed data view
-        gathers this rank's elements.
+        The location comes from ``execution_table``; the installed data
+        view gathers this rank's elements.  Both storage orders are served
+        transparently: canonical instances through one indexed file view,
+        chunked instances assembled from their ``chunk_table`` maps.
         """
         attrs = handle.dataset(name)
         view = handle.view(name)
         rid = self.runid if runid is None else runid
-        where = None
-        if self.ctx.rank == 0:
-            where = self.tables.lookup_execution(
-                rid, name, timestep, proc=self.ctx.proc
-            )
-        where = self.comm.bcast(where, root=0)
+        where, chunks = locate_instance(
+            self.comm, self.tables, rid, name, timestep, proc=self.ctx.proc
+        )
         if where is None:
             raise SDMUnknownDataset(
                 f"no execution record for run {rid} dataset {name!r} "
                 f"timestep {timestep}"
             )
-        fname, base, _nbytes = where
+        fname = where[0]
         f = self._open_cached(fname, MODE_RDONLY)
-        f.set_view(
-            disp=base,
-            etype=attrs.data_type,
-            filetype=IndexedBlock(1, view.map_sorted, attrs.data_type),
-        )
-        out = np.empty(view.local_count, dtype=attrs.data_type.numpy_dtype)
-        f.read_at_all(0, out)
-        result = view.to_user_order(out)
-        buf[:] = result
+        buf[:] = read_instance(self.comm, f, where, chunks, attrs.data_type, view)
         if self.organization == Organization.LEVEL_1:
             self._close_cached(fname)
         return buf
+
+    def reorganize(
+        self,
+        handle: DataGroup,
+        name: str,
+        timestep: int,
+        runid: Optional[int] = None,
+    ) -> str:
+        """Rewrite a chunked instance into canonical order
+        (``SDM_reorganize``).  Collective; a no-op for instances already
+        canonical.  Returns the file now holding the instance.
+
+        This performs the interprocess exchange the chunked write skipped
+        — once — and atomically repoints the metadata, so every later
+        :meth:`read` takes the canonical fast path.
+        """
+        return _reorganize(self, handle, name, timestep, runid=runid)
 
     def finalize(self, handle: Optional[DataGroup] = None) -> None:
         """Close cached files and end the run (``SDM_finalize``).  Collective."""

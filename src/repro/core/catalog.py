@@ -31,8 +31,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.datapath import locate_instance, read_instance
 from repro.core.groups import DataGroup, DatasetAttrs, DataView
-from repro.dtypes.constructors import IndexedBlock
 from repro.dtypes.primitives import Primitive, BYTE, FLOAT32, FLOAT64, INT32, INT64
 from repro.errors import SDMUnknownDataset
 from repro.metadb.schema import SDMTables
@@ -189,32 +189,26 @@ class SDMCatalog:
         """Collectively read an arbitrary element subset of a past dataset.
 
         Every rank of the job must call with its own map array; location
-        and layout come entirely from ``execution_table``.
+        and layout come entirely from the metadata tables.  Both storage
+        orders are served: canonical instances through one indexed view,
+        chunked instances assembled from their ``chunk_table`` maps — a
+        visualization front end needs no idea how the producing run chose
+        to write.
         """
         rec = self._dataset_record(runid, dataset)
-        comm = self.ctx.comm
-        where = None
-        if comm.rank == 0:  # communicator-relative: works on subgroups too
-            where = self.tables.lookup_execution(
-                runid, dataset, timestep, proc=self.ctx.proc
-            )
-        where = comm.bcast(where, root=0)
+        comm = self.ctx.comm  # communicator-relative: works on subgroups too
+        where, chunks = locate_instance(
+            comm, self.tables, runid, dataset, timestep, proc=self.ctx.proc
+        )
         if where is None:
             raise SDMUnknownDataset(
                 f"run {runid} dataset {dataset!r} has no timestep {timestep}"
             )
-        fname, base, _nbytes = where
         view = DataView.from_map(np.asarray(map_array, dtype=np.int64))
-        f = File.open(self.ctx.comm, self.fs, fname, MODE_RDONLY)
-        f.set_view(
-            disp=base,
-            etype=rec.data_type,
-            filetype=IndexedBlock(1, view.map_sorted, rec.data_type),
-        )
-        out = np.empty(view.local_count, dtype=rec.data_type.numpy_dtype)
-        f.read_at_all(0, out)
+        f = File.open(comm, self.fs, where[0], MODE_RDONLY)
+        out = read_instance(comm, f, where, chunks, rec.data_type, view)
         f.close()
-        return view.to_user_order(out)
+        return out
 
     def read_global(
         self, runid: int, dataset: str, timestep: int

@@ -1,0 +1,532 @@
+"""Pluggable storage orders: the write/read data path behind ``SDM``.
+
+The paper's key observation for irregular applications is that the runtime
+may write each rank's data *in the order it is distributed* and defer
+assembling global order until somebody needs it.  This module turns that
+into a strategy layer:
+
+* :class:`CanonicalOrder` — the classic path: every write scatters through
+  an irregular file view and the two-phase collective exchange builds
+  global element order on disk immediately.  Writes pay the exchange;
+  reads are cheap.
+* :class:`ChunkedOrder` — the write-optimized path: every rank appends its
+  local block as-is (a sorted int64 index block, then the data block) with
+  *independent* I/O — no interprocess data exchange whatsoever.  Each
+  chunk's location and global-index range is recorded in the metadata
+  database's ``chunk_table``.
+
+Reads are transparent across both: :func:`locate_instance` returns the
+``execution_table`` row plus any chunk maps, and :func:`read_instance`
+either takes the canonical fast path or assembles the requested elements
+from the chunk maps.  :func:`reorganize` converts a chunked instance into
+canonical order — reading the chunk maps, performing the deferred exchange
+exactly once, and atomically repointing ``execution_table`` while dropping
+the ``chunk_table`` rows — so the write-time savings need not be paid back
+on every subsequent read.
+
+Layout of one chunked instance in its file (per rank, back to back in rank
+order at the instance's base offset)::
+
+    [ gid index block: num_elements x int64 ][ data block: num_elements x esize ]
+
+with two index-block elisions that keep the steady-state write volume equal
+to the data volume:
+
+* a **dense** chunk (the map is a contiguous gid range) stores no index
+  block at all — marked by ``index_offset == data_offset``;
+* a rank whose map is unchanged since its previous chunk in the same file
+  **shares** that chunk's index block (``index_offset`` points backward),
+  so a checkpoint loop writes each rank's map once, then data only.
+
+Shared blocks are never clobbered: an instance's bytes are only reclaimed
+once no ``execution_table`` row references the file region above them, and
+any chunk row referencing an index block sits at a higher offset than the
+block itself, keeping ``max_offset_in_file`` — the append cursor — above it
+for as long as the reference lives.
+
+Overlapping chunks (ghost-inclusive map arrays) resolve to the highest
+writing rank, matching the two-phase exchange's overlap rule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.groups import DataGroup, DatasetAttrs, DataView
+from repro.core.layout import (
+    CANONICAL,
+    CHUNKED,
+    Organization,
+    checkpoint_file_name,
+    is_chunked_name,
+)
+from repro.dtypes.constructors import IndexedBlock
+from repro.dtypes.primitives import Primitive
+from repro.errors import SDMStateError, SDMUnknownDataset
+from repro.metadb.schema import ChunkRecord, SDMTables
+from repro.mpi.communicator import Communicator
+from repro.mpiio.consts import MODE_CREATE, MODE_RDONLY, MODE_RDWR
+from repro.mpiio.file import File
+
+__all__ = [
+    "StorageOrder",
+    "CanonicalOrder",
+    "ChunkedOrder",
+    "resolve_storage_order",
+    "locate_instance",
+    "read_instance",
+    "reorganize",
+]
+
+CHUNK_INDEX_BYTES = 8
+"""Bytes per entry of a chunk's global-index block (int64)."""
+
+ExecutionRow = Tuple[str, int, int]
+"""(file_name, file_offset, nbytes) from ``execution_table``."""
+
+
+def set_instance_view(f: File, base: int, dtype: Primitive,
+                      gids: np.ndarray) -> None:
+    """Install the irregular view of one canonical instance: element ``g``
+    of the global array at ``base + g * esize``.  An empty map gets a dense
+    view (a filetype needs positive size) — the rank still participates in
+    the collective with zero bytes."""
+    if len(gids) == 0:
+        f.set_view(disp=base, etype=dtype)
+        return
+    f.set_view(disp=base, etype=dtype, filetype=IndexedBlock(1, gids, dtype))
+
+
+def _next_append_base(sdm, fname: str) -> int:
+    """Next append offset in a checkpoint file (0 under level 1, else the
+    end-of-file probe through ``execution_table``, broadcast from rank 0)."""
+    if sdm.organization == Organization.LEVEL_1:
+        return 0
+    base = 0
+    if sdm.ctx.rank == 0:
+        base = sdm.tables.max_offset_in_file(fname, proc=sdm.ctx.proc)
+    return sdm.comm.bcast(base, root=0)
+
+
+class StorageOrder:
+    """Strategy for arranging one dataset instance's bytes in its file.
+
+    Implementations are stateless; they operate on the calling
+    :class:`~repro.core.api.SDM` instance (files, tables, communicator).
+    """
+
+    name: str = ""
+
+    def write(
+        self,
+        sdm,
+        handle: DataGroup,
+        attrs: DatasetAttrs,
+        view: DataView,
+        name: str,
+        timestep: int,
+        buf: np.ndarray,
+    ) -> str:
+        """Write one instance collectively; returns the file name."""
+        raise NotImplementedError
+
+    def file_name(self, sdm, handle: DataGroup, name: str, timestep: int) -> str:
+        """Checkpoint file this strategy writes the instance to."""
+        return checkpoint_file_name(
+            sdm.application, handle.group_id, name, timestep,
+            sdm.organization, storage_order=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StorageOrder {self.name}>"
+
+
+class CanonicalOrder(StorageOrder):
+    """Global element order on disk; the exchange happens at write time."""
+
+    name = CANONICAL
+
+    def write(self, sdm, handle, attrs, view, name, timestep, buf):
+        fname = self.file_name(sdm, handle, name, timestep)
+        base = _next_append_base(sdm, fname)
+        f = sdm._open_cached(fname, MODE_CREATE | MODE_RDWR)
+        set_instance_view(f, base, attrs.data_type, view.map_sorted)
+        data = view.to_file_order(
+            np.asarray(buf, dtype=attrs.data_type.numpy_dtype)
+        )
+        f.write_at_all(0, data)
+        if sdm.ctx.rank == 0:
+            sdm.tables.record_execution(
+                sdm.runid, name, timestep, fname, base, attrs.global_bytes(),
+                proc=sdm.ctx.proc,
+            )
+        if sdm.organization == Organization.LEVEL_1:
+            sdm._close_cached(fname)
+        return fname
+
+
+class ChunkedOrder(StorageOrder):
+    """Distribution order on disk; the exchange is deferred to reads (or a
+    one-time :func:`reorganize`).
+
+    Each rank independently appends its chunk at an offset derived from an
+    exscan of local byte counts — only scalar metadata crosses ranks; the
+    transport's ``alltoallv`` counters stay untouched (tests assert exactly
+    that).  The index block is elided when the map is a dense gid range,
+    and shared with the rank's previous chunk when the map is unchanged —
+    the checkpoint-loop steady state writes data bytes only.
+    """
+
+    name = CHUNKED
+
+    def __init__(self) -> None:
+        # (fname, group_id, dataset) -> (gids, index_offset, index_end) of
+        # this rank's last written index block, for reference-not-copy.
+        self._index_cache: dict = {}
+
+    def _drop_endangered(self, fname: str, base: int) -> None:
+        """Forget cached index blocks the append cursor has retreated past.
+
+        A base below a cached block's end means reorganization reclaimed
+        the file region holding it: bytes from ``base`` on may be
+        overwritten by this or any later append (any dataset of the file),
+        so every such entry is stale the moment the retreat is observed —
+        before a later write sees the cursor back above the block and
+        wrongly reuses it.
+        """
+        for k in [
+            k for k, (_g, _off, end) in self._index_cache.items()
+            if k[0] == fname and end > base
+        ]:
+            del self._index_cache[k]
+
+    def drop_file_cache(self, fname: str) -> None:
+        """Forget every cached index block of one file (reorganization
+        may retreat its append cursor)."""
+        for k in [k for k in self._index_cache if k[0] == fname]:
+            del self._index_cache[k]
+
+    def _shared_index(self, key, gids, base) -> Optional[int]:
+        """Offset of a reusable earlier index block, or None.
+
+        Reuse requires the block to lie below this instance's base: the
+        new chunk row then protects it from append-cursor reclamation for
+        as long as the row lives (see the module docstring).
+        """
+        cached = self._index_cache.get(key)
+        if cached is None:
+            return None
+        prev_gids, offset, end = cached
+        if end <= base and np.array_equal(prev_gids, gids):
+            return offset
+        return None
+
+    def write(self, sdm, handle, attrs, view, name, timestep, buf):
+        dtype = attrs.data_type
+        count = view.local_count
+        gids = view.map_sorted.astype(np.int64, copy=False)
+        data = view.to_file_order(np.asarray(buf, dtype=dtype.numpy_dtype))
+        steps = np.diff(gids)
+        if count > 1 and bool((steps == 0).any()):
+            # The canonical path rejects duplicate map entries through its
+            # file view; match it rather than write an ambiguous chunk.
+            raise SDMStateError(
+                f"map array for {name!r} holds duplicate global indices"
+            )
+        dense = count > 0 and bool((steps == 1).all())
+
+        fname = self.file_name(sdm, handle, name, timestep)
+        base = _next_append_base(sdm, fname)
+        self._drop_endangered(fname, base)
+        # Under level 1 every instance gets its own file, so an index
+        # block can never be shared — don't grow the cache with map
+        # copies that cannot hit.
+        sharable = sdm.organization != Organization.LEVEL_1
+        key = (fname, handle.group_id, name)
+        shared = (
+            self._shared_index(key, gids, base)
+            if sharable and not dense else None
+        )
+        write_index = count > 0 and not dense and shared is None
+        local_bytes = count * dtype.size
+        if write_index:
+            local_bytes += count * CHUNK_INDEX_BYTES
+        start = sdm.comm.exscan(local_bytes)
+        chunk_off = base + (0 if start is None else int(start))
+
+        f = sdm._open_cached(fname, MODE_CREATE | MODE_RDWR)
+        if count:
+            parts = [np.ascontiguousarray(data).view(np.uint8)]
+            if write_index:
+                parts.insert(0, np.ascontiguousarray(gids).view(np.uint8))
+            blob = np.concatenate(parts) if len(parts) > 1 else parts[0]
+            f.write_runs(
+                np.array([chunk_off], dtype=np.int64),
+                np.array([len(blob)], dtype=np.int64),
+                blob,
+            )
+        if write_index:
+            index_offset = chunk_off
+            data_offset = chunk_off + count * CHUNK_INDEX_BYTES
+            if sharable:
+                self._index_cache[key] = (gids.copy(), index_offset, data_offset)
+        elif shared is not None:
+            index_offset, data_offset = shared, chunk_off
+        else:  # dense (or empty): no index block anywhere
+            index_offset = data_offset = chunk_off
+        record = ChunkRecord(
+            rank=sdm.ctx.rank,
+            gid_min=view.gid_min,
+            gid_max=view.gid_max,
+            num_elements=count,
+            index_offset=index_offset,
+            data_offset=data_offset,
+        )
+        payloads = sdm.comm.gather((record, local_bytes), root=0)
+        if sdm.ctx.rank == 0:
+            total = sum(nbytes for _, nbytes in payloads)
+            sdm.tables.record_execution(
+                sdm.runid, name, timestep, fname, base, total,
+                proc=sdm.ctx.proc,
+            )
+            sdm.tables.record_chunks(
+                sdm.runid, name, timestep,
+                [rec for rec, _ in payloads], proc=sdm.ctx.proc,
+            )
+        # Readers must not race ahead of rank 0's metadata inserts.
+        sdm.comm.barrier()
+        if sdm.organization == Organization.LEVEL_1:
+            sdm._close_cached(fname)
+        return fname
+
+
+_ORDERS = {CANONICAL: CanonicalOrder, CHUNKED: ChunkedOrder}
+
+
+def resolve_storage_order(spec) -> StorageOrder:
+    """Coerce a strategy instance or name ("canonical"/"chunked")."""
+    if isinstance(spec, StorageOrder):
+        return spec
+    try:
+        return _ORDERS[str(spec).lower()]()
+    except KeyError:
+        raise SDMStateError(
+            f"unknown storage order {spec!r} "
+            f"(expected one of {sorted(_ORDERS)})"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Reading (transparent across storage orders)
+# ---------------------------------------------------------------------------
+
+
+def locate_instance(
+    comm: Communicator,
+    tables: SDMTables,
+    runid: int,
+    dataset: str,
+    timestep: int,
+    proc=None,
+) -> Tuple[Optional[ExecutionRow], List[ChunkRecord]]:
+    """Metadata of one written instance, broadcast from rank 0's lookup:
+    the ``execution_table`` row (None if never written) and its chunk maps
+    (empty for a canonical instance)."""
+    info = None
+    if comm.rank == 0:
+        where = tables.lookup_execution(runid, dataset, timestep, proc=proc)
+        chunks: List[ChunkRecord] = []
+        # Canonical file names never hold chunked instances, so the
+        # canonical read path stays a single metadata probe.
+        if where is not None and is_chunked_name(where[0]):
+            chunks = tables.chunks_for(runid, dataset, timestep, proc=proc)
+        info = (where, chunks)
+    return comm.bcast(info, root=0)
+
+
+def read_instance(
+    comm: Communicator,
+    f: File,
+    where: ExecutionRow,
+    chunks: Sequence[ChunkRecord],
+    dtype: Primitive,
+    view: DataView,
+) -> np.ndarray:
+    """Collectively read this rank's view of one instance (either
+    representation); returns the elements in the view's user order."""
+    if chunks:
+        return _assemble_chunked(comm, f, chunks, dtype, view)
+    _fname, base, _nbytes = where
+    set_instance_view(f, base, dtype, view.map_sorted)
+    out = np.empty(view.local_count, dtype=dtype.numpy_dtype)
+    f.read_at_all(0, out)
+    return view.to_user_order(out)
+
+
+def _chunk_index(f: File, ch: ChunkRecord) -> np.ndarray:
+    """A chunk's sorted gid index block (dense chunks are the arange of
+    their gid range and store none)."""
+    if ch.index_offset == ch.data_offset:
+        return np.arange(ch.gid_min, ch.gid_max + 1, dtype=np.int64)
+    raw = np.empty(ch.num_elements * CHUNK_INDEX_BYTES, dtype=np.uint8)
+    f.read_runs(
+        np.array([ch.index_offset], dtype=np.int64),
+        np.array([len(raw)], dtype=np.int64),
+        raw,
+    )
+    return raw.view(np.int64)
+
+
+def _chunk_positions(
+    f: File, chunks: Sequence[ChunkRecord], dtype: Primitive,
+    wanted: np.ndarray,
+) -> np.ndarray:
+    """Absolute file byte position of each wanted global index, resolved
+    against the chunk maps (-1 where no chunk holds it).
+
+    Walks chunks in ascending writer rank and lets later chunks override,
+    so ghost overlaps resolve exactly as the two-phase exchange would
+    (highest writing rank wins).  Only index blocks of range-overlapping
+    chunks are read — independent reads; the simulator charges them.
+    """
+    pos = np.full(len(wanted), -1, dtype=np.int64)
+    if len(wanted) == 0:
+        return pos
+    lo, hi = int(wanted[0]), int(wanted[-1])
+    esize = dtype.size
+    for ch in sorted(chunks, key=lambda c: c.rank):
+        if ch.num_elements == 0 or ch.gid_max < lo or ch.gid_min > hi:
+            continue
+        if ch.index_offset == ch.data_offset:
+            # Dense chunk: positions are arithmetic, no index block.
+            hit = (wanted >= ch.gid_min) & (wanted <= ch.gid_max)
+            pos[hit] = ch.data_offset + (wanted[hit] - ch.gid_min) * esize
+            continue
+        cidx = _chunk_index(f, ch)
+        j = np.searchsorted(cidx, wanted)
+        hit = np.zeros(len(wanted), dtype=bool)
+        inb = j < len(cidx)
+        hit[inb] = cidx[j[inb]] == wanted[inb]
+        pos[hit] = ch.data_offset + j[hit] * esize
+    return pos
+
+
+def _assemble_chunked(
+    comm: Communicator,
+    f: File,
+    chunks: Sequence[ChunkRecord],
+    dtype: Primitive,
+    view: DataView,
+) -> np.ndarray:
+    """Gather this rank's wanted elements out of a chunked instance: chunk
+    maps give each element's file position, one collective read fetches the
+    (deduplicated, sorted) positions.  Elements no chunk wrote read as 0 —
+    the bytes a canonical read of an unwritten region would return."""
+    esize = dtype.size
+    wanted = view.map_sorted
+    pos = _chunk_positions(f, chunks, dtype, wanted)
+    present = pos >= 0
+    upos = np.unique(pos[present])
+    raw = f.read_runs_at_all(upos, np.full(len(upos), esize, dtype=np.int64))
+    elems = raw.view(dtype.numpy_dtype)
+    out = np.zeros(len(wanted), dtype=dtype.numpy_dtype)
+    out[present] = elems[np.searchsorted(upos, pos[present])]
+    return view.to_user_order(out)
+
+
+# ---------------------------------------------------------------------------
+# Reorganization (chunked -> canonical, the deferred exchange)
+# ---------------------------------------------------------------------------
+
+
+def reorganize(
+    sdm, handle: DataGroup, name: str, timestep: int,
+    runid: Optional[int] = None,
+) -> str:
+    """Rewrite a chunked instance into canonical order.  Collective.
+
+    Chunks are dealt round-robin to ranks; each rank reads its chunks
+    back contiguously (independent I/O) and one collective write performs
+    the exchange the chunked write skipped.  Rank 0 then repoints the
+    ``execution_table`` row at the canonical file and drops the
+    ``chunk_table`` rows — the two statements that atomically flip the
+    instance's representation for every subsequent reader.  Already
+    canonical instances are a no-op.
+
+    The stale chunked blob is not erased; once its execution row moves
+    away, ``max_offset_in_file`` stops accounting for it and the next
+    chunked write to that file reclaims the space.
+    """
+    attrs = handle.dataset(name)
+    dtype = attrs.data_type
+    rid = sdm.runid if runid is None else runid
+    comm = sdm.comm
+    where, chunks = locate_instance(
+        comm, sdm.tables, rid, name, timestep, proc=sdm.ctx.proc
+    )
+    if where is None:
+        raise SDMUnknownDataset(
+            f"no execution record for run {rid} dataset {name!r} "
+            f"timestep {timestep}"
+        )
+    old_fname = where[0]
+    if not chunks:
+        return old_fname
+
+    # -- gather phase: read my share of the chunks back, in writer order --
+    mine = [
+        ch for i, ch in enumerate(sorted(chunks, key=lambda c: c.rank))
+        if i % comm.size == comm.rank and ch.num_elements
+    ]
+    src = sdm._open_cached(old_fname, MODE_RDONLY)
+    gid_parts: List[np.ndarray] = []
+    val_parts: List[np.ndarray] = []
+    for ch in mine:
+        gid_parts.append(_chunk_index(src, ch))
+        raw = np.empty(ch.num_elements * dtype.size, dtype=np.uint8)
+        src.read_runs(
+            np.array([ch.data_offset], dtype=np.int64),
+            np.array([len(raw)], dtype=np.int64),
+            raw,
+        )
+        val_parts.append(raw.view(dtype.numpy_dtype))
+    if gid_parts:
+        gids = np.concatenate(gid_parts)
+        vals = np.concatenate(val_parts)
+        order = np.argsort(gids, kind="stable")
+        gids, vals = gids[order], vals[order]
+        # Overlaps among my chunks: keep the last (highest writer rank).
+        last = np.r_[gids[1:] != gids[:-1], True]
+        gids, vals = gids[last], vals[last]
+    else:
+        gids = np.empty(0, dtype=np.int64)
+        vals = np.empty(0, dtype=dtype.numpy_dtype)
+
+    # -- exchange phase: the one collective write builds global order ----
+    new_fname = checkpoint_file_name(
+        sdm.application, handle.group_id, name, timestep, sdm.organization,
+        storage_order=CANONICAL,
+    )
+    base = _next_append_base(sdm, new_fname)
+    dst = sdm._open_cached(new_fname, MODE_CREATE | MODE_RDWR)
+    set_instance_view(dst, base, dtype, gids)
+    dst.write_at_all(0, vals)
+
+    # -- flip the metadata: repoint the row, drop the chunk maps ---------
+    if comm.rank == 0:
+        sdm.tables.update_execution(
+            rid, name, timestep, new_fname, base, attrs.global_bytes(),
+            proc=sdm.ctx.proc,
+        )
+        sdm.tables.delete_chunks(rid, name, timestep, proc=sdm.ctx.proc)
+    # The chunked file's append cursor may retreat now; cached index
+    # blocks in it are no longer trustworthy.
+    if isinstance(sdm.storage_order, ChunkedOrder):
+        sdm.storage_order.drop_file_cache(old_fname)
+    comm.barrier()
+    if sdm.organization == Organization.LEVEL_1:
+        sdm._close_cached(old_fname)
+        sdm._close_cached(new_fname)
+    return new_fname

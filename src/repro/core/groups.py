@@ -65,6 +65,17 @@ class DataView:
     perm: Optional[np.ndarray]
     local_count: int
 
+    @property
+    def gid_min(self) -> int:
+        """Smallest global index mapped (0 for an empty view — the empty
+        range convention ``gid_min > gid_max`` used by chunk maps)."""
+        return int(self.map_sorted[0]) if self.local_count else 0
+
+    @property
+    def gid_max(self) -> int:
+        """Largest global index mapped (-1 for an empty view)."""
+        return int(self.map_sorted[-1]) if self.local_count else -1
+
     @classmethod
     def from_map(cls, map_array: np.ndarray) -> "DataView":
         m = np.asarray(map_array, dtype=np.int64)

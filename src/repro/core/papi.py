@@ -44,6 +44,7 @@ __all__ = [
     "SDM_data_view",
     "SDM_write",
     "SDM_read",
+    "SDM_reorganize",
     "SDM_release_importlist",
     "SDM_finalize",
 ]
@@ -58,9 +59,13 @@ def SDM_initialize(
     ctx: RankContext,
     name_of_application: str,
     organization: Organization = Organization.LEVEL_2,
+    storage_order: str = "canonical",
 ) -> SDM:
     """Establish the database connection and create the metadata tables."""
-    return SDM(ctx, name_of_application, organization=organization)
+    return SDM(
+        ctx, name_of_application, organization=organization,
+        storage_order=storage_order,
+    )
 
 
 def SDM_make_datalist(sdm: SDM, n: int, names: Sequence[str]) -> List[DatasetAttrs]:
@@ -146,6 +151,13 @@ def SDM_write(sdm: SDM, handle: DataGroup, name: str, timestep: int, buf) -> str
 def SDM_read(sdm: SDM, handle: DataGroup, name: str, timestep: int, buf) -> np.ndarray:
     """Collectively read one dataset instance back."""
     return sdm.read(handle, name, timestep, buf)
+
+
+def SDM_reorganize(
+    sdm: SDM, handle: DataGroup, name: str, timestep: int
+) -> str:
+    """Rewrite a chunked instance into canonical (global) element order."""
+    return sdm.reorganize(handle, name, timestep)
 
 
 def SDM_release_importlist(sdm: SDM, n: int = 0) -> None:

@@ -23,6 +23,16 @@ path as tables grow:
 * **Sorted probes** — ``ORDER BY ... [LIMIT n]`` whose WHERE is fully
   covered by an ordered index's leading columns is answered straight from
   the index, skipping both the scan and the sort.
+* **Aggregate probes** — ``MIN(col)``/``MAX(col)`` whose WHERE is fully
+  covered by an ordered index's equality prefix, with ``col`` the next
+  indexed column, come from the slice *ends* (two bisects) instead of
+  materializing every matching row — ``SELECT MAX(runid) FROM run_table``
+  is the runid-allocation hot path.
+
+Access-path choice uses a small cost model rather than raw candidate
+counts: a hash-bucket walk costs ~1 per candidate, while an ordered slice
+pays bisect setup plus per-candidate materialization and rowid sorting, so
+a slightly larger hash bucket beats a slice it would lose to on size alone.
 """
 
 from __future__ import annotations
@@ -56,6 +66,14 @@ _SERVER_CONNECTIONS = 4
 
 _STMT_CACHE_CAPACITY = 512
 """Parsed statements kept per database (LRU eviction beyond this)."""
+
+_PROBE_COST = 1.0
+"""Cost-model: flat cost of probing a hash bucket or bisecting a slice."""
+
+_SLICE_ROW_COST = 2.0
+"""Cost-model: per-candidate cost of an ordered slice relative to a hash
+bucket's (the slice is materialized and its rowids sorted back into
+insertion order before verification; a bucket is walked as-is)."""
 
 
 def _descending_rowids(
@@ -102,6 +120,13 @@ class Database:
         self.n_sorted_probes = 0
         """SELECTs whose WHERE/ORDER BY/LIMIT was answered entirely from
         an ordered index (no scan, no sort)."""
+        self.n_agg_probes = 0
+        """MIN/MAX aggregates answered from an ordered index's slice ends
+        (no row materialized)."""
+        self.n_hash_paths = 0
+        """Index probes where the planner chose a hash bucket."""
+        self.n_slice_paths = 0
+        """Index probes where the planner chose an ordered slice."""
         self._stmt_cache: "OrderedDict[str, Any]" = OrderedDict()
         self._server: Optional[Resource] = None
         if sim is not None and machine is not None:
@@ -152,6 +177,31 @@ class Database:
             with self._server.request(proc):
                 proc.hold(cost)
         return rows
+
+    def execute_many(
+        self,
+        sql: str,
+        param_rows: Sequence[Sequence[Any]],
+        proc: Optional[Process] = None,
+    ) -> List[Tuple[Any, ...]]:
+        """Run one parameterized statement over many parameter rows,
+        billed as a single batched statement: one parse, one server trip,
+        ``query_cost + total rows x row_cost`` — the multi-row INSERT
+        shape.  Results (for SELECTs) are concatenated in row order.
+        """
+        stmt = self.prepare(sql)
+        out: List[Tuple[Any, ...]] = []
+        touched = 0
+        for params in param_rows:
+            rows, t = self._dispatch(stmt, list(params))
+            out.extend(rows)
+            touched += t
+        self.n_statements += 1
+        if proc is not None and self._server is not None:
+            cost = self.machine.database.statement_time(rows=touched)
+            with self._server.request(proc):
+                proc.hold(cost)
+        return out
 
     def connect(self, proc: Optional[Process] = None) -> None:
         """Model establishing the connection (charged in SDM_initialize)."""
@@ -277,13 +327,19 @@ class Database:
     ) -> Optional[List[int]]:
         """Rowids worth checking against ``where``, or None to full-scan.
 
-        Access paths, best (fewest candidates) wins:
+        Access paths, cheapest estimated cost wins:
 
         1. every hash index whose columns are all bound by equality
            conjuncts — a composite index probes its value tuple once;
         2. every ordered index with a non-empty equality-bound column
            prefix and/or range bounds on the following column — candidates
            are a contiguous ``bisect`` slice.
+
+        Costs are modelled, not just counted: a bucket costs
+        ``_PROBE_COST + n`` while a slice costs
+        ``_PROBE_COST + _SLICE_ROW_COST * n`` (its rowids must be
+        materialized and re-sorted into insertion order), so a hash probe
+        beats a somewhat smaller ordered slice.
 
         The caller still evaluates the complete WHERE on each candidate,
         so this only ever *narrows* the scan — NULL/type semantics are
@@ -330,11 +386,19 @@ class Database:
             if best_slice is None or count < best_slice[0]:
                 best_slice = (count, index, start, end)
 
-        if best_slice is not None and (best is None or best_slice[0] < len(best)):
+        hash_cost = None if best is None else _PROBE_COST + len(best)
+        slice_cost = (
+            None if best_slice is None
+            else _PROBE_COST + _SLICE_ROW_COST * best_slice[0]
+        )
+        if slice_cost is not None and (hash_cost is None or slice_cost < hash_cost):
             _, index, start, end = best_slice
+            self.n_slice_paths += 1
             # Candidates must be evaluated in insertion order so that
             # un-ORDERed results stay scan-identical.
             return sorted(rowid for _, rowid in index.entries[start:end])
+        if best is not None:
+            self.n_hash_paths += 1
         return best
 
     def _match_rowids(self, table: Table, where, params) -> List[int]:
@@ -413,8 +477,64 @@ class Database:
             return [rowid for _, rowid in index.entries[start:end]]
         return None
 
+    def _aggregate_probe(
+        self, table: Table, stmt: Select, params: Sequence[Any]
+    ) -> Optional[List[Tuple[Any, ...]]]:
+        """Answer ``MIN(col)``/``MAX(col)`` from an ordered index, or None.
+
+        Needs the same coverage as a sorted probe: the WHERE decomposes
+        *completely* into at most one equality conjunct per column plus at
+        most one lower and one upper bound on ``col``, and some ordered
+        index's columns are exactly the equality columns (any order)
+        followed by ``col``.  The slice then holds exactly the matching
+        rows with ``col`` ascending (NULLs first), so the aggregate is a
+        slice end — no row is materialized or verified.
+        """
+        fn, col = stmt.aggregate
+        if fn not in ("MIN", "MAX") or col is None:
+            return None
+        if stmt.order_by or stmt.limit is not None:
+            return None
+        cj = conjuncts_of(stmt.where)
+        if not cj.complete:
+            return None
+        eq_cols = [c for c, _ in cj.eq]
+        if len(set(eq_cols)) != len(eq_cols) or col in eq_cols:
+            return None
+        if len(cj.lower) > 1 or len(cj.upper) > 1:
+            return None
+        range_cols = {c for c, _, _ in cj.lower} | {c for c, _, _ in cj.upper}
+        if range_cols and range_cols != {col}:
+            return None
+        k = len(eq_cols)
+        for index in table.ordered_indexes():
+            if len(index.columns) <= k:
+                continue
+            if set(index.columns[:k]) != set(eq_cols) or index.columns[k] != col:
+                continue
+            values = self._conjunct_values(cj, params)
+            if values is None:
+                return [(None,)]  # a NULL conjunct value: nothing matches
+            eq_vals, lowers, uppers = values
+            prefix = [eq_vals[c] for c in index.columns[:k]]
+            try:
+                start, end = index.slice_bounds(
+                    prefix, lowers.get(col), uppers.get(col)
+                )
+            except TypeError:  # unorderable probe value: scan instead
+                return None
+            self.n_agg_probes += 1
+            if fn == "MIN":
+                return [(index.min_in_slice(prefix, start, end),)]
+            return [(index.max_in_slice(prefix, start, end),)]
+        return None
+
     def _select(self, stmt: Select, params: List[Any]) -> List[Tuple[Any, ...]]:
         table = self._table(stmt.table)
+        if stmt.aggregate is not None:
+            probed = self._aggregate_probe(table, stmt, params)
+            if probed is not None:
+                return probed
         rows = None
         if stmt.order_by:
             rowids = self._sorted_rowids(table, stmt, params)

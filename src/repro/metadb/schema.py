@@ -1,6 +1,6 @@
 """The paper's SDM metadata schema (Figure 4) and typed accessors.
 
-Six tables, as created by ``SDM_initialize``:
+Seven tables, as created by ``SDM_initialize``:
 
 * ``run_table`` — one row per application run: id, dimensionality, problem
   size, timestep count, wall-clock date fields.
@@ -9,6 +9,12 @@ Six tables, as created by ``SDM_initialize``:
 * ``execution_table`` — one row per (dataset, timestep) written: which file
   and at which offset — this is what makes level-2/3 packed organizations
   navigable.
+* ``chunk_table`` — one row per rank-chunk of a *chunked* (write-optimized)
+  dataset instance: which global index range the chunk covers and where its
+  index block and data block live in the file.  A (runid, dataset, timestep)
+  with chunk rows is stored in distribution order; one without is canonical.
+  :meth:`SDMTables.update_execution` + :meth:`SDMTables.delete_chunks` flip
+  an instance from chunked to canonical after reorganization.
 * ``import_table`` — one row per imported (externally created) array.
 * ``index_table`` — one row per registered index distribution: problem
   size, process count, history file name.
@@ -43,6 +49,7 @@ __all__ = [
     "SDM_SCHEMA",
     "SDM_INDEXES",
     "SDMTables",
+    "ChunkRecord",
     "HistoryRecord",
     "HistoryRankRecord",
 ]
@@ -60,6 +67,11 @@ SDM_SCHEMA: Tuple[str, ...] = (
     """CREATE TABLE IF NOT EXISTS execution_table (
         runid INTEGER, dataset TEXT, timestep INTEGER,
         file_name TEXT, file_offset INTEGER, nbytes INTEGER
+    )""",
+    """CREATE TABLE IF NOT EXISTS chunk_table (
+        runid INTEGER, dataset TEXT, timestep INTEGER, rank INTEGER,
+        gid_min INTEGER, gid_max INTEGER, num_elements INTEGER,
+        index_offset INTEGER, data_offset INTEGER
     )""",
     """CREATE TABLE IF NOT EXISTS import_table (
         runid INTEGER, imported_name TEXT, file_name TEXT,
@@ -91,6 +103,10 @@ SDM_INDEXES: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
     ("execution_table", ("runid", "dataset", "timestep"), "hash"),
     ("execution_table", ("runid", "dataset", "timestep"), "ordered"),
     ("execution_table", ("file_name", "file_offset"), "ordered"),
+    # chunks_for is a sorted probe (equality triple + ORDER BY rank); the
+    # hash twin serves delete_chunks' narrowing.
+    ("chunk_table", ("runid", "dataset", "timestep"), "hash"),
+    ("chunk_table", ("runid", "dataset", "timestep", "rank"), "ordered"),
     ("import_table", ("runid", "imported_name"), "hash"),
     ("index_table", ("problem_size", "num_procs"), "hash"),
     # history_rank probes the triple; drop_history narrows by the pair.
@@ -98,6 +114,24 @@ SDM_INDEXES: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
     ("index_history_table", ("problem_size", "num_procs"), "hash"),
 )
 """(table, column tuple, kind) declarations for SDM's hot lookups."""
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """chunk_table row: one rank's block of a chunked dataset instance.
+
+    ``gid_min``/``gid_max`` bound the global indices the chunk covers
+    (``(0, -1)`` for an empty chunk); ``index_offset``/``data_offset`` are
+    absolute file byte offsets of the chunk's sorted int64 index block and
+    its data block.
+    """
+
+    rank: int
+    gid_min: int
+    gid_max: int
+    num_elements: int
+    index_offset: int
+    data_offset: int
 
 
 @dataclass(frozen=True)
@@ -128,7 +162,7 @@ class SDMTables:
         self.db = db
 
     def create_all(self, proc: Optional[Process] = None) -> None:
-        """Create the six tables and their secondary indexes (idempotent)."""
+        """Create the seven tables and their secondary indexes (idempotent)."""
         for ddl in SDM_SCHEMA:
             self.db.execute(ddl, proc=proc)
         self.declare_indexes()
@@ -250,6 +284,85 @@ class SDMTables:
             return 0
         return int(rows[0][0]) + int(rows[0][1])
 
+    def update_execution(
+        self,
+        runid: int,
+        dataset: str,
+        timestep: int,
+        file_name: str,
+        file_offset: int,
+        nbytes: int,
+        proc: Optional[Process] = None,
+    ) -> None:
+        """Repoint an execution record (reorganization moved the instance)."""
+        self.db.execute(
+            "UPDATE execution_table SET file_name = ?, file_offset = ?, "
+            "nbytes = ? WHERE runid = ? AND dataset = ? AND timestep = ?",
+            (file_name, file_offset, nbytes, runid, dataset, timestep),
+            proc=proc,
+        )
+
+    # -- chunk_table ---------------------------------------------------------
+
+    def record_chunks(
+        self,
+        runid: int,
+        dataset: str,
+        timestep: int,
+        chunks: Sequence[ChunkRecord],
+        proc: Optional[Process] = None,
+    ) -> None:
+        """Record every rank's chunk of a chunked dataset instance (one
+        batched INSERT — this sits on the per-timestep write path)."""
+        self.db.execute_many(
+            "INSERT INTO chunk_table VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    runid, dataset, timestep, c.rank, c.gid_min, c.gid_max,
+                    c.num_elements, c.index_offset, c.data_offset,
+                )
+                for c in chunks
+            ],
+            proc=proc,
+        )
+
+    def chunks_for(
+        self,
+        runid: int,
+        dataset: str,
+        timestep: int,
+        proc: Optional[Process] = None,
+    ) -> List[ChunkRecord]:
+        """Chunk maps of a dataset instance, by ascending writer rank
+        (empty for canonical instances).  Served as a sorted probe of the
+        ordered ``(runid, dataset, timestep, rank)`` index."""
+        rows = self.db.execute(
+            "SELECT rank, gid_min, gid_max, num_elements, index_offset, "
+            "data_offset FROM chunk_table "
+            "WHERE runid = ? AND dataset = ? AND timestep = ? ORDER BY rank",
+            (runid, dataset, timestep),
+            proc=proc,
+        )
+        return [
+            ChunkRecord(int(r), int(lo), int(hi), int(n), int(io), int(do))
+            for r, lo, hi, n, io, do in rows
+        ]
+
+    def delete_chunks(
+        self,
+        runid: int,
+        dataset: str,
+        timestep: int,
+        proc: Optional[Process] = None,
+    ) -> None:
+        """Forget an instance's chunk maps (it became canonical)."""
+        self.db.execute(
+            "DELETE FROM chunk_table "
+            "WHERE runid = ? AND dataset = ? AND timestep = ?",
+            (runid, dataset, timestep),
+            proc=proc,
+        )
+
     # -- import_table --------------------------------------------------------
 
     def register_import(
@@ -318,15 +431,17 @@ class SDMTables:
             (record.problem_size, record.num_procs, record.dimension, record.file_name),
             proc=proc,
         )
-        for r in ranks:
-            self.db.execute(
-                "INSERT INTO index_history_table VALUES (?, ?, ?, ?, ?, ?, ?)",
+        self.db.execute_many(
+            "INSERT INTO index_history_table VALUES (?, ?, ?, ?, ?, ?, ?)",
+            [
                 (
                     record.problem_size, record.num_procs, r.rank,
                     r.edge_count, r.node_count, r.edge_offset, r.node_offset,
-                ),
-                proc=proc,
-            )
+                )
+                for r in ranks
+            ],
+            proc=proc,
+        )
 
     def history_rank(
         self,

@@ -178,6 +178,26 @@ class OrderedIndex:
             end = bisect_right(entries, (p + (_KEY_HI,),)) if p else len(entries)
         return start, max(start, end)
 
+    def min_in_slice(self, prefix: Sequence[Any], start: int, end: int) -> Any:
+        """Smallest non-NULL value of column ``len(prefix)`` over
+        ``entries[start:end]`` (a :meth:`slice_bounds` slice, so the prefix
+        columns are constant and that column ascends); None when every key
+        in the slice is NULL."""
+        p = tuple(_sort_key(v) for v in prefix)
+        # NULL keys wrap to (False, 0) and sort first: bisect past them.
+        nn = bisect_left(self.entries, (p + ((True,),),), start, end)
+        if nn >= end:
+            return None
+        return self.entries[nn][0][len(p)][1]
+
+    def max_in_slice(self, prefix: Sequence[Any], start: int, end: int) -> Any:
+        """Largest non-NULL value of column ``len(prefix)`` over
+        ``entries[start:end]``; None when the slice is empty or all-NULL."""
+        if end <= start:
+            return None
+        non_null, value = self.entries[end - 1][0][len(prefix)]
+        return value if non_null else None
+
 
 class Table:
     """Heap of typed rows, append-ordered (insertion order is stable).

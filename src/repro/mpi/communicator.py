@@ -204,6 +204,7 @@ class Communicator:
             site.root, site.reduce_op = root or 0, reduce_op
             site.deposit(0, self.proc, payload, self.proc.now)
             results, _ = COMPUTE_FNS[op](site, self.transport.machine, 1)
+            self.transport.record_collective(op, site.entries[0].nbytes)
             return results[0]
         key = (self.ctx_id, self._op_seq)
         site: CollectiveSite = self.transport.site(
@@ -225,6 +226,9 @@ class Communicator:
             site.reduce_op = reduce_op
         site.deposit(self._rank, self.proc, payload, self.proc.now)
         if site.complete:
+            self.transport.record_collective(
+                op, sum(e.nbytes for e in site.entries.values())
+            )
             results, completions = COMPUTE_FNS[op](
                 site, self.transport.machine, size
             )

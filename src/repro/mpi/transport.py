@@ -9,7 +9,12 @@ One :class:`Transport` exists per simulated MPI world.  It owns:
   to be monotone per pair, so a small message injected after a large one
   cannot overtake it (MPI's non-overtaking rule);
 * the rendezvous *sites* used by the collective algorithms
-  (see :mod:`repro.mpi.collectives`).
+  (see :mod:`repro.mpi.collectives`);
+* traffic counters — messages and payload bytes per point-to-point send and
+  per collective op.  They let tests *prove* communication properties (e.g.
+  that a chunked checkpoint write ships no data through ``alltoallv``, the
+  op two-phase I/O exchanges file data with) instead of inferring them from
+  timings.
 """
 
 from __future__ import annotations
@@ -87,6 +92,14 @@ class Transport:
         self._pair_clock: Dict[Tuple[int, int], float] = {}
         # Collective rendezvous sites keyed by op sequence number.
         self._sites: Dict[int, Any] = {}
+        self.n_p2p_messages = 0
+        """Point-to-point messages injected."""
+        self.p2p_bytes = 0
+        """Payload bytes across all point-to-point messages."""
+        self.coll_counts: Dict[str, int] = {}
+        """Completed collective calls per op name."""
+        self.coll_bytes: Dict[str, int] = {}
+        """Total payload bytes contributed to collectives, per op name."""
 
     # ------------------------------------------------------------------
     # Point-to-point
@@ -126,6 +139,8 @@ class Transport:
         if arrive < floor:
             arrive = floor
         self._pair_clock[key] = arrive
+        self.n_p2p_messages += 1
+        self.p2p_bytes += int(nbytes)
         msg = Message(source=source, tag=tag, payload=payload, nbytes=nbytes, ctx=ctx)
 
         def deliver() -> None:
@@ -188,6 +203,11 @@ class Transport:
             if _matches(msg, source, tag, ctx):
                 return Status(msg.source, msg.tag, msg.nbytes)
         return None
+
+    def record_collective(self, op: str, nbytes: int) -> None:
+        """Count one completed collective and its total payload bytes."""
+        self.coll_counts[op] = self.coll_counts.get(op, 0) + 1
+        self.coll_bytes[op] = self.coll_bytes.get(op, 0) + int(nbytes)
 
     # ------------------------------------------------------------------
     # Collective rendezvous sites

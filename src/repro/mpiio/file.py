@@ -30,7 +30,7 @@ from repro.mpiio.consts import (
     MODE_WRONLY,
 )
 from repro.mpiio.hints import Hints
-from repro.mpiio.view import FileView
+from repro.mpiio.view import FileView, check_runs
 from repro.pfs.file import RD, RDWR, WR
 from repro.pfs.filesystem import FileSystem
 
@@ -254,6 +254,71 @@ class File:
         out = self.read_at_all(self._pos, buf)
         self._pos += len(_as_bytes(buf)) // self._view.etype.size
         return out
+
+    # ------------------------------------------------------------------
+    # Direct-run data access (per-chunk views)
+    # ------------------------------------------------------------------
+    #
+    # The storage-order layer addresses files by explicit byte runs built
+    # from chunk maps — one "view" per chunk, too short-lived to install.
+    # These methods take absolute file byte runs (the installed view and
+    # its displacement are ignored) but keep its contract: runs must be
+    # sorted ascending and non-overlapping (``check_runs``).
+
+    def write_runs(self, offsets, lengths, buf) -> int:
+        """Independent write of explicit byte runs; returns bytes written."""
+        self._check_live()
+        off, ln = check_runs(offsets, lengths)
+        if len(off) == 0:
+            return 0
+        raw = _as_bytes(buf)
+        if raw.size != int(ln.sum()):
+            raise MPIIOError(
+                f"buffer has {raw.size} bytes, runs cover {int(ln.sum())}"
+            )
+        return sieving.independent_write(
+            self.fs, self.comm.proc, self._handle, off, ln, raw
+        )
+
+    def read_runs(self, offsets, lengths, buf) -> np.ndarray:
+        """Independent read of explicit byte runs into ``buf``."""
+        self._check_live()
+        off, ln = check_runs(offsets, lengths)
+        raw = _as_bytes(buf)
+        if raw.size != int(ln.sum()):
+            raise MPIIOError(
+                f"buffer has {raw.size} bytes, runs cover {int(ln.sum())}"
+            )
+        if len(off):
+            raw[:] = sieving.independent_read(
+                self.fs, self.comm.proc, self._handle, off, ln
+            )
+        return buf
+
+    def write_runs_at_all(self, offsets, lengths, buf) -> int:
+        """Collective write of explicit byte runs; all ranks call (a rank
+        with no runs passes empty arrays)."""
+        self._check_live()
+        off, ln = check_runs(offsets, lengths)
+        raw = _as_bytes(buf)
+        if raw.size != int(ln.sum()):
+            raise MPIIOError(
+                f"buffer has {raw.size} bytes, runs cover {int(ln.sum())}"
+            )
+        return twophase.collective_write(
+            self.comm, self.comm.proc, self.fs, self._handle, off, ln, raw,
+            self.hints,
+        )
+
+    def read_runs_at_all(self, offsets, lengths) -> np.ndarray:
+        """Collective read of explicit byte runs; returns the bytes in run
+        order (empty for a rank with no runs)."""
+        self._check_live()
+        off, ln = check_runs(offsets, lengths)
+        return twophase.collective_read(
+            self.comm, self.comm.proc, self.fs, self._handle, off, ln,
+            self.hints,
+        )
 
     # ------------------------------------------------------------------
 

@@ -10,6 +10,11 @@ MPI legally requires filetype displacements to be monotonically
 nondecreasing for views; we enforce strict monotonicity (no overlaps), which
 makes visible-stream order equal file-offset order and keeps scatter/gather
 trivially correct.
+
+:func:`check_runs` applies the same contract to *explicit* byte runs — the
+storage-order layer builds per-chunk runs directly from chunk maps (no
+filetype in sight) and hands them to :meth:`repro.mpiio.file.File`'s
+``*_runs`` methods, which validate through this one gate.
 """
 
 from __future__ import annotations
@@ -23,7 +28,31 @@ from repro.dtypes.flatten import flatten
 from repro.dtypes.primitives import BYTE
 from repro.errors import MPIIOError
 
-__all__ = ["FileView"]
+__all__ = ["FileView", "check_runs"]
+
+
+def check_runs(offsets, lengths) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate explicit file byte runs; returns them as int64 arrays.
+
+    Enforces the file-view contract — nonnegative, sorted ascending,
+    non-overlapping — so direct-run I/O has exactly the semantics of I/O
+    through an installed view.
+    """
+    off = np.asarray(offsets, dtype=np.int64).reshape(-1)
+    ln = np.asarray(lengths, dtype=np.int64).reshape(-1)
+    if len(off) != len(ln):
+        raise MPIIOError(
+            f"{len(off)} run offsets but {len(ln)} run lengths"
+        )
+    if len(off) == 0:
+        return off, ln
+    if int(off[0]) < 0 or int(ln.min()) < 0:
+        raise MPIIOError("negative run offset or length")
+    if len(off) > 1 and not (off[1:] >= off[:-1] + ln[:-1]).all():
+        raise MPIIOError(
+            "runs must be sorted ascending and non-overlapping"
+        )
+    return off, ln
 
 _EXPANSION_CAP = 32_000_000
 """Refuse run expansions above this many runs (guards absurd views)."""

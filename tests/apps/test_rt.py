@@ -83,6 +83,35 @@ def test_rt_original_and_sdm_checksums_agree(problem, part):
         assert s.bytes_written == o.bytes_written
 
 
+def test_rt_chunked_storage_order_checksums_agree(problem, part):
+    """The RT driver's storage_order knob: triangle_data's contiguous
+    blocks become dense (index-free) chunks, node_data irregular ones;
+    checksums match the canonical run exactly."""
+
+    def make_prog(order):
+        def program(ctx):
+            return run_rt_sdm(
+                ctx, problem, part,
+                RTRunConfig(timesteps=3, storage_order=order),
+            )
+        return program
+
+    canonical = mpirun(make_prog("canonical"), NPROCS, machine=fast_test(),
+                       services=sdm_services())
+    chunked = mpirun(make_prog("chunked"), NPROCS, machine=fast_test(),
+                     services=sdm_services())
+    for c, k in zip(canonical.values, chunked.values):
+        assert k.checksum == pytest.approx(c.checksum, rel=1e-12)
+        assert k.bytes_written == c.bytes_written
+    from repro.metadb.schema import SDMTables
+
+    tables = SDMTables(chunked.services["db"])
+    tri_chunks = tables.chunks_for(1, "triangle_data", 0)
+    assert tri_chunks and all(
+        c.index_offset == c.data_offset for c in tri_chunks
+    )  # contiguous blocks: dense chunks, no index bytes
+
+
 def test_sdm_write_bandwidth_beats_original():
     """Figure 7's headline: collective writes >> sequential writes.
 

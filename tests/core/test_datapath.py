@@ -1,0 +1,442 @@
+"""The storage-order data path: chunked writes, assembly reads, reorganize.
+
+The contract under test: a chunked write ships *no* data between ranks
+(transport counters prove it), yet reads return exactly what a canonical
+write would serve — before and after :meth:`SDM.reorganize` — and the
+metadata flips representations atomically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import fast_test
+from repro.core import SDM, Organization, sdm_services, snapshot_services
+from repro.core.catalog import SDMCatalog
+from repro.core.layout import CANONICAL, CHUNKED, checkpoint_file_name
+from repro.dtypes import DOUBLE
+from repro.errors import SDMStateError, SimProcessCrashed
+from repro.metadb.schema import SDMTables
+from repro.mpi import mpirun
+
+NPROCS = 4
+GLOBAL = 32
+
+
+def irregular_maps(nprocs=NPROCS, n=GLOBAL, seed=3):
+    """Rank-disjoint, deliberately unsorted irregular maps covering [0, n)."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    cuts = np.sort(rng.choice(np.arange(1, n), nprocs - 1, replace=False))
+    return [p.astype(np.int64) for p in np.split(perm, cuts)]
+
+
+def simple_program(order, level, *, reorganize=False, maps=None, n=GLOBAL):
+    maps = irregular_maps() if maps is None else maps
+
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=level, storage_order=order)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
+        handle = sdm.set_attributes(result)
+        mine = maps[ctx.rank]
+        sdm.data_view(handle, "d", mine)
+        counts0 = dict(ctx.comm.transport.coll_counts)
+        for t in range(2):
+            sdm.write(handle, "d", t, mine * 1.0 + t)
+        a2a_writes = (
+            ctx.comm.transport.coll_counts.get("alltoallv", 0)
+            - counts0.get("alltoallv", 0)
+        )
+        if reorganize:
+            for t in range(2):
+                sdm.reorganize(handle, "d", t)
+        back = np.empty(len(mine))
+        sdm.read(handle, "d", 1, back)
+        sdm.finalize(handle)
+        return mine, back, a2a_writes
+
+    return program
+
+
+@pytest.mark.parametrize("level", list(Organization))
+@pytest.mark.parametrize("order", [CANONICAL, CHUNKED])
+def test_write_read_roundtrip_both_orders(order, level):
+    job = mpirun(simple_program(order, level), NPROCS, machine=fast_test(),
+                 services=sdm_services())
+    for mine, back, _ in job.values:
+        np.testing.assert_allclose(back, mine * 1.0 + 1)
+
+
+@pytest.mark.parametrize("level", list(Organization))
+def test_reorganize_then_read_roundtrip(level):
+    job = mpirun(simple_program(CHUNKED, level, reorganize=True), NPROCS,
+                 machine=fast_test(), services=sdm_services())
+    for mine, back, _ in job.values:
+        np.testing.assert_allclose(back, mine * 1.0 + 1)
+
+
+def test_chunked_write_does_no_data_exchange():
+    """The write-path claim: canonical writes exchange through alltoallv
+    (two-phase I/O), chunked writes never touch it."""
+    canonical = mpirun(simple_program(CANONICAL, Organization.LEVEL_2),
+                       NPROCS, machine=fast_test(), services=sdm_services())
+    chunked = mpirun(simple_program(CHUNKED, Organization.LEVEL_2),
+                     NPROCS, machine=fast_test(), services=sdm_services())
+    for _, _, a2a in canonical.values:
+        assert a2a > 0
+    for _, _, a2a in chunked.values:
+        assert a2a == 0
+
+
+def test_chunk_table_records_every_rank_block():
+    maps = irregular_maps()
+    job = mpirun(simple_program(CHUNKED, Organization.LEVEL_2, maps=maps),
+                 NPROCS, machine=fast_test(), services=sdm_services())
+    tables = SDMTables(job.services["db"])
+    chunks = tables.chunks_for(1, "d", 0)
+    assert [c.rank for c in chunks] == list(range(NPROCS))
+    t0_bytes = 0
+    for rank, c in enumerate(chunks):
+        mine = np.sort(maps[rank])
+        dense = (np.diff(mine) == 1).all()
+        assert c.num_elements == len(mine)
+        assert (c.gid_min, c.gid_max) == (int(mine[0]), int(mine[-1]))
+        if dense:  # contiguous range: no index block stored
+            assert c.data_offset == c.index_offset
+            t0_bytes += 8 * len(mine)
+        else:
+            assert c.data_offset == c.index_offset + 8 * len(mine)
+            t0_bytes += 16 * len(mine)
+    # The execution row covers index + data bytes so later appends clear it.
+    where = tables.lookup_execution(1, "d", 0)
+    assert where[2] == t0_bytes
+    # Timestep 1 appended after timestep 0's chunks — and, the view being
+    # unchanged, shares timestep 0's index blocks instead of rewriting
+    # them (reference-not-copy): its region holds data bytes only.
+    t1 = tables.lookup_execution(1, "d", 1)
+    assert t1[1] == t0_bytes
+    assert t1[2] == GLOBAL * 8
+    for c0, c1 in zip(chunks, tables.chunks_for(1, "d", 1)):
+        if c0.index_offset != c0.data_offset:  # dense chunks have no block
+            assert c1.index_offset == c0.index_offset
+        assert c1.data_offset >= t0_bytes
+
+
+def test_dense_chunks_store_no_index_block():
+    """Contiguous-range maps (the RT triangle pattern) elide the index
+    block entirely: index_offset == data_offset and the instance region
+    holds exactly the data bytes."""
+    n = 16
+
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
+                  storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
+        handle = sdm.set_attributes(result)
+        mine = np.arange(ctx.rank * 4, ctx.rank * 4 + 4, dtype=np.int64)
+        sdm.data_view(handle, "d", mine)
+        sdm.write(handle, "d", 0, mine * 1.0)
+        back = np.empty(4)
+        sdm.read(handle, "d", 0, back)
+        sdm.finalize(handle)
+        return mine, back
+
+    job = mpirun(program, NPROCS, machine=fast_test(), services=sdm_services())
+    tables = SDMTables(job.services["db"])
+    for c in tables.chunks_for(1, "d", 0):
+        assert c.index_offset == c.data_offset
+    assert tables.lookup_execution(1, "d", 0)[2] == n * 8
+    for mine, back in job.values:
+        np.testing.assert_allclose(back, mine * 1.0)
+
+
+def test_chunked_and_canonical_use_distinct_files():
+    assert checkpoint_file_name("a", 1, "d", 0, Organization.LEVEL_2) == "a/d.dat"
+    assert checkpoint_file_name(
+        "a", 1, "d", 0, Organization.LEVEL_2, storage_order=CHUNKED
+    ) == "a/d.chunked.dat"
+    assert checkpoint_file_name(
+        "a", 1, "d", 3, Organization.LEVEL_1, storage_order=CHUNKED
+    ) == "a/d.t000003.chunked"
+    assert checkpoint_file_name(
+        "a", 7, "d", 0, Organization.LEVEL_3, storage_order=CHUNKED
+    ) == "a/group7.chunked.dat"
+
+
+def test_reorganize_flips_metadata_and_builds_global_order():
+    maps = irregular_maps()
+    job = mpirun(
+        simple_program(CHUNKED, Organization.LEVEL_2, reorganize=True,
+                       maps=maps),
+        NPROCS, machine=fast_test(), services=sdm_services(),
+    )
+    tables = SDMTables(job.services["db"])
+    for t in range(2):
+        assert tables.chunks_for(1, "d", t) == []
+        fname, base, nbytes = tables.lookup_execution(1, "d", t)
+        assert fname == "dp/d.dat"  # repointed at the canonical file
+        assert nbytes == GLOBAL * 8
+        data = (
+            job.services["fs"].lookup(fname).store
+            .read(base, GLOBAL * 8).view(np.float64)
+        )
+        np.testing.assert_allclose(data, np.arange(GLOBAL) * 1.0 + t)
+
+
+def test_reorganize_is_idempotent_and_canonical_noop():
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
+                  storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=8)
+        handle = sdm.set_attributes(result)
+        mine = np.arange(2, dtype=np.int64) + 2 * ctx.rank
+        sdm.data_view(handle, "d", mine)
+        sdm.write(handle, "d", 0, mine * 2.0)
+        first = sdm.reorganize(handle, "d", 0)
+        second = sdm.reorganize(handle, "d", 0)  # no chunks left: no-op
+        back = np.empty(2)
+        sdm.read(handle, "d", 0, back)
+        sdm.finalize(handle)
+        return first, second, mine, back
+
+    job = mpirun(program, NPROCS, machine=fast_test(), services=sdm_services())
+    for first, second, mine, back in job.values:
+        assert first == second == "dp/d.dat"
+        np.testing.assert_allclose(back, mine * 2.0)
+
+
+def test_index_sharing_survives_space_reclamation():
+    """Reorganizing every instance drops the chunked file's append cursor
+    to 0; the next chunked write must re-emit its index block rather than
+    reference the about-to-be-overwritten one."""
+    maps = irregular_maps()
+
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
+                  storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=GLOBAL)
+        handle = sdm.set_attributes(result)
+        mine = maps[ctx.rank]
+        sdm.data_view(handle, "d", mine)
+        sdm.write(handle, "d", 0, mine * 1.0)
+        sdm.reorganize(handle, "d", 0)  # chunked file fully reclaimed
+        sdm.write(handle, "d", 1, mine * 2.0)  # reuses the freed region
+        back0, back1 = np.empty(len(mine)), np.empty(len(mine))
+        sdm.read(handle, "d", 0, back0)
+        sdm.read(handle, "d", 1, back1)
+        sdm.finalize(handle)
+        return mine, back0, back1
+
+    job = mpirun(program, NPROCS, machine=fast_test(), services=sdm_services())
+    tables = SDMTables(job.services["db"])
+    assert tables.lookup_execution(1, "d", 1)[1] == 0  # region reclaimed
+    fresh_blocks = [
+        c for c in tables.chunks_for(1, "d", 1)
+        if c.data_offset == c.index_offset + 8 * c.num_elements
+    ]
+    assert fresh_blocks  # irregular chunks re-emitted their index blocks
+    for mine, back0, back1 in job.values:
+        np.testing.assert_allclose(back0, mine * 1.0)
+        np.testing.assert_allclose(back1, mine * 2.0)
+
+
+def test_index_cache_invalidated_when_cursor_returns_above_block():
+    """Regression: after reorganize reclaims the chunked file, a dense
+    write can overwrite a cached index block AND push the append cursor
+    back above it — a later write with the original view must re-emit its
+    block rather than reference the overwritten bytes."""
+    n = 64
+
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
+                  storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
+        handle = sdm.set_attributes(result)
+        # Irregular view: index block written at the file start and cached.
+        irregular = np.arange(ctx.rank, n, ctx.size, dtype=np.int64)
+        sdm.data_view(handle, "d", irregular)
+        sdm.write(handle, "d", 0, irregular * 1.0)
+        sdm.reorganize(handle, "d", 0)  # cursor retreats to 0
+        # Dense view: t1's data bytes land where t0's index blocks were,
+        # and the cursor rises back above the stale cached blocks.
+        block = n // ctx.size
+        dense = np.arange(ctx.rank * block, (ctx.rank + 1) * block,
+                          dtype=np.int64)
+        sdm.data_view(handle, "d", dense)
+        sdm.write(handle, "d", 1, dense * 2.0)
+        # Back to the original view: a stale cache hit here would point
+        # t2's chunk rows at t1's data bytes.
+        sdm.data_view(handle, "d", irregular)
+        sdm.write(handle, "d", 2, irregular * 3.0)
+        back = np.empty(len(irregular))
+        sdm.read(handle, "d", 2, back)
+        sdm.finalize(handle)
+        return irregular, back
+
+    job = mpirun(program, NPROCS, machine=fast_test(), services=sdm_services())
+    for irregular, back in job.values:
+        np.testing.assert_allclose(back, irregular * 3.0)
+
+
+def test_chunked_read_with_foreign_view():
+    """A reader whose map matches no writer's chunk assembles correctly."""
+    maps = irregular_maps()
+
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
+                  storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=GLOBAL)
+        handle = sdm.set_attributes(result)
+        sdm.data_view(handle, "d", maps[ctx.rank])
+        sdm.write(handle, "d", 0, maps[ctx.rank] * 3.0)
+        # Re-view with a contiguous block slicing across every chunk.
+        block = GLOBAL // ctx.size
+        mine = np.arange(ctx.rank * block, (ctx.rank + 1) * block,
+                         dtype=np.int64)
+        sdm.data_view(handle, "d", mine)
+        back = np.empty(block)
+        sdm.read(handle, "d", 0, back)
+        sdm.finalize(handle)
+        return mine, back
+
+    job = mpirun(program, NPROCS, machine=fast_test(), services=sdm_services())
+    for mine, back in job.values:
+        np.testing.assert_allclose(back, mine * 3.0)
+
+
+def test_ghost_overlap_resolves_like_canonical():
+    """Ghost-inclusive maps: ranks write overlapping gids with equal values
+    (the SDM contract); both orders must return the same arrays."""
+    n = 16
+
+    def maps_for(rank):
+        # Every rank owns 4 gids and also writes its right neighbor's first.
+        own = np.arange(rank * 4, rank * 4 + 4, dtype=np.int64)
+        ghost = np.array([(rank * 4 + 4) % n], dtype=np.int64)
+        return np.concatenate([own, ghost])
+
+    def make_program(order):
+        def program(ctx):
+            sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
+                      storage_order=order)
+            result = sdm.make_datalist(["d"])
+            sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
+            handle = sdm.set_attributes(result)
+            mine = maps_for(ctx.rank)
+            sdm.data_view(handle, "d", mine)
+            sdm.write(handle, "d", 0, mine * 5.0)  # overlap values agree
+            back = np.empty(len(mine))
+            sdm.read(handle, "d", 0, back)
+            sdm.finalize(handle)
+            return mine, back
+        return program
+
+    for order in (CANONICAL, CHUNKED):
+        job = mpirun(make_program(order), NPROCS, machine=fast_test(),
+                     services=sdm_services())
+        for mine, back in job.values:
+            np.testing.assert_allclose(back, mine * 5.0)
+
+
+def test_catalog_serves_chunked_runs_transparently():
+    maps = irregular_maps()
+    producer = mpirun(
+        simple_program(CHUNKED, Organization.LEVEL_3, maps=maps),
+        NPROCS, machine=fast_test(), services=sdm_services(),
+    )
+    snap = snapshot_services(producer)
+
+    def viewer(ctx):
+        catalog = SDMCatalog.attach(ctx)
+        return catalog.read_global(runid=1, dataset="d", timestep=1)
+
+    job = mpirun(viewer, 2, machine=fast_test(),
+                 services=sdm_services(seed_from=snap))
+    for data in job.values:
+        np.testing.assert_allclose(data, np.arange(GLOBAL) * 1.0 + 1)
+
+
+def test_chunked_write_rejects_duplicate_map_entries():
+    """Canonical writes reject duplicate gids via the file view; the
+    chunked path must refuse them too instead of writing an ambiguous
+    chunk whose read and reorganize could disagree."""
+
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
+                  storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=16)
+        handle = sdm.set_attributes(result)
+        mine = np.array([3, 3, 7], dtype=np.int64) + 8 * ctx.rank
+        sdm.data_view(handle, "d", mine)
+        sdm.write(handle, "d", 0, mine * 1.0)
+
+    with pytest.raises(SimProcessCrashed) as ei:
+        mpirun(program, 2, machine=fast_test(), services=sdm_services())
+    assert isinstance(ei.value.__cause__, SDMStateError)
+
+
+def test_level1_chunked_writes_do_not_grow_index_cache():
+    """Per-timestep level-1 files can never share index blocks; the
+    reference-not-copy cache must not accumulate unhittable map copies."""
+
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=Organization.LEVEL_1,
+                  storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=16)
+        handle = sdm.set_attributes(result)
+        mine = np.array([1, 0, 5], dtype=np.int64) + 8 * ctx.rank  # irregular
+        sdm.data_view(handle, "d", mine)
+        for t in range(4):
+            sdm.write(handle, "d", t, mine * 1.0 + t)
+        back = np.empty(len(mine))
+        sdm.read(handle, "d", 3, back)
+        sdm.finalize(handle)
+        return mine, back, len(sdm.storage_order._index_cache)
+
+    job = mpirun(program, 2, machine=fast_test(), services=sdm_services())
+    for mine, back, cache_size in job.values:
+        np.testing.assert_allclose(back, mine * 1.0 + 3)
+        assert cache_size == 0
+
+
+def test_canonical_read_skips_chunk_table_probe():
+    """Reads of canonical instances stay a single metadata statement —
+    the chunk_table lookup only happens for .chunked file names."""
+
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
+                  storage_order=CANONICAL)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=8)
+        handle = sdm.set_attributes(result)
+        mine = np.arange(4, dtype=np.int64) + 4 * ctx.rank
+        sdm.data_view(handle, "d", mine)
+        sdm.write(handle, "d", 0, mine * 1.0)
+        db = ctx.service("db")
+        before = db.n_statements
+        back = np.empty(4)
+        sdm.read(handle, "d", 0, back)
+        sdm.finalize(handle)
+        return ctx.rank, db.n_statements - before
+
+    job = mpirun(program, 2, machine=fast_test(), services=sdm_services())
+    by_rank = dict(job.values)
+    # The counter is database-global; rank 0 (the only rank issuing
+    # statements) must have seen exactly its lookup_execution.
+    assert by_rank[0] == 1
+
+
+def test_unknown_storage_order_rejected():
+    def program(ctx):
+        SDM(ctx, "dp", storage_order="sideways")
+
+    with pytest.raises(SimProcessCrashed) as ei:
+        mpirun(program, 2, machine=fast_test(), services=sdm_services())
+    assert isinstance(ei.value.__cause__, SDMStateError)

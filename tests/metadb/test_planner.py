@@ -323,3 +323,161 @@ def test_snapshot_restored_catalog_probes_without_redeclaration():
     assert reader.db.tables["execution_table"].indexes.keys() == (
         producer.db.tables["execution_table"].indexes.keys()
     )
+
+
+# -- access-path cost model ----------------------------------------------
+
+
+def costed_db():
+    d = Database()
+    d.execute("CREATE TABLE t (a INTEGER, b TEXT, c INTEGER)")
+    # bucket b='x' holds 10 rows (c = 0..9); b='y' holds c = 10..19.
+    for i in range(20):
+        d.execute(
+            "INSERT INTO t VALUES (?, ?, ?)",
+            (i % 5, "x" if i < 10 else "y", i),
+        )
+    d.create_index("t", "b")
+    d.create_index("t", "c", "ordered")
+    return d
+
+
+def test_cost_model_prefers_hash_over_slightly_smaller_slice():
+    d = costed_db()
+    # bucket('x') = 10 candidates; slice c >= 12 = 8.  Raw counts pick the
+    # slice; the cost model knows a slice pays materialization + rowid
+    # sorting per candidate and keeps the hash probe.
+    rows = d.execute("SELECT * FROM t WHERE b = ? AND c >= ?", ("x", 12))
+    assert rows == []
+    assert (d.n_hash_paths, d.n_slice_paths) == (1, 0)
+
+
+def test_cost_model_still_picks_much_smaller_slice():
+    d = costed_db()
+    # slice c >= 18 = 2 candidates: cheaper than the 10-row bucket even at
+    # double per-candidate cost.
+    rows = d.execute("SELECT c FROM t WHERE b = ? AND c >= ?", ("y", 18))
+    assert rows == [(18,), (19,)]
+    assert (d.n_hash_paths, d.n_slice_paths) == (0, 1)
+
+
+def test_cost_model_result_matches_scan():
+    plain = Database()
+    plain.execute("CREATE TABLE t (a INTEGER, b TEXT, c INTEGER)")
+    indexed = costed_db()
+    for i in range(20):
+        plain.execute(
+            "INSERT INTO t VALUES (?, ?, ?)",
+            (i % 5, "x" if i < 10 else "y", i),
+        )
+    for params in (("x", 3), ("x", 12), ("y", 3), ("y", 18)):
+        sql = "SELECT * FROM t WHERE b = ? AND c >= ?"
+        assert indexed.execute(sql, params) == plain.execute(sql, params)
+    assert plain.n_index_probes == 0
+
+
+# -- index-backed MIN/MAX aggregates -------------------------------------
+
+
+def agg_db():
+    d = Database()
+    d.execute("CREATE TABLE t (a INTEGER, b TEXT, c INTEGER)")
+    d.create_index("t", ("a", "c"), "ordered")
+    d.create_index("t", "c", "ordered")
+    for i in range(12):
+        d.execute("INSERT INTO t VALUES (?, ?, ?)", (i % 3, f"s{i}", i))
+    return d
+
+
+def test_max_runid_allocation_is_an_index_probe():
+    tables = SDMTables(Database())
+    tables.create_all()
+    assert tables.next_runid() == 1
+    for runid in (1, 2, 7):
+        tables.insert_run(runid, "app", 3, 100, 10)
+    probes = tables.db.n_agg_probes
+    assert tables.next_runid() == 8
+    assert tables.db.n_agg_probes == probes + 1
+
+
+def test_min_max_from_slice_ends():
+    d = agg_db()
+    assert d.execute("SELECT MAX(c) FROM t") == [(11,)]
+    assert d.execute("SELECT MIN(c) FROM t") == [(0,)]
+    assert d.execute("SELECT MAX(c) FROM t WHERE a = ?", (1,)) == [(10,)]
+    assert d.execute("SELECT MIN(c) FROM t WHERE a = ?", (2,)) == [(2,)]
+    assert d.execute("SELECT MAX(c) FROM t WHERE c <= ?", (8,)) == [(8,)]
+    assert d.execute(
+        "SELECT MIN(c) FROM t WHERE a = ? AND c > ?", (0, 3)
+    ) == [(6,)]
+    assert d.n_agg_probes == 6
+    assert d.n_full_scans == 0
+
+
+def test_aggregate_probe_empty_and_null_semantics():
+    d = agg_db()
+    # Empty match: NULL aggregate, exactly as the scan path reports it.
+    assert d.execute("SELECT MAX(c) FROM t WHERE a = ?", (9,)) == [(None,)]
+    # NULL keys are ignored by MIN/MAX but present in the index.
+    d.execute("INSERT INTO t VALUES (?, ?, ?)", (1, "null-c", None))
+    assert d.execute("SELECT MIN(c) FROM t WHERE a = ?", (1,)) == [(1,)]
+    d2 = Database()
+    d2.execute("CREATE TABLE t (c INTEGER)")
+    d2.create_index("t", "c", "ordered")
+    d2.execute("INSERT INTO t VALUES (?)", (None,))
+    assert d2.execute("SELECT MAX(c) FROM t") == [(None,)]
+    assert d2.n_agg_probes >= 1
+
+
+def test_aggregate_probe_requires_complete_where():
+    d = agg_db()
+    probes = d.n_agg_probes
+    # OR cannot be answered from a slice: falls back to filter + aggregate.
+    rows = d.execute("SELECT MAX(c) FROM t WHERE a = ? OR a = ?", (0, 1))
+    assert rows == [(10,)]
+    assert d.n_agg_probes == probes
+    # SUM has no slice-ends answer either.
+    assert d.execute("SELECT SUM(c) FROM t WHERE a = ?", (0,)) == [(18,)]
+    assert d.n_agg_probes == probes
+
+
+def test_aggregate_probe_matches_scan_everywhere():
+    plain = Database()
+    plain.execute("CREATE TABLE t (a INTEGER, b TEXT, c INTEGER)")
+    indexed = agg_db()
+    for i in range(12):
+        plain.execute("INSERT INTO t VALUES (?, ?, ?)", (i % 3, f"s{i}", i))
+    queries = [
+        ("SELECT MAX(c) FROM t", ()),
+        ("SELECT MIN(c) FROM t", ()),
+        ("SELECT MAX(c) FROM t WHERE a = ?", (0,)),
+        ("SELECT MAX(c) FROM t WHERE a = ?", (5,)),
+        ("SELECT MIN(c) FROM t WHERE c >= ?", (7,)),
+        ("SELECT MAX(c) FROM t WHERE c < ?", (7,)),
+        ("SELECT MIN(c) FROM t WHERE a = ? AND c BETWEEN ? AND ?", (1, 3, 9)),
+    ]
+    for sql, params in queries:
+        assert indexed.execute(sql, params) == plain.execute(sql, params), sql
+
+
+def test_execute_many_bills_one_batched_statement():
+    sim = Simulator()
+    db = Database(sim, origin2000())
+
+    class _Proc:
+        """Minimal process stand-in: accumulates hold() charges."""
+        held = 0.0
+        def hold(self, dt):
+            self.held += dt
+
+    db.execute("CREATE TABLE t (a INTEGER)")
+    single, batch = _Proc(), _Proc()
+    for i in range(8):
+        db.execute("INSERT INTO t VALUES (?)", (i,), proc=single)
+    db.execute_many("INSERT INTO t VALUES (?)", [(i,) for i in range(8)],
+                    proc=batch)
+    model = origin2000().database
+    assert single.held == pytest.approx(8 * model.statement_time(rows=1))
+    assert batch.held == pytest.approx(model.statement_time(rows=8))
+    assert batch.held < single.held
+    assert db.execute("SELECT COUNT(*) FROM t") == [(16,)]

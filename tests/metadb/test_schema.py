@@ -22,6 +22,7 @@ def test_create_all_is_idempotent(tables):
         "run_table",
         "access_pattern_table",
         "execution_table",
+        "chunk_table",
         "import_table",
         "index_table",
         "index_history_table",

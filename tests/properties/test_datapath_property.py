@@ -1,0 +1,96 @@
+"""Property: storage orders are observationally equivalent on reads.
+
+For random irregular partitions (unsorted rank maps, optional ghost
+overlaps with agreeing values), random rank counts, and every file
+organization level, ``SDM.read`` must return identical arrays whether the
+instance was written canonically, chunked, or chunked and then
+``reorganize()``d — and a whole-array read of the file must see global
+element order in the canonical and reorganized cases.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import fast_test
+from repro.core import SDM, Organization, sdm_services
+from repro.core.layout import CANONICAL, CHUNKED
+from repro.dtypes import DOUBLE
+from repro.mpi import mpirun
+
+
+@st.composite
+def partitions(draw):
+    """(global size, per-rank unsorted maps) with every gid covered, plus
+    optional cross-rank ghost duplicates."""
+    nprocs = draw(st.integers(1, 4))
+    n = draw(st.integers(nprocs * 2, 24))
+    seed = draw(st.integers(0, 2**20))
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    cuts = np.sort(
+        rng.choice(np.arange(1, n), nprocs - 1, replace=False)
+    ) if nprocs > 1 else np.array([], dtype=int)
+    maps = [p.astype(np.int64) for p in np.split(perm, cuts)]
+    if draw(st.booleans()) and nprocs > 1:
+        # Ghosts: each rank also writes one gid owned by the next rank.
+        maps = [
+            np.concatenate([m, maps[(r + 1) % nprocs][:1]])
+            for r, m in enumerate(maps)
+        ]
+    return n, maps
+
+
+def run_once(order, level, n, maps, reorganize):
+    nprocs = len(maps)
+
+    def program(ctx):
+        sdm = SDM(ctx, "prop", organization=level, storage_order=order)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
+        handle = sdm.set_attributes(result)
+        mine = maps[ctx.rank]
+        sdm.data_view(handle, "d", mine)
+        sdm.write(handle, "d", 0, mine * 1.5 + 0.25)  # value = f(gid): ghosts agree
+        if reorganize:
+            sdm.reorganize(handle, "d", 0)
+        back = np.empty(len(mine))
+        sdm.read(handle, "d", 0, back)
+        # A second, foreign view: this rank's even share of the globe.
+        lo = n * ctx.rank // ctx.size
+        hi = n * (ctx.rank + 1) // ctx.size
+        share = np.arange(lo, hi, dtype=np.int64)
+        sdm.data_view(handle, "d", share)
+        whole = np.empty(len(share))
+        sdm.read(handle, "d", 0, whole)
+        sdm.finalize(handle)
+        return back, whole
+
+    job = mpirun(program, nprocs, machine=fast_test(), services=sdm_services())
+    backs = [b for b, _ in job.values]
+    whole = np.concatenate([w for _, w in job.values])
+    return backs, whole
+
+
+@settings(max_examples=12, deadline=None)
+@given(partitions(), st.sampled_from(list(Organization)))
+def test_read_equivalence_across_storage_orders(partition, level):
+    n, maps = partition
+    expected_global = np.arange(n) * 1.5 + 0.25
+    results = {
+        variant: run_once(order, level, n, maps, reorganize)
+        for variant, (order, reorganize) in {
+            "canonical": (CANONICAL, False),
+            "chunked": (CHUNKED, False),
+            "reorganized": (CHUNKED, True),
+        }.items()
+    }
+    for variant, (backs, whole) in results.items():
+        for rank, back in enumerate(backs):
+            np.testing.assert_allclose(
+                back, maps[rank] * 1.5 + 0.25,
+                err_msg=f"{variant} read-after-write, rank {rank}",
+            )
+        np.testing.assert_allclose(
+            whole, expected_global, err_msg=f"{variant} global read"
+        )
