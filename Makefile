@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-metadb test-datapath bench bench-metadb bench-datapath
+.PHONY: test test-metadb test-datapath test-maintenance \
+    bench bench-metadb bench-datapath bench-maintenance
 
 ## tier-1 verify: the metadb subset first (fast signal), then everything else
 test: test-metadb
@@ -18,6 +19,11 @@ test-metadb:
 test-datapath:
 	$(PYTHON) -m pytest tests/core/test_datapath.py tests/properties/test_datapath_property.py -q
 
+## maintenance tier: background reorganization, compaction, snapshot-
+## surviving queues, index-block cache + the maintenance property dimension
+test-maintenance:
+	$(PYTHON) -m pytest tests/core/test_maintenance.py tests/properties/test_datapath_property.py -q
+
 ## metadata query-path ablation (scan vs hash vs ordered vs composite,
 ## parse vs statement cache); emits BENCH_metadb.json for cross-PR tracking
 bench-metadb:
@@ -28,8 +34,15 @@ bench-metadb:
 bench-datapath:
 	DATAPATH_BENCH_JSON=BENCH_datapath.json $(PYTHON) -m pytest benchmarks/bench_ablation_datapath.py --benchmark-only -q
 
+## maintenance ablation (sync vs background reorganize critical path,
+## cold vs warm chunked-read index cache, compaction file sizes); emits
+## BENCH_maintenance.json
+bench-maintenance:
+	MAINTENANCE_BENCH_JSON=BENCH_maintenance.json $(PYTHON) -m pytest benchmarks/bench_ablation_maintenance.py --benchmark-only -q
+
 ## every paper-reproduction benchmark (tracked-JSON ablations first)
-bench: bench-metadb bench-datapath
+bench: bench-metadb bench-datapath bench-maintenance
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q \
 	    --ignore=benchmarks/bench_ablation_metadb.py \
-	    --ignore=benchmarks/bench_ablation_datapath.py
+	    --ignore=benchmarks/bench_ablation_datapath.py \
+	    --ignore=benchmarks/bench_ablation_maintenance.py

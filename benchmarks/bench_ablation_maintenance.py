@@ -1,0 +1,292 @@
+"""Ablation: the maintenance tier — background vs critical-path upkeep.
+
+Three claims of the maintenance service layer, measured on the
+origin2000 machine model:
+
+* **Background reorganization** removes the deferred chunked→canonical
+  exchange from the application's critical path: the per-rank cost of
+  ``SDM.reorganize(..., mode="background")`` is the enqueue metadata
+  only, while the exchange runs on the maintenance workers after the
+  ranks move on (the simulator still completes it — the flip is
+  verified).  Acceptance: >= 80% of the synchronous reorganize phase
+  disappears from the critical path.
+* **Index-block caching** closes the chunked-read penalty: a cold
+  chunked read fetches every overlapping chunk's index block (as many
+  bytes as the data for irregular maps); a warm read serves them from
+  the rank-local LRU, because checkpoint loops share blocks across
+  timesteps.  Acceptance: the warm read closes >= 50% of the
+  cold-chunked vs canonical read gap tracked in ``BENCH_datapath.json``.
+* **Compaction** bounds chunked-file growth: reorganizing interior
+  instances leaves dead extents (``extent_table``); one compaction pass
+  slides the live chunks down and truncates the file to exactly its
+  live bytes, with recorded free bytes at zero.
+
+Set ``MAINTENANCE_BENCH_JSON=<path>`` (the Makefile's
+``bench-maintenance`` target points it at ``BENCH_maintenance.json``) to
+emit the matrix as JSON for cross-PR tracking.
+"""
+
+import json
+import os
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ResultTable
+from repro.config import origin2000
+from repro.core import SDM, Organization, sdm_services
+from repro.core.layout import CANONICAL, CHUNKED
+from repro.dtypes import DOUBLE
+from repro.metadb.schema import SDMTables
+from repro.mpi import mpirun
+
+RANK_COUNTS = (4, 8)
+GLOBAL_ELEMENTS = 500_000
+"""4 MB of doubles per instance — bandwidth-dominated on the model."""
+TIMESTEPS = 4
+
+
+def _setup(sdm, n):
+    result = sdm.make_datalist(["d"])
+    sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
+    return sdm.set_attributes(result)
+
+
+def _round_robin(ctx, n):
+    return np.arange(ctx.rank, n, ctx.size, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# 1. sync vs background reorganization
+# ---------------------------------------------------------------------------
+
+
+def run_reorganize_case(nprocs, mode):
+    """Chunked checkpoint loop + reorganize-all under one mode; returns
+    critical-path phase seconds and the final read-back."""
+
+    def program(ctx):
+        sdm = SDM(ctx, "bench", organization=Organization.LEVEL_2,
+                  storage_order=CHUNKED)
+        handle = _setup(sdm, GLOBAL_ELEMENTS)
+        mine = _round_robin(ctx, GLOBAL_ELEMENTS)
+        sdm.data_view(handle, "d", mine)
+        for t in range(TIMESTEPS):
+            with ctx.phase("write"):
+                sdm.write(handle, "d", t, mine * 1.0 + t)
+        with ctx.phase("reorganize"):
+            for t in range(TIMESTEPS):
+                sdm.reorganize(handle, "d", t, mode=mode)
+        # Reads happen after the backlog lands either way; the phase
+        # above captured what sat on the application's critical path.
+        sdm.drain_maintenance()
+        back = np.empty(len(mine))
+        with ctx.phase("read"):
+            sdm.read(handle, "d", TIMESTEPS - 1, back)
+        sdm.finalize(handle)
+        return back
+
+    job = mpirun(program, nprocs, machine=origin2000(),
+                 services=sdm_services())
+    tables = SDMTables(job.services["db"])
+    assert tables.chunks_for(1, "d", 0) == []  # the flip really happened
+    assert tables.pending_maintenance() == []
+    merged = np.empty(GLOBAL_ELEMENTS)
+    for rank, back in enumerate(job.values):
+        merged[rank::nprocs] = back
+    return {
+        "reorganize": job.phase_max("reorganize"),
+        "read": job.phase_max("read"),
+        "elapsed": job.elapsed,
+    }, merged
+
+
+# ---------------------------------------------------------------------------
+# 2. cold vs warm chunked-read index cache
+# ---------------------------------------------------------------------------
+
+
+def run_read_case(nprocs, order):
+    """Write TIMESTEPS instances; read one cold, then one warm (chunked
+    instances share index blocks across timesteps)."""
+
+    def program(ctx):
+        sdm = SDM(ctx, "bench", organization=Organization.LEVEL_2,
+                  storage_order=order)
+        handle = _setup(sdm, GLOBAL_ELEMENTS)
+        mine = _round_robin(ctx, GLOBAL_ELEMENTS)
+        sdm.data_view(handle, "d", mine)
+        for t in range(TIMESTEPS):
+            sdm.write(handle, "d", t, mine * 1.0 + t)
+        back = np.empty(len(mine))
+        with ctx.phase("read_cold"):
+            sdm.read(handle, "d", 0, back)
+        with ctx.phase("read_warm"):
+            sdm.read(handle, "d", 1, back)
+        sdm.finalize(handle)
+        return back
+
+    job = mpirun(program, nprocs, machine=origin2000(),
+                 services=sdm_services())
+    merged = np.empty(GLOBAL_ELEMENTS)
+    for rank, back in enumerate(job.values):
+        merged[rank::nprocs] = back
+    return {
+        "read_cold": job.phase_max("read_cold"),
+        "read_warm": job.phase_max("read_warm"),
+    }, merged
+
+
+# ---------------------------------------------------------------------------
+# 3. compaction
+# ---------------------------------------------------------------------------
+
+
+def run_compaction_case(nprocs):
+    """Reorganize the interior timesteps (dead extents below a live
+    top), compact, and report sizes."""
+
+    def program(ctx):
+        sdm = SDM(ctx, "bench", organization=Organization.LEVEL_2,
+                  storage_order=CHUNKED)
+        handle = _setup(sdm, GLOBAL_ELEMENTS)
+        mine = _round_robin(ctx, GLOBAL_ELEMENTS)
+        sdm.data_view(handle, "d", mine)
+        for t in range(TIMESTEPS):
+            sdm.write(handle, "d", t, mine * 1.0 + t)
+        fname = sdm.checkpoint_file(handle, "d", 0, storage_order=CHUNKED)
+        for t in range(TIMESTEPS - 1):  # keep the topmost instance live
+            sdm.reorganize(handle, "d", t, mode="sync")
+        sizes = None
+        if ctx.rank == 0:
+            fs = ctx.service("fs")
+            sizes = (fs.lookup(fname).size,
+                     sdm.tables.free_bytes_in(fname, proc=ctx.proc))
+        with ctx.phase("compact"):
+            sdm.compact(fname, mode="sync")
+        back = np.empty(len(mine))
+        sdm.read(handle, "d", TIMESTEPS - 1, back)
+        sdm.finalize(handle)
+        return sizes, back, fname
+
+    job = mpirun(program, nprocs, machine=origin2000(),
+                 services=sdm_services())
+    sizes = next(s for s, _, _ in job.values if s is not None)
+    fname = job.values[0][2]
+    tables = SDMTables(job.services["db"])
+    fs = job.services["fs"]
+    live = sum(r[4] for r in tables.executions_in_file(fname))
+    merged = np.empty(GLOBAL_ELEMENTS)
+    for rank, (_s, back, _f) in enumerate(job.values):
+        merged[rank::nprocs] = back
+    np.testing.assert_array_equal(
+        merged, np.arange(GLOBAL_ELEMENTS) * 1.0 + TIMESTEPS - 1
+    )
+    return {
+        "size_before": sizes[0],
+        "free_before": sizes[1],
+        "size_after": fs.lookup(fname).size,
+        "free_after": tables.free_bytes_in(fname),
+        "live_bytes": live,
+        "compact_time": job.phase_max("compact"),
+    }
+
+
+def run_matrix():
+    table = ResultTable(
+        "Ablation (maintenance) - background upkeep vs the critical path"
+    )
+    cells = {}
+    for nprocs in RANK_COUNTS:
+        sync, sync_data = run_reorganize_case(nprocs, "sync")
+        background, bg_data = run_reorganize_case(nprocs, "background")
+        np.testing.assert_array_equal(sync_data, bg_data)
+        chunked, chunked_data = run_read_case(nprocs, CHUNKED)
+        canonical, canonical_data = run_read_case(nprocs, CANONICAL)
+        np.testing.assert_array_equal(chunked_data, canonical_data)
+        compaction = run_compaction_case(nprocs)
+        gap = chunked["read_cold"] - canonical["read_cold"]
+        closed = chunked["read_cold"] - chunked["read_warm"]
+        cells[nprocs] = {
+            "reorganize_sync": sync["reorganize"],
+            "reorganize_background": background["reorganize"],
+            "critical_path_removed": 1.0 - (
+                background["reorganize"] / sync["reorganize"]
+            ),
+            "read_chunked_cold": chunked["read_cold"],
+            "read_chunked_warm": chunked["read_warm"],
+            "read_canonical": canonical["read_cold"],
+            "cache_gap_closed": closed / gap if gap > 0 else float("inf"),
+            **compaction,
+        }
+        for config, value in (
+            (f"reorganize-sync/{nprocs}p", sync["reorganize"]),
+            (f"reorganize-background/{nprocs}p", background["reorganize"]),
+            (f"read-chunked-cold/{nprocs}p", chunked["read_cold"]),
+            (f"read-chunked-warm/{nprocs}p", chunked["read_warm"]),
+            (f"read-canonical/{nprocs}p", canonical["read_cold"]),
+            (f"compact/{nprocs}p", compaction["compact_time"]),
+        ):
+            table.add("ablation-maintenance", config, "virtual-time",
+                      value, "s")
+        table.add(
+            "ablation-maintenance", f"critical-path-removed/{nprocs}p",
+            "fraction", cells[nprocs]["critical_path_removed"], "x",
+        )
+        table.add(
+            "ablation-maintenance", f"cache-gap-closed/{nprocs}p",
+            "fraction", min(cells[nprocs]["cache_gap_closed"], 9.99), "x",
+        )
+        table.add(
+            "ablation-maintenance", f"compaction-reclaimed/{nprocs}p",
+            "bytes", compaction["size_before"] - compaction["size_after"],
+            "B",
+        )
+    return table, cells
+
+
+def _emit_json(table, cells):
+    """Write the matrix to $MAINTENANCE_BENCH_JSON for cross-PR tracking."""
+    path = os.environ.get("MAINTENANCE_BENCH_JSON")
+    if not path:
+        return
+    doc = {
+        "benchmark": "ablation-maintenance",
+        "global_elements": GLOBAL_ELEMENTS,
+        "timesteps": TIMESTEPS,
+        "rank_counts": list(RANK_COUNTS),
+        "rows": [asdict(row) for row in table.rows],
+        "cells": {
+            str(n): {k: round(float(v), 6) for k, v in by_key.items()}
+            for n, by_key in cells.items()
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+@pytest.mark.benchmark(group="ablation-maintenance")
+def test_maintenance_moves_upkeep_off_the_critical_path(benchmark, report):
+    table, cells = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    report(table)
+    _emit_json(table, cells)
+    for nprocs in RANK_COUNTS:
+        cell = cells[nprocs]
+        # (a) background reorganize removes >= 80% of the reorganization
+        # time from the application's critical path.
+        assert cell["critical_path_removed"] >= 0.80, cell
+        # (b) the warm index cache closes >= 50% of the chunked-vs-
+        # canonical read gap.
+        assert cell["cache_gap_closed"] >= 0.50, cell
+        # (c) compaction shrinks the file to exactly its live bytes and
+        # zeroes the recorded free extents.
+        assert cell["size_after"] == cell["live_bytes"] < cell["size_before"], cell
+        assert cell["free_after"] == 0 and cell["free_before"] > 0, cell
+    benchmark.extra_info["critical_path_removed_4p"] = round(
+        cells[4]["critical_path_removed"], 3
+    )
+    benchmark.extra_info["cache_gap_closed_4p"] = round(
+        cells[4]["cache_gap_closed"], 2
+    )

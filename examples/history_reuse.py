@@ -55,7 +55,11 @@ def main():
 
         return factory
 
-    cfg = Fun3dRunConfig(timesteps=1, checkpoint_every=2, register_history=True)
+    # wait_history blocks (in virtual time) on the background writer via
+    # HistoryRegistration.wait() — read-your-writes before the snapshot,
+    # with no busy-checking of the .done flag.
+    cfg = Fun3dRunConfig(timesteps=1, checkpoint_every=2,
+                         register_history=True, wait_history=True)
 
     def run(nprocs, snap, label):
         part = multilevel_kway(g, nprocs, seed=1)

@@ -55,6 +55,21 @@ class Fun3dRunConfig:
     """Reorganize every chunked checkpoint into canonical order after the
     timestep loop (the deferred exchange, paid once, off the hot path)."""
 
+    reorganize_mode: str = "sync"
+    """How ``reorganize_after`` pays the exchange: "sync" runs it
+    collectively on the application ranks; "background" enqueues it on
+    the maintenance service's per-rank workers, off the critical path."""
+
+    compact_after: bool = False
+    """After reorganization, queue a compaction of every chunked
+    checkpoint file, reclaiming the dead regions the reorganizations
+    left (runs on the maintenance workers, behind the reorganize jobs)."""
+
+    wait_history: bool = False
+    """Block (in virtual time) until this rank's history slice is on
+    disk before continuing — read-your-writes on the registered history
+    instead of busy-checking ``HistoryRegistration.done``."""
+
     mesh_file: str = "uns3d.msh"
 
 
@@ -86,6 +101,7 @@ def run_fun3d_sdm(
         ctx, "fun3d", organization=config.organization,
         problem_size=mesh.n_edges, num_timesteps=config.timesteps,
         storage_order=config.storage_order,
+        reorganize_mode=config.reorganize_mode,
     )
 
     # ------------------------------------------------------- Figure 3 ----
@@ -104,7 +120,9 @@ def run_fun3d_sdm(
         local = sdm.partition_index(part_vector, chunk)
     used_history = chunk is None
     if config.register_history and not used_history:
-        sdm.index_registry(local)
+        registration = sdm.index_registry(local)
+        if config.wait_history:
+            registration.wait(ctx.proc)
 
     edge_data: Dict[str, np.ndarray] = {}
     node_data: Dict[str, np.ndarray] = {}
@@ -168,9 +186,21 @@ def run_fun3d_sdm(
                     continue
                 for name in (*NODE_DATASETS, BIG_DATASET):
                     sdm.reorganize(handle, name, t)
+        if config.compact_after and config.storage_order == "chunked":
+            # Behind the reorganize jobs in queue order, so the pass sees
+            # every dead region they leave.
+            written = [
+                t for t in range(config.timesteps)
+                if (t + 1) % config.checkpoint_every == 0
+            ]
+            for fname in sdm.chunked_checkpoint_files(handle, written):
+                sdm.compact(fname, mode=config.reorganize_mode)
 
     read_checksum = None
     if config.read_back:
+        # Reads must not race pending background maintenance on the
+        # checkpoint files (a no-op when nothing is queued).
+        sdm.drain_maintenance()
         read_checksum = 0.0
         for t in range(config.timesteps):
             if (t + 1) % config.checkpoint_every != 0:

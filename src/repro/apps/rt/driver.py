@@ -40,6 +40,18 @@ class RTRunConfig:
     storage_order: str = "canonical"
     """Checkpoint data path ("canonical" or exchange-free "chunked")."""
 
+    reorganize_after: bool = False
+    """Convert every chunked checkpoint to canonical order after the
+    timestep loop (the deferred exchange, paid once)."""
+
+    reorganize_mode: str = "sync"
+    """"sync" pays the exchange on the application ranks; "background"
+    queues it (and the follow-up compaction) on the maintenance tier."""
+
+    compact_after: bool = False
+    """After reorganization, compact the chunked checkpoint files down
+    to their live bytes."""
+
 
 @dataclass
 class RTRunResult:
@@ -73,6 +85,7 @@ def run_rt_sdm(
         ctx, "rt", organization=config.organization,
         problem_size=mesh.n_nodes, num_timesteps=config.timesteps,
         storage_order=config.storage_order,
+        reorganize_mode=config.reorganize_mode,
     )
     result = sdm.make_datalist(["node_data", "triangle_data"])
     sdm.associate_attributes(
@@ -106,6 +119,18 @@ def run_rt_sdm(
             sdm.write(handle, "triangle_data", t, tri_vals)
         bytes_written += (len(node_vals) + len(tri_vals)) * 8
         checksum += float(node_vals.sum()) + float(tri_vals.sum())
+
+    if config.reorganize_after and config.storage_order == "chunked":
+        with ctx.phase("reorganize"):
+            for t in range(config.timesteps):
+                sdm.reorganize(handle, "node_data", t)
+                sdm.reorganize(handle, "triangle_data", t)
+        if config.compact_after:
+            files = sdm.chunked_checkpoint_files(
+                handle, range(config.timesteps)
+            )
+            for fname in files:
+                sdm.compact(fname, mode=config.reorganize_mode)
 
     sdm.finalize(handle)
     return RTRunResult(

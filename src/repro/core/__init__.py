@@ -10,17 +10,29 @@ irregular applications.  Each rank constructs an :class:`SDM` instance
 (``data_view`` / ``write``) under one of three file-organization levels
 and one of two storage orders — canonical (global order, exchanged at
 write time) or chunked (distribution order, exchange-free, reorganizable
-later via ``reorganize``).
+later via ``reorganize``).  A third axis, *maintenance*, moves the
+expensive after-work off the application's critical path: background
+reorganization, chunked-file compaction, and asynchronous history writes
+all run on the per-rank daemon workers of
+:class:`~repro.core.maintenance.MaintenanceService` (``reorganize_mode=
+"background"``, ``SDM.compact``, ``SDM.drain_maintenance``).
 
 See :mod:`repro.core.api` for the class, :mod:`repro.core.datapath` for
-the storage-order strategies, and :mod:`repro.core.papi` for C-style
-aliases that mirror the paper's Figures 2 and 3 line by line.
+the storage-order strategies, :mod:`repro.core.maintenance` for the
+service tier, and :mod:`repro.core.papi` for C-style aliases that mirror
+the paper's Figures 2 and 3 line by line.
 """
 
-from repro.core.datapath import CanonicalOrder, ChunkedOrder, StorageOrder
+from repro.core.datapath import (
+    CanonicalOrder,
+    ChunkedOrder,
+    IndexBlockCache,
+    StorageOrder,
+)
 from repro.core.groups import DataGroup, DatasetAttrs, ImportAttrs
 from repro.core.layout import CANONICAL, CHUNKED, Organization
 from repro.core.api import SDM
+from repro.core.maintenance import COMPACT, REORGANIZE, MaintenanceService
 from repro.core.services import sdm_services, snapshot_services
 
 __all__ = [
@@ -29,6 +41,10 @@ __all__ = [
     "StorageOrder",
     "CanonicalOrder",
     "ChunkedOrder",
+    "IndexBlockCache",
+    "MaintenanceService",
+    "REORGANIZE",
+    "COMPACT",
     "CANONICAL",
     "CHUNKED",
     "DatasetAttrs",

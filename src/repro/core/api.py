@@ -42,7 +42,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.datapath import (
+    ChunkedOrder,
+    FileHandleCache,
+    IndexBlockCache,
     StorageOrder,
+    compact_chunked_file,
     locate_instance,
     read_instance,
     reorganize as _reorganize,
@@ -54,7 +58,7 @@ from repro.core.history import (
     register_history_async,
     try_load_history,
 )
-from repro.core.layout import Organization
+from repro.core.layout import CHUNKED, Organization, checkpoint_file_name
 from repro.core.ring import EdgeChunk, LocalPartition, owned_nodes_of, ring_partition_index
 from repro.dtypes.constructors import IndexedBlock
 from repro.dtypes.primitives import DOUBLE, INT, Primitive
@@ -80,6 +84,7 @@ class SDM:
         num_timesteps: int = 0,
         io_hints: Optional[Dict[str, int]] = None,
         storage_order: Union[str, StorageOrder] = "canonical",
+        reorganize_mode: str = "sync",
     ) -> None:
         self.ctx = ctx
         self.comm = ctx.comm
@@ -89,6 +94,21 @@ class SDM:
         """Write-side data path: ``CanonicalOrder`` assembles global order
         at write time; ``ChunkedOrder`` appends distribution order and
         defers the exchange.  Reads are transparent either way."""
+        if reorganize_mode not in ("sync", "background"):
+            raise SDMStateError(
+                f"unknown reorganize_mode {reorganize_mode!r} "
+                "(expected 'sync' or 'background')"
+            )
+        self.reorganize_mode = reorganize_mode
+        """Default :meth:`reorganize` behavior: ``"sync"`` runs the
+        deferred exchange collectively on the calling ranks;
+        ``"background"`` enqueues it on the maintenance service and
+        returns immediately (readers transparently serve whichever
+        representation is current)."""
+        self.index_cache = IndexBlockCache()
+        """Rank-local LRU over chunked index-block fetches: checkpoint
+        loops share blocks across timesteps, so warm chunked reads move
+        data bytes only."""
         self.io_hints = dict(io_hints) if io_hints else None
         """MPI-IO hints SDM passes on every file open (the paper: SDM uses
         "the ability to pass hints to the implementation about access
@@ -110,12 +130,22 @@ class SDM:
         self.runid: int = self.comm.bcast(runid, root=0)
         self._groups: Dict[int, DataGroup] = {}
         self._next_group = 1
-        self._files: Dict[Tuple[str, int], File] = {}
+        self._files = FileHandleCache(self.comm, self.fs, hints=self.io_hints)
         self._importlist: "OrderedDict[str, ImportAttrs]" = OrderedDict()
         self._local: Optional[LocalPartition] = None
         self._problem_size = problem_size
         self._part_vector: Optional[np.ndarray] = None
         self._history_available = False
+        self.maintenance = ctx.services.get("maint")
+        """The job's background maintenance service (None in bespoke
+        services dicts without the tier)."""
+        if self.maintenance is not None:
+            self.maintenance.attach(ctx)
+            self.maintenance.register_caches(
+                self.storage_order
+                if isinstance(self.storage_order, ChunkedOrder) else None,
+                self.index_cache,
+            )
         self.comm.barrier()
 
     # ------------------------------------------------------------------
@@ -431,7 +461,10 @@ class SDM:
             )
         fname = where[0]
         f = self._open_cached(fname, MODE_RDONLY)
-        buf[:] = read_instance(self.comm, f, where, chunks, attrs.data_type, view)
+        buf[:] = read_instance(
+            self.comm, f, where, chunks, attrs.data_type, view,
+            cache=self.index_cache,
+        )
         if self.organization == Organization.LEVEL_1:
             self._close_cached(fname)
         return buf
@@ -442,47 +475,179 @@ class SDM:
         name: str,
         timestep: int,
         runid: Optional[int] = None,
+        mode: Optional[str] = None,
     ) -> str:
         """Rewrite a chunked instance into canonical order
-        (``SDM_reorganize``).  Collective; a no-op for instances already
-        canonical.  Returns the file now holding the instance.
+        (``SDM_reorganize``).  A no-op for instances already canonical.
+        Returns the file holding (or, in background mode, currently
+        holding) the instance.
 
-        This performs the interprocess exchange the chunked write skipped
-        — once — and atomically repoints the metadata, so every later
-        :meth:`read` takes the canonical fast path.
+        ``mode`` (default: the constructor's :attr:`reorganize_mode`)
+        selects who pays the deferred exchange:
+
+        * ``"sync"`` — collective; runs it on the calling ranks now, so
+          every later :meth:`read` takes the canonical fast path;
+        * ``"background"`` — enqueue it on the maintenance service's
+          per-rank workers (call on every rank, same order) and return
+          immediately.  The workers perform the same exchange and
+          atomically repoint ``execution_table`` off the application's
+          critical path; reads transparently serve whichever
+          representation is current, and :meth:`drain_maintenance`
+          blocks until the flip is visible.
         """
-        return _reorganize(self, handle, name, timestep, runid=runid)
+        mode = self.reorganize_mode if mode is None else mode
+        if mode == "sync":
+            return _reorganize(self, handle, name, timestep, runid=runid)
+        if mode != "background":
+            raise SDMStateError(
+                f"unknown reorganize mode {mode!r} "
+                "(expected 'sync' or 'background')"
+            )
+        if self.maintenance is None:
+            raise SDMStateError(
+                "background reorganization needs the maintenance service; "
+                "this job's services dict has no 'maint' entry"
+            )
+        from repro.core.maintenance import REORGANIZE
+
+        attrs = handle.dataset(name)
+        rid = self.runid if runid is None else runid
+        # One cheap metadata probe keeps already-canonical instances (and
+        # their file names) out of the worker queue — the same no-op fast
+        # path the sync call takes, minus the exchange machinery.
+        where, chunks = locate_instance(
+            self.comm, self.tables, rid, name, timestep, proc=self.ctx.proc
+        )
+        if where is None:
+            raise SDMUnknownDataset(
+                f"no execution record for run {rid} dataset {name!r} "
+                f"timestep {timestep}"
+            )
+        if not chunks:
+            return where[0]
+        self.maintenance.enqueue(
+            self.ctx, REORGANIZE,
+            application=self.application,
+            organization=int(self.organization),
+            group_id=handle.group_id,
+            runid=rid,
+            dataset=name,
+            timestep=timestep,
+            data_type=attrs.data_type.name,
+            global_size=attrs.global_size,
+        )
+        # Until the background flip lands, the instance still serves from
+        # its chunked file.
+        return where[0]
+
+    def compact(self, file_name: str, mode: Optional[str] = None) -> str:
+        """Pack a ``.chunked`` checkpoint file down to its live bytes
+        (reclaiming the dead extents reorganization left behind).
+
+        ``mode`` follows :meth:`reorganize`: ``"sync"`` runs the pass
+        collectively now; ``"background"`` (or the constructor default)
+        enqueues it behind any earlier maintenance jobs — in particular
+        behind background reorganizations of the same file, whose dead
+        regions it then reclaims.  The file must be quiescent while the
+        pass runs; :meth:`drain_maintenance` marks the safe point.
+        Returns ``file_name``.
+        """
+        mode = self.reorganize_mode if mode is None else mode
+        if mode == "sync":
+            compact_chunked_file(self, file_name)
+            return file_name
+        if mode != "background":
+            raise SDMStateError(
+                f"unknown compaction mode {mode!r} "
+                "(expected 'sync' or 'background')"
+            )
+        if self.maintenance is None:
+            raise SDMStateError(
+                "background compaction needs the maintenance service; "
+                "this job's services dict has no 'maint' entry"
+            )
+        from repro.core.maintenance import COMPACT
+
+        self.maintenance.enqueue(
+            self.ctx, COMPACT,
+            application=self.application,
+            organization=int(self.organization),
+            file_name=file_name,
+        )
+        return file_name
+
+    def checkpoint_file(
+        self,
+        handle: DataGroup,
+        name: str,
+        timestep: int,
+        storage_order: Optional[str] = None,
+    ) -> str:
+        """File name a (dataset, timestep) instance lands in under this
+        SDM's organization (defaults to the configured storage order)."""
+        order = (
+            self.storage_order.name if storage_order is None else storage_order
+        )
+        return checkpoint_file_name(
+            self.application, handle.group_id, name, timestep,
+            self.organization, storage_order=order,
+        )
+
+    def chunked_checkpoint_files(
+        self, handle: DataGroup, timesteps: Sequence[int]
+    ) -> List[str]:
+        """Distinct ``.chunked`` files the group's datasets land in over
+        the given timesteps — the compaction work-list after a batch of
+        reorganizations (under level 2/3 many instances share one file)."""
+        seen: List[str] = []
+        for name in handle.datasets:
+            for t in timesteps:
+                fname = self.checkpoint_file(handle, name, t,
+                                             storage_order=CHUNKED)
+                if fname not in seen:
+                    seen.append(fname)
+        return seen
+
+    def drain_maintenance(self) -> None:
+        """Block (in virtual time) until every maintenance job this rank
+        enqueued has executed — reorganizations flipped, compactions
+        packed, history slices on disk.  A no-op without the service or
+        under a deferred-mode service (whose backlog runs in a later
+        job)."""
+        if self.maintenance is not None:
+            self.maintenance.drain(self.ctx.rank, self.ctx.proc)
+
+    def invalidate_chunked_caches(self, file_name: str) -> None:
+        """Datapath host hook: a reorganization or compaction this rank
+        ran may have freed or moved the file's bytes — drop every
+        registered cache's entries for it (this SDM's write and read
+        caches, plus any other SDM or catalog caches registered with the
+        maintenance service)."""
+        if self.maintenance is not None:
+            self.maintenance.invalidate_chunked_caches(file_name)
+            return
+        if isinstance(self.storage_order, ChunkedOrder):
+            self.storage_order.drop_file_cache(file_name)
+        self.index_cache.drop_file(file_name)
 
     def finalize(self, handle: Optional[DataGroup] = None) -> None:
         """Close cached files and end the run (``SDM_finalize``).  Collective."""
-        for key in list(self._files):
-            f = self._files.pop(key)
-            if not f.closed:
-                f.close()
+        self._files.close_all()
         if handle is not None:
             handle.finalized = True
         self.comm.barrier()
 
     # ------------------------------------------------------------------
-    # File-handle cache
+    # File-handle cache (shared with the maintenance workers)
     # ------------------------------------------------------------------
 
     def _open_cached(self, name: str, amode: int) -> File:
         """Get or collectively open a file (identical call sequence on all
         ranks keeps the cache coherent across the job)."""
-        key = (name, amode)
-        f = self._files.get(key)
-        if f is None or f.closed:
-            f = File.open(self.comm, self.fs, name, amode, hints=self.io_hints)
-            self._files[key] = f
-        return f
+        return self._files.open(name, amode)
 
     def _close_cached(self, name: str) -> None:
-        for key in list(self._files):
-            if key[0] == name:
-                f = self._files.pop(key)
-                if not f.closed:
-                    f.close()
+        self._files.close(name)
 
 
 def _even_split(total: int, parts: int) -> np.ndarray:

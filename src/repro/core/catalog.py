@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.datapath import locate_instance, read_instance
+from repro.core.datapath import IndexBlockCache, locate_instance, read_instance
 from repro.core.groups import DataGroup, DatasetAttrs, DataView
 from repro.dtypes.primitives import Primitive, BYTE, FLOAT32, FLOAT64, INT32, INT64
 from repro.errors import SDMUnknownDataset
@@ -81,10 +81,18 @@ def _dataset_from_row(
 class SDMCatalog:
     """Read-only view over a (possibly finished) SDM metadata database."""
 
-    def __init__(self, ctx: RankContext, tables: SDMTables, fs) -> None:
+    def __init__(self, ctx: RankContext, tables: SDMTables, fs,
+                 maintenance=None) -> None:
         self.ctx = ctx
         self.tables = tables
         self.fs = fs
+        self.index_cache = IndexBlockCache()
+        """Rank-local LRU over chunked index-block fetches, so a viewer
+        stepping through timesteps (which share blocks) fetches each map
+        once.  Registered with the maintenance service (when the job has
+        one) so reorganization and compaction invalidate it."""
+        if maintenance is not None:
+            maintenance.register_caches(None, self.index_cache)
 
     @classmethod
     def attach(cls, ctx: RankContext) -> "SDMCatalog":
@@ -97,7 +105,8 @@ class SDMCatalog:
         # pre-persistence snapshots and hand-seeded databases (idempotent
         # either way).
         tables.declare_indexes()
-        return cls(ctx, tables, ctx.service("fs"))
+        return cls(ctx, tables, ctx.service("fs"),
+                   maintenance=ctx.services.get("maint"))
 
     # ------------------------------------------------------------------
     # Browsing
@@ -206,7 +215,8 @@ class SDMCatalog:
             )
         view = DataView.from_map(np.asarray(map_array, dtype=np.int64))
         f = File.open(comm, self.fs, where[0], MODE_RDONLY)
-        out = read_instance(comm, f, where, chunks, rec.data_type, view)
+        out = read_instance(comm, f, where, chunks, rec.data_type, view,
+                            cache=self.index_cache)
         f.close()
         return out
 

@@ -46,11 +46,44 @@ for as long as the reference lives.
 
 Overlapping chunks (ghost-inclusive map arrays) resolve to the highest
 writing rank, matching the two-phase exchange's overlap rule.
+
+Maintenance hooks (PR 4)
+------------------------
+
+Three additions let the background maintenance layer
+(:mod:`repro.core.maintenance`) keep chunked files healthy off the
+application's critical path:
+
+* :class:`IndexBlockCache` — a rank-local LRU over :func:`_chunk_index`
+  fetches.  Checkpoint loops share index blocks across timesteps
+  (reference-not-copy), so a warm cache turns steady-state chunked reads
+  into data-only I/O.  Entries are invalidated by the same
+  append-cursor-retreat rule the write-side reference cache uses, and by
+  compaction (which moves blocks).
+* :func:`execute_reorganize` — the execute half of :func:`reorganize`,
+  parameterized by a *host* instead of a full ``SDM`` so a maintenance
+  worker can run the deferred exchange on a background process.  The flip
+  also maintains ``extent_table``: an interior region freed by
+  reorganization is recorded as a dead extent; a topmost region retreats
+  the append cursor and truncates any extents beyond it.
+* :func:`compact_chunked_file` — slides every live chunk of a ``.chunked``
+  file down over its dead extents (two-phase read-then-write, so any
+  overlap is safe), rewrites the chunk maps in one batched statement, and
+  truncates the file to its live size.
+
+A *host* is anything with the execution context these collectives need —
+``comm``, ``ctx`` (``.rank``/``.proc``), ``tables``, ``fs``,
+``organization``, ``application``, an optional ``index_cache``, the
+``_open_cached``/``_close_cached`` file cache, and
+``invalidate_chunked_caches(file_name)``.  :class:`~repro.core.api.SDM`
+satisfies it for the synchronous paths; the maintenance worker builds a
+lightweight equivalent.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,7 +96,7 @@ from repro.core.layout import (
     is_chunked_name,
 )
 from repro.dtypes.constructors import IndexedBlock
-from repro.dtypes.primitives import Primitive
+from repro.dtypes.primitives import Primitive, primitive_by_name
 from repro.errors import SDMStateError, SDMUnknownDataset
 from repro.metadb.schema import ChunkRecord, SDMTables
 from repro.mpi.communicator import Communicator
@@ -74,10 +107,14 @@ __all__ = [
     "StorageOrder",
     "CanonicalOrder",
     "ChunkedOrder",
+    "FileHandleCache",
+    "IndexBlockCache",
     "resolve_storage_order",
     "locate_instance",
     "read_instance",
     "reorganize",
+    "execute_reorganize",
+    "compact_chunked_file",
 ]
 
 CHUNK_INDEX_BYTES = 8
@@ -108,6 +145,115 @@ def _next_append_base(sdm, fname: str) -> int:
     if sdm.ctx.rank == 0:
         base = sdm.tables.max_offset_in_file(fname, proc=sdm.ctx.proc)
     return sdm.comm.bcast(base, root=0)
+
+
+class IndexBlockCache:
+    """Rank-local LRU cache of chunked index blocks.
+
+    Assembling a chunked read fetches every overlapping chunk's index
+    block from the file — as many bytes as the data itself for irregular
+    maps.  Checkpoint loops reference the same blocks across timesteps
+    (the write side's reference-not-copy sharing), so a small per-rank
+    cache of hot blocks removes those fetches from every warm read.
+
+    Entries are keyed by ``(file_name, index_offset)`` and are only valid
+    while the bytes at that offset are what the writer left there; they
+    are dropped
+
+    * when the append cursor retreats to or below the block
+      (:meth:`drop_from`, the write path's endangered-region rule),
+    * when reorganization may reclaim the file (:meth:`drop_file`), and
+    * when compaction moves blocks (:meth:`drop_file`, via the
+      maintenance service's registered caches).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise SDMStateError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._blocks: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, file_name: str, offset: int, count: int) -> Optional[np.ndarray]:
+        """The cached gid block at ``(file_name, offset)``, or None.
+
+        A length mismatch (a different block landed at a recycled offset)
+        is treated as a miss; the fetch that follows replaces the entry.
+        """
+        key = (file_name, offset)
+        gids = self._blocks.get(key)
+        if gids is None or len(gids) != count:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        return gids
+
+    def put(self, file_name: str, offset: int, gids: np.ndarray) -> None:
+        """Remember a fetched block (evicts LRU beyond capacity)."""
+        self._blocks[(file_name, offset)] = gids
+        self._blocks.move_to_end((file_name, offset))
+        if len(self._blocks) > self.capacity:
+            self._blocks.popitem(last=False)
+
+    def drop_file(self, file_name: str) -> None:
+        """Forget every block of one file."""
+        for k in [k for k in self._blocks if k[0] == file_name]:
+            del self._blocks[k]
+
+    def drop_from(self, file_name: str, base: int) -> None:
+        """Forget blocks whose bytes extend above ``base`` — the append
+        cursor retreated there, so anything above may be rewritten."""
+        for k in [
+            k for k, g in self._blocks.items()
+            if k[0] == file_name and k[1] + len(g) * CHUNK_INDEX_BYTES > base
+        ]:
+            del self._blocks[k]
+
+
+class FileHandleCache:
+    """Collective file-handle cache every datapath host carries.
+
+    Identical open/close call sequences on all ranks of ``comm`` keep the
+    cache coherent across the job — the invariant ``SDM`` always relied
+    on, now shared with the maintenance workers so both sync and
+    background paths open files the same way (``hints`` included).
+    """
+
+    def __init__(self, comm, fs, hints=None) -> None:
+        self.comm = comm
+        self.fs = fs
+        self.hints = hints
+        self._files: Dict[Tuple[str, int], File] = {}
+
+    def open(self, name: str, amode: int) -> File:
+        """Get or collectively open a file."""
+        key = (name, amode)
+        f = self._files.get(key)
+        if f is None or f.closed:
+            f = File.open(self.comm, self.fs, name, amode, hints=self.hints)
+            self._files[key] = f
+        return f
+
+    def close(self, name: str) -> None:
+        """Collectively close every cached handle on one file."""
+        for key in list(self._files):
+            if key[0] == name:
+                f = self._files.pop(key)
+                if not f.closed:
+                    f.close()
+
+    def close_all(self) -> None:
+        """Collectively close everything, in sorted key order (symmetric
+        across ranks)."""
+        for key in sorted(self._files):
+            f = self._files.pop(key)
+            if not f.closed:
+                f.close()
 
 
 class StorageOrder:
@@ -240,6 +386,11 @@ class ChunkedOrder(StorageOrder):
         fname = self.file_name(sdm, handle, name, timestep)
         base = _next_append_base(sdm, fname)
         self._drop_endangered(fname, base)
+        # The read-side block cache obeys the same retreat rule: bytes
+        # from ``base`` up may be rewritten by this or any later append.
+        read_cache = getattr(sdm, "index_cache", None)
+        if read_cache is not None:
+            read_cache.drop_from(fname, base)
         # Under level 1 every instance gets its own file, so an index
         # block can never be shared — don't grow the cache with map
         # copies that cannot hit.
@@ -353,11 +504,14 @@ def read_instance(
     chunks: Sequence[ChunkRecord],
     dtype: Primitive,
     view: DataView,
+    cache: Optional[IndexBlockCache] = None,
 ) -> np.ndarray:
     """Collectively read this rank's view of one instance (either
-    representation); returns the elements in the view's user order."""
+    representation); returns the elements in the view's user order.
+    ``cache``, when given, serves repeat index-block fetches of chunked
+    instances without touching the file."""
     if chunks:
-        return _assemble_chunked(comm, f, chunks, dtype, view)
+        return _assemble_chunked(comm, f, chunks, dtype, view, cache)
     _fname, base, _nbytes = where
     set_instance_view(f, base, dtype, view.map_sorted)
     out = np.empty(view.local_count, dtype=dtype.numpy_dtype)
@@ -365,23 +519,33 @@ def read_instance(
     return view.to_user_order(out)
 
 
-def _chunk_index(f: File, ch: ChunkRecord) -> np.ndarray:
+def _chunk_index(
+    f: File, ch: ChunkRecord, cache: Optional[IndexBlockCache] = None
+) -> np.ndarray:
     """A chunk's sorted gid index block (dense chunks are the arange of
-    their gid range and store none)."""
+    their gid range and store none).  A cache hit skips the file read
+    entirely — the warm-read fast path."""
     if ch.index_offset == ch.data_offset:
         return np.arange(ch.gid_min, ch.gid_max + 1, dtype=np.int64)
+    if cache is not None:
+        gids = cache.get(f.name, ch.index_offset, ch.num_elements)
+        if gids is not None:
+            return gids
     raw = np.empty(ch.num_elements * CHUNK_INDEX_BYTES, dtype=np.uint8)
     f.read_runs(
         np.array([ch.index_offset], dtype=np.int64),
         np.array([len(raw)], dtype=np.int64),
         raw,
     )
-    return raw.view(np.int64)
+    gids = raw.view(np.int64)
+    if cache is not None:
+        cache.put(f.name, ch.index_offset, gids)
+    return gids
 
 
 def _chunk_positions(
     f: File, chunks: Sequence[ChunkRecord], dtype: Primitive,
-    wanted: np.ndarray,
+    wanted: np.ndarray, cache: Optional[IndexBlockCache] = None,
 ) -> np.ndarray:
     """Absolute file byte position of each wanted global index, resolved
     against the chunk maps (-1 where no chunk holds it).
@@ -404,7 +568,7 @@ def _chunk_positions(
             hit = (wanted >= ch.gid_min) & (wanted <= ch.gid_max)
             pos[hit] = ch.data_offset + (wanted[hit] - ch.gid_min) * esize
             continue
-        cidx = _chunk_index(f, ch)
+        cidx = _chunk_index(f, ch, cache)
         j = np.searchsorted(cidx, wanted)
         hit = np.zeros(len(wanted), dtype=bool)
         inb = j < len(cidx)
@@ -419,6 +583,7 @@ def _assemble_chunked(
     chunks: Sequence[ChunkRecord],
     dtype: Primitive,
     view: DataView,
+    cache: Optional[IndexBlockCache] = None,
 ) -> np.ndarray:
     """Gather this rank's wanted elements out of a chunked instance: chunk
     maps give each element's file position, one collective read fetches the
@@ -426,7 +591,7 @@ def _assemble_chunked(
     the bytes a canonical read of an unwritten region would return."""
     esize = dtype.size
     wanted = view.map_sorted
-    pos = _chunk_positions(f, chunks, dtype, wanted)
+    pos = _chunk_positions(f, chunks, dtype, wanted, cache)
     present = pos >= 0
     upos = np.unique(pos[present])
     raw = f.read_runs_at_all(upos, np.full(len(upos), esize, dtype=np.int64))
@@ -445,7 +610,29 @@ def reorganize(
     sdm, handle: DataGroup, name: str, timestep: int,
     runid: Optional[int] = None,
 ) -> str:
-    """Rewrite a chunked instance into canonical order.  Collective.
+    """Rewrite a chunked instance into canonical order, synchronously.
+
+    The enqueue half — resolving the dataset's type and global size from
+    the live :class:`~repro.core.groups.DataGroup` — feeding the execute
+    half directly on the calling ranks.  ``SDM.reorganize`` in background
+    mode records the same parameters in ``maintenance_table`` instead and
+    lets the maintenance workers run :func:`execute_reorganize` later.
+    """
+    attrs = handle.dataset(name)
+    rid = sdm.runid if runid is None else runid
+    return execute_reorganize(
+        sdm, handle.group_id, name, timestep, attrs.data_type,
+        attrs.global_size, rid,
+    )
+
+
+def execute_reorganize(
+    host, group_id: int, dataset: str, timestep: int,
+    dtype: Primitive, global_size: int, runid: int,
+) -> str:
+    """The execute half: rewrite a chunked instance into canonical order.
+    Collective over ``host.comm`` (the application ranks for a synchronous
+    call, the maintenance workers for a background job).
 
     Chunks are dealt round-robin to ranks; each rank reads its chunks
     back contiguously (independent I/O) and one collective write performs
@@ -455,20 +642,20 @@ def reorganize(
     instance's representation for every subsequent reader.  Already
     canonical instances are a no-op.
 
-    The stale chunked blob is not erased; once its execution row moves
-    away, ``max_offset_in_file`` stops accounting for it and the next
-    chunked write to that file reclaims the space.
+    The stale chunked blob is not erased.  If it was the file's topmost
+    region the append cursor retreats and the next chunked write reclaims
+    the space (any extents stranded beyond the new cursor are dropped);
+    an interior region is recorded in ``extent_table`` as a dead extent
+    for :func:`compact_chunked_file` to reclaim.
     """
-    attrs = handle.dataset(name)
-    dtype = attrs.data_type
-    rid = sdm.runid if runid is None else runid
-    comm = sdm.comm
+    comm = host.comm
+    proc = host.ctx.proc
     where, chunks = locate_instance(
-        comm, sdm.tables, rid, name, timestep, proc=sdm.ctx.proc
+        comm, host.tables, runid, dataset, timestep, proc=proc
     )
     if where is None:
         raise SDMUnknownDataset(
-            f"no execution record for run {rid} dataset {name!r} "
+            f"no execution record for run {runid} dataset {dataset!r} "
             f"timestep {timestep}"
         )
     old_fname = where[0]
@@ -476,15 +663,16 @@ def reorganize(
         return old_fname
 
     # -- gather phase: read my share of the chunks back, in writer order --
+    cache = getattr(host, "index_cache", None)
     mine = [
         ch for i, ch in enumerate(sorted(chunks, key=lambda c: c.rank))
         if i % comm.size == comm.rank and ch.num_elements
     ]
-    src = sdm._open_cached(old_fname, MODE_RDONLY)
+    src = host._open_cached(old_fname, MODE_RDONLY)
     gid_parts: List[np.ndarray] = []
     val_parts: List[np.ndarray] = []
     for ch in mine:
-        gid_parts.append(_chunk_index(src, ch))
+        gid_parts.append(_chunk_index(src, ch, cache))
         raw = np.empty(ch.num_elements * dtype.size, dtype=np.uint8)
         src.read_runs(
             np.array([ch.data_offset], dtype=np.int64),
@@ -506,27 +694,189 @@ def reorganize(
 
     # -- exchange phase: the one collective write builds global order ----
     new_fname = checkpoint_file_name(
-        sdm.application, handle.group_id, name, timestep, sdm.organization,
+        host.application, group_id, dataset, timestep, host.organization,
         storage_order=CANONICAL,
     )
-    base = _next_append_base(sdm, new_fname)
-    dst = sdm._open_cached(new_fname, MODE_CREATE | MODE_RDWR)
+    base = _next_append_base(host, new_fname)
+    dst = host._open_cached(new_fname, MODE_CREATE | MODE_RDWR)
     set_instance_view(dst, base, dtype, gids)
     dst.write_at_all(0, vals)
 
     # -- flip the metadata: repoint the row, drop the chunk maps ---------
     if comm.rank == 0:
-        sdm.tables.update_execution(
-            rid, name, timestep, new_fname, base, attrs.global_bytes(),
-            proc=sdm.ctx.proc,
+        host.tables.update_execution(
+            runid, dataset, timestep, new_fname, base,
+            global_size * dtype.size, proc=proc,
         )
-        sdm.tables.delete_chunks(rid, name, timestep, proc=sdm.ctx.proc)
+        host.tables.delete_chunks(runid, dataset, timestep, proc=proc)
+        # Free-extent bookkeeping for the vacated region.  An instance
+        # below a surviving one is a dead interior extent; a topmost
+        # instance retreats the cursor instead, stranding any extents
+        # recorded beyond it (their bytes are past end-of-data now).
+        old_base, old_nbytes = int(where[1]), int(where[2])
+        new_max = host.tables.max_offset_in_file(old_fname, proc=proc)
+        if new_max > old_base:
+            host.tables.record_extent(
+                old_fname, old_base, old_nbytes, proc=proc
+            )
+        else:
+            host.tables.truncate_extents(old_fname, new_max, proc=proc)
     # The chunked file's append cursor may retreat now; cached index
     # blocks in it are no longer trustworthy.
-    if isinstance(sdm.storage_order, ChunkedOrder):
-        sdm.storage_order.drop_file_cache(old_fname)
+    host.invalidate_chunked_caches(old_fname)
     comm.barrier()
-    if sdm.organization == Organization.LEVEL_1:
-        sdm._close_cached(old_fname)
-        sdm._close_cached(new_fname)
+    if host.organization == Organization.LEVEL_1:
+        host._close_cached(old_fname)
+        host._close_cached(new_fname)
     return new_fname
+
+
+# ---------------------------------------------------------------------------
+# Compaction (slide live chunks down over dead extents)
+# ---------------------------------------------------------------------------
+
+
+def _compaction_plan(host, file_name: str) -> Dict:
+    """Rank 0's host-side plan for packing one chunked file.
+
+    Walks the file's live instances in base-offset order and lays their
+    chunks back to back from offset 0: ``moves`` are ``(src, nbytes,
+    dst)`` byte copies, ``chunk_updates`` / ``exec_updates`` the metadata
+    rewrites.  Index-block sharing is preserved — the first chunk to
+    reference a block relocates it and later references point at the new
+    offset — and a shared block stranded in a dead region (its writing
+    instance was reorganized away) is materialized from its old bytes, so
+    the packed file is always self-contained.
+    """
+    tables = host.tables
+    proc = host.ctx.proc
+    moves: List[Tuple[int, int, int]] = []
+    chunk_updates: List[Tuple[int, int, int, str, int, int]] = []
+    exec_updates: List[Tuple[int, int, int, str, int]] = []
+    block_map: Dict[int, Tuple[int, int]] = {}
+    esize_of: Dict[Tuple[int, str], int] = {}
+    cursor = 0
+    for runid, dataset, timestep, _base, _nbytes in tables.executions_in_file(
+        file_name, proc=proc
+    ):
+        key = (runid, dataset)
+        esize = esize_of.get(key)
+        if esize is None:
+            type_name = tables.dataset_type_name(runid, dataset, proc=proc)
+            if type_name is None:
+                raise SDMUnknownDataset(
+                    f"dataset {dataset!r} of run {runid} has no "
+                    "access_pattern_table row; cannot size its chunks"
+                )
+            esize = primitive_by_name(type_name).size
+            esize_of[key] = esize
+        new_base = cursor
+        for ch in tables.chunks_for(runid, dataset, timestep, proc=proc):
+            if ch.num_elements == 0:
+                chunk_updates.append(
+                    (cursor, cursor, runid, dataset, timestep, ch.rank)
+                )
+                continue
+            dbytes = ch.num_elements * esize
+            if ch.index_offset == ch.data_offset:  # dense: data block only
+                if ch.data_offset != cursor:
+                    moves.append((ch.data_offset, dbytes, cursor))
+                chunk_updates.append(
+                    (cursor, cursor, runid, dataset, timestep, ch.rank)
+                )
+                cursor += dbytes
+                continue
+            ibytes = ch.num_elements * CHUNK_INDEX_BYTES
+            shared = block_map.get(ch.index_offset)
+            if shared is not None and shared[1] == ibytes:
+                new_index = shared[0]
+            else:
+                new_index = cursor
+                if ch.index_offset != cursor:
+                    moves.append((ch.index_offset, ibytes, cursor))
+                block_map[ch.index_offset] = (cursor, ibytes)
+                cursor += ibytes
+            if ch.data_offset != cursor:
+                moves.append((ch.data_offset, dbytes, cursor))
+            chunk_updates.append(
+                (new_index, cursor, runid, dataset, timestep, ch.rank)
+            )
+            cursor += dbytes
+        exec_updates.append(
+            (new_base, cursor - new_base, runid, dataset, timestep)
+        )
+    return {
+        "moves": moves,
+        "chunk_updates": chunk_updates,
+        "exec_updates": exec_updates,
+        "new_size": cursor,
+    }
+
+
+def compact_chunked_file(host, file_name: str) -> Dict:
+    """Pack a ``.chunked`` file down to its live bytes.  Collective over
+    ``host.comm``; returns ``{"before", "after", "moved_bytes"}``.
+
+    Rank 0 plans the new layout from the metadata and broadcasts it; the
+    byte moves are dealt round-robin to ranks in two barrier-separated
+    phases — every rank *reads* its moves' source bytes before any rank
+    *writes* a destination — so arbitrary overlap between old and new
+    layouts is safe.  Rank 0 then rewrites the chunk maps (one batched
+    statement), rebases the execution rows (one more), clears the file's
+    free extents, and truncates the file.
+
+    Compaction moves live bytes, so the file must be quiescent: callers
+    (the maintenance queue) order it after any reorganization of the same
+    file, and applications must not read or append the file concurrently
+    — the same discipline a reorganizing run already follows.
+    """
+    comm = host.comm
+    proc = host.ctx.proc
+    plan = None
+    if comm.rank == 0 and host.fs.exists(file_name):
+        plan = _compaction_plan(host, file_name)
+        plan["before"] = host.fs.lookup(file_name).size
+    plan = comm.bcast(plan, root=0)
+    if plan is None:  # unknown file: nothing to compact, nothing to flip
+        return {"before": 0, "after": 0, "moved_bytes": 0}
+
+    moves = plan["moves"]
+    if moves:
+        f = host._open_cached(file_name, MODE_RDWR)
+        mine = sorted(moves[comm.rank:: comm.size])
+        parts: List[np.ndarray] = []
+        if mine:
+            src = np.array([m[0] for m in mine], dtype=np.int64)
+            lens = np.array([m[1] for m in mine], dtype=np.int64)
+            blob = np.empty(int(lens.sum()), dtype=np.uint8)
+            f.read_runs(src, lens, blob)
+            parts = np.split(blob, np.cumsum(lens)[:-1])
+        comm.barrier()  # every source byte is in memory before any write
+        if mine:
+            order = sorted(range(len(mine)), key=lambda i: mine[i][2])
+            dst = np.array([mine[i][2] for i in order], dtype=np.int64)
+            dlens = np.array([mine[i][1] for i in order], dtype=np.int64)
+            f.write_runs(dst, dlens, np.concatenate([parts[i] for i in order]))
+        comm.barrier()  # every block is in place before the metadata flip
+
+    if comm.rank == 0:
+        if plan["chunk_updates"]:
+            host.tables.update_chunk_locations(
+                plan["chunk_updates"], proc=proc
+            )
+        if plan["exec_updates"]:
+            host.tables.update_execution_offsets(
+                plan["exec_updates"], proc=proc
+            )
+        host.tables.clear_extents(file_name, proc=proc)
+        host.fs.truncate(proc, file_name, plan["new_size"])
+    # Blocks moved: every cached index block of this file is stale.
+    host.invalidate_chunked_caches(file_name)
+    comm.barrier()  # job complete: bytes and metadata consistent everywhere
+    if host.organization == Organization.LEVEL_1:
+        host._close_cached(file_name)
+    return {
+        "before": plan.get("before", 0),
+        "after": plan["new_size"],
+        "moved_bytes": sum(n for _s, n, _d in moves),
+    }

@@ -5,6 +5,16 @@ partitioned edge map (with endpoints) and node map to a *history file* —
 asynchronously, on background writer processes, so the application does not
 wait — and registers the layout in ``index_table`` / ``index_history_table``.
 
+The background-writer pattern that used to live here is now the general
+maintenance tier of :mod:`repro.core.maintenance`: this module only
+builds the file layout and the metadata rows, then hands the bulk write
+to the job's maintenance service as a rank-local job
+(``MaintenanceService.enqueue_local``).  The returned
+:class:`HistoryRegistration` exposes both the poll
+(:attr:`~HistoryRegistration.done`) and a :meth:`~HistoryRegistration.wait`
+that blocks in virtual time until the rank's slice is on disk — the
+moment an application needs read-your-writes on its own history.
+
 A later run with the same problem size **and the same process count** skips
 the import and the ring entirely: each rank looks up its slice in the
 database and reads it back with one contiguous read ("the cost of index
@@ -36,6 +46,7 @@ from repro.metadb.schema import HistoryRankRecord, HistoryRecord, SDMTables
 from repro.mpi.job import RankContext
 from repro.pfs.file import RD, WR
 from repro.pfs.filesystem import FileSystem
+from repro.simt.primitives import SimEvent
 from repro.simt.process import Process
 
 __all__ = ["HistoryRegistration", "register_history_async", "try_load_history"]
@@ -48,13 +59,19 @@ class HistoryRegistration:
     """Handle on an in-flight asynchronous history write."""
 
     file_name: str
-    writer: Process
-    """This rank's background writer process."""
+    event: SimEvent
+    """Completion future: set when this rank's slice is on disk."""
 
     @property
     def done(self) -> bool:
         """True once this rank's slice is on disk (in virtual time)."""
-        return not self.writer.alive
+        return self.event.is_set
+
+    def wait(self, proc: Process) -> None:
+        """Block ``proc`` (in virtual time) until this rank's slice is on
+        disk.  Returns immediately if the write already completed — no
+        busy-checking required."""
+        self.event.wait(proc)
 
 
 def register_history_async(
@@ -69,8 +86,11 @@ def register_history_async(
 
     Collective: offsets are derived from an allgather of per-rank counts.
     Rank 0 creates the file and registers the metadata synchronously (the
-    database rows are cheap); the bulk data writes happen on background
-    processes at each rank, off the application's critical path.
+    database rows are cheap); the bulk data write is queued on the job's
+    maintenance service and lands on that rank's background worker, off
+    the application's critical path.  Without a maintenance service in
+    the job's services dict the write falls back to a dedicated
+    background process (the pre-service behavior).
     """
     fs: FileSystem = ctx.service("fs")
     comm = ctx.comm
@@ -119,10 +139,18 @@ def register_history_async(
         fs.write_at(proc, handle, node_off, node_blob)
         fs.close(proc, handle)
 
-    writer_proc = ctx.proc.sim.spawn(
-        writer, name=f"history-writer-r{ctx.rank}"
-    )
-    return HistoryRegistration(file_name=fname, writer=writer_proc)
+    maint = ctx.services.get("maint")
+    if maint is not None:
+        event = maint.enqueue_local(ctx, writer, label="history")
+    else:  # pragma: no cover - legacy services dicts without the tier
+        event = SimEvent(ctx.proc.sim, name=f"history-r{ctx.rank}")
+
+        def legacy(proc: Process) -> None:
+            writer(proc)
+            event.set()
+
+        ctx.proc.sim.spawn(legacy, name=f"history-writer-r{ctx.rank}")
+    return HistoryRegistration(file_name=fname, event=event)
 
 
 def try_load_history(

@@ -1,7 +1,9 @@
-"""Checkpoint layout: file-organization levels × storage orders.
+"""Checkpoint layout: organization levels × storage orders × maintenance.
 
-Two independent axes decide where checkpoint bytes land (paper Section 3.2
-plus the storage-order extension of :mod:`repro.core.datapath`):
+Three independent axes decide where checkpoint bytes land and who keeps
+them healthy (paper Section 3.2, the storage-order extension of
+:mod:`repro.core.datapath`, and the maintenance tier of
+:mod:`repro.core.maintenance`):
 
 **File organization** — how many files the output is packed into:
 
@@ -26,10 +28,34 @@ plus the storage-order extension of :mod:`repro.core.datapath`):
   maps, and ``SDM.reorganize`` rewrites an instance into canonical order
   (one exchange, amortized over every later read).
 
+**Maintenance** — *when* the expensive after-work runs:
+
+* **sync** — ``SDM.reorganize`` / ``SDM.compact`` pay the deferred
+  exchange or the compaction pass collectively on the application ranks,
+  on the critical path.
+* **background** — the same work is *enqueued*: every rank appends the
+  job (same program order everywhere) to the per-rank daemon workers of
+  the job's :class:`~repro.core.maintenance.MaintenanceService`, and the
+  application moves on.  The queue lifecycle is: **enqueue** (rank 0
+  records the job in the metadata database's ``maintenance_table``; the
+  row *is* the pending work) → **execute** (the workers run the job
+  collectively over a job-unique communicator context and atomically
+  flip the metadata, so readers transparently serve whichever
+  representation is current) → **complete** (rank 0 deletes the row).
+  A job enqueued but never executed — a ``deferred``-mode service, a
+  snapshot taken mid-backlog — survives in ``maintenance_table`` and is
+  adopted and executed by the next job's service at attach time.
+  ``SDM.drain_maintenance`` blocks until this rank's queue is empty, the
+  read-your-maintenance barrier.
+
 Chunked instances get distinct file names (the ``.chunked`` infix below) so
 a packed level-2/3 file never interleaves the two representations; the
 authoritative marker remains the metadata — an instance with ``chunk_table``
-rows is chunked, one without is canonical.
+rows is chunked, one without is canonical.  Reorganizing an instance out
+of a packed chunked file leaves a dead region behind: topmost regions are
+reclaimed by the retreating append cursor, interior ones are recorded in
+``extent_table`` until a compaction job slides the live chunks down and
+truncates the file.
 """
 
 from __future__ import annotations

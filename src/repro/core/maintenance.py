@@ -1,0 +1,422 @@
+"""The background maintenance service: SDM's persistent worker tier.
+
+The paper keeps expensive data management off the application's critical
+path ("history files are written asynchronously, on background writer
+processes"); DataFed-style systems generalize that into a persistent
+service tier that reorganizes and repairs ingested data behind the
+ingest path.  This module is that tier for the reproduction: one
+:class:`MaintenanceService` per job (created by
+:func:`repro.core.services.sdm_services`, so it outlives every
+``SDM.finalize`` within the job) runs a per-rank daemon worker — a
+:class:`~repro.simt.process.Process` per rank, spawned lazily and kept
+alive exactly as long as its queue has work — that executes three job
+kinds:
+
+* **reorganize** — the deferred chunked→canonical exchange
+  (:func:`repro.core.datapath.execute_reorganize`), run collectively
+  across the workers with the same atomic ``execution_table`` repointing
+  as the synchronous call, so readers transparently serve whichever
+  representation is current at any instant;
+* **compact** — pack a ``.chunked`` file down over its ``extent_table``
+  dead regions (:func:`repro.core.datapath.compact_chunked_file`);
+* **local** — a rank-private callable with no collectives (the history
+  writer of :mod:`repro.core.history`, now a thin client of this layer).
+
+Queue lifecycle
+---------------
+
+``SDM.reorganize(..., mode="background")`` / ``SDM.compact`` enqueue on
+every rank in the same program order (the calls are collective in shape,
+asynchronous in effect): the first rank to enqueue a given logical job
+assigns its id and records it in the metadata database's
+``maintenance_table``; every rank appends it to its own worker queue.
+Workers drain their queues in order — each persistent job builds a fresh
+:class:`~repro.mpi.communicator.Communicator` over the job-unique
+context id ``("maint", jobid)``, so worker lifecycles (exit on empty
+queue, respawn on new work) can never misalign a collective — and rank
+0 deletes the queue row when the job completes.  Because the workers are
+ordinary non-daemon processes, the simulator will not end a job while
+maintenance work is pending; work enqueued with a ``deferred``-mode
+service is *not* executed, so its rows survive into the services
+snapshot, and the next job's service adopts and executes them at attach
+time — the cross-run half of the DataFed pattern, riding the same
+snapshot machinery as the history files.
+
+Cache maintenance
+-----------------
+
+``SDM`` instances register their chunked-write reference caches and
+read-side :class:`~repro.core.datapath.IndexBlockCache` instances with
+the service; background reorganization and compaction invalidate every
+registered cache for the touched file, so application-side caches can
+never serve bytes a background job moved.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.config import MachineModel
+from repro.core.datapath import (
+    ChunkedOrder,
+    FileHandleCache,
+    IndexBlockCache,
+    compact_chunked_file,
+    execute_reorganize,
+)
+from repro.core.layout import Organization
+from repro.dtypes.primitives import primitive_by_name
+from repro.errors import SDMStateError
+from repro.metadb.engine import Database
+from repro.metadb.schema import MaintenanceRecord, SDMTables
+from repro.mpi.communicator import Communicator
+from repro.mpi.job import RankContext
+from repro.pfs.filesystem import FileSystem
+from repro.simt.primitives import Signal, SimEvent
+from repro.simt.process import Process
+from repro.simt.simulator import Simulator
+
+__all__ = ["MaintenanceService", "REORGANIZE", "COMPACT"]
+
+REORGANIZE = "reorganize"
+"""Job kind: run the deferred chunked→canonical exchange."""
+
+COMPACT = "compact"
+"""Job kind: pack a chunked file down over its dead extents."""
+
+_EAGER = "eager"
+_DEFERRED = "deferred"
+
+
+@dataclass
+class _LocalJob:
+    """A rank-private unit of work (no collectives, no queue row)."""
+
+    fn: Callable[[Process], Any]
+    event: SimEvent
+    label: str = "local"
+
+
+@dataclass
+class _WorkerCtx:
+    """The slice of a :class:`~repro.mpi.job.RankContext` the datapath
+    host protocol needs on a worker process."""
+
+    rank: int
+    proc: Process
+
+
+class _WorkerHost:
+    """Datapath host bound to one maintenance worker and one job.
+
+    Mirrors the attributes :class:`~repro.core.api.SDM` exposes to
+    :mod:`repro.core.datapath` — a communicator over the job-unique
+    context, the shared tables/fs, the job's application and organization
+    — plus a per-job file cache the worker closes when the job ends.
+    """
+
+    def __init__(
+        self,
+        service: "MaintenanceService",
+        rank: int,
+        proc: Process,
+        job: MaintenanceRecord,
+    ) -> None:
+        self._service = service
+        self.comm = Communicator(
+            service._transport, rank, proc, ctx_id=("maint", job.jobid)
+        )
+        self.ctx = _WorkerCtx(rank=rank, proc=proc)
+        self.tables = service.tables
+        self.fs = service.fs
+        self.application = job.application
+        self.organization = Organization(job.organization)
+        self.index_cache: Optional[IndexBlockCache] = None
+        # Jobs carry no MPI-IO hints (the enqueuer's SDM may be gone by
+        # execution time); workers open with the defaults.
+        self._files = FileHandleCache(self.comm, service.fs)
+
+    def _open_cached(self, name: str, amode: int) -> File:
+        return self._files.open(name, amode)
+
+    def _close_cached(self, name: str) -> None:
+        self._files.close(name)
+
+    def close_all(self) -> None:
+        """Collectively close every file this job opened (identical open
+        sequences on all workers keep the close order symmetric)."""
+        self._files.close_all()
+
+    def invalidate_chunked_caches(self, file_name: str) -> None:
+        """A background job moved or freed this file's bytes: drop every
+        application-registered cache entry for it."""
+        self._service.invalidate_chunked_caches(file_name)
+
+
+class MaintenanceService:
+    """Per-job background maintenance: queues, workers, persistent state.
+
+    Created by the services factory next to the file system and the
+    database (``ctx.service("maint")``); one instance serves every rank
+    of a job and survives ``SDM.finalize``.  ``mode`` is ``"eager"``
+    (default: enqueued and adopted jobs run on background workers within
+    the job) or ``"deferred"`` (jobs are recorded in ``maintenance_table``
+    only — they ride the services snapshot to a later job, which executes
+    them at attach time).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: MachineModel,
+        fs: FileSystem,
+        db: Database,
+        mode: str = _EAGER,
+    ) -> None:
+        if mode not in (_EAGER, _DEFERRED):
+            raise SDMStateError(
+                f"unknown maintenance mode {mode!r} "
+                f"(expected {_EAGER!r} or {_DEFERRED!r})"
+            )
+        self.sim = sim
+        self.machine = machine
+        self.fs = fs
+        self.db = db
+        self.mode = mode
+        self.tables = SDMTables(db)
+        self._transport = None
+        self._nprocs = 0
+        self._queues: List[Deque[Any]] = []
+        self._workers: List[Optional[Process]] = []
+        self._idle: List[Signal] = []
+        self._jobs_log: List[MaintenanceRecord] = []
+        self._enqueued_count: List[int] = []
+        self._next_jobid: Optional[int] = None
+        self._write_caches: List[ChunkedOrder] = []
+        self._read_caches: List[IndexBlockCache] = []
+        # Counters for benchmarks and tests.
+        self.n_enqueued = 0
+        self.n_adopted = 0
+        self.n_executed = 0
+        self.bytes_reclaimed = 0
+
+    # ------------------------------------------------------------------
+    # Binding and registration
+    # ------------------------------------------------------------------
+
+    @property
+    def attached(self) -> bool:
+        """True once some rank's SDM has bound the service to its job."""
+        return self._transport is not None
+
+    def attach(self, ctx: RankContext) -> None:
+        """Bind the service to the job (idempotent; every SDM calls it).
+
+        The first attach sizes the per-rank queues from the job's
+        transport, reads any pending ``maintenance_table`` rows left by a
+        previous job (the snapshot-surviving backlog), and — in eager
+        mode — enqueues them on every rank's worker.
+        """
+        if self._transport is not None:
+            return
+        self._transport = ctx.comm.transport
+        self._nprocs = self._transport.size
+        self._queues = [deque() for _ in range(self._nprocs)]
+        self._workers = [None] * self._nprocs
+        self._idle = [
+            Signal(self.sim, name=f"maint-idle-r{r}")
+            for r in range(self._nprocs)
+        ]
+        self._enqueued_count = [0] * self._nprocs
+        pending = self.tables.pending_maintenance(proc=ctx.proc)
+        self._next_jobid = self.tables.next_maintenance_jobid(proc=ctx.proc)
+        if self.mode == _EAGER:
+            for job in pending:
+                self.n_adopted += 1
+                for rank in range(self._nprocs):
+                    self._queues[rank].append(job)
+            for rank in range(self._nprocs):
+                if self._queues[rank]:
+                    self._ensure_worker(rank)
+
+    def register_caches(
+        self,
+        write_cache: Optional[ChunkedOrder],
+        read_cache: Optional[IndexBlockCache],
+    ) -> None:
+        """Register an SDM's chunked caches for background invalidation."""
+        if write_cache is not None:
+            self._write_caches.append(write_cache)
+        if read_cache is not None:
+            self._read_caches.append(read_cache)
+
+    def invalidate_chunked_caches(self, file_name: str) -> None:
+        """Drop every registered cache's entries for one file (a
+        background job retreated its cursor or moved its blocks)."""
+        for cache in self._write_caches:
+            cache.drop_file_cache(file_name)
+        for cache in self._read_caches:
+            cache.drop_file(file_name)
+
+    # ------------------------------------------------------------------
+    # Enqueueing
+    # ------------------------------------------------------------------
+
+    def enqueue(
+        self,
+        ctx: RankContext,
+        kind: str,
+        *,
+        application: str = "",
+        organization: int = int(Organization.LEVEL_2),
+        group_id: int = 0,
+        runid: int = 0,
+        dataset: str = "",
+        timestep: int = 0,
+        file_name: str = "",
+        data_type: str = "FLOAT64",
+        global_size: int = 0,
+    ) -> MaintenanceRecord:
+        """Queue one persistent job.  Call on *every* rank, in the same
+        program order (collective in shape, asynchronous in effect).
+
+        The first rank to reach a given enqueue assigns the job id; rank
+        0 additionally records the queue row (charged to its process).
+        Returns the job record immediately — the work happens on the
+        background workers (eager mode) or in a later job (deferred).
+        """
+        self.attach(ctx)
+        rank = ctx.rank
+        index = self._enqueued_count[rank]
+        self._enqueued_count[rank] += 1
+        params = MaintenanceRecord(
+            jobid=0,  # placeholder: the first enqueuer's id wins
+            kind=kind,
+            application=application,
+            organization=int(organization),
+            group_id=group_id,
+            runid=runid,
+            dataset=dataset,
+            timestep=timestep,
+            file_name=file_name,
+            data_type=data_type,
+            global_size=global_size,
+        )
+        if index == len(self._jobs_log):
+            job = replace(params, jobid=self._next_jobid)
+            self._next_jobid += 1
+            self._jobs_log.append(job)
+            self.n_enqueued += 1
+        else:
+            job = self._jobs_log[index]
+            if replace(job, jobid=0) != params:
+                raise SDMStateError(
+                    f"rank {rank} enqueued {kind!r} job {params!r} where "
+                    f"rank(s) before it enqueued {job!r}: maintenance "
+                    "enqueues must follow the same program order with the "
+                    "same parameters on every rank"
+                )
+        if rank == 0:
+            self.tables.record_maintenance(job, proc=ctx.proc)
+        if self.mode == _EAGER:
+            self._queues[rank].append(job)
+            self._ensure_worker(rank)
+        return job
+
+    def enqueue_local(
+        self, ctx: RankContext, fn: Callable[[Process], Any],
+        label: str = "local",
+    ) -> SimEvent:
+        """Queue a rank-private callable on this rank's worker.
+
+        No queue row, no collectives — the generalized history-writer
+        pattern.  Returns a :class:`~repro.simt.primitives.SimEvent` set
+        (with ``fn``'s return value) when the work completes.
+        """
+        self.attach(ctx)
+        event = SimEvent(self.sim, name=f"maint-{label}-r{ctx.rank}")
+        if self.mode == _DEFERRED:
+            # Nothing will run this job; complete it synchronously so
+            # callers blocking on the event cannot hang.
+            event.set(fn(ctx.proc))
+            return event
+        self._queues[ctx.rank].append(_LocalJob(fn=fn, event=event, label=label))
+        self._ensure_worker(ctx.rank)
+        return event
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+
+    def pending_count(self, rank: int) -> int:
+        """Jobs still queued for one rank's worker."""
+        return len(self._queues[rank]) if self._queues else 0
+
+    def drain(self, rank: int, proc: Process) -> None:
+        """Block (in virtual time) until this rank's queue is empty and
+        its worker has exited — every previously enqueued job's effects,
+        metadata flips included, are then visible.  Returns immediately
+        for a deferred-mode service (nothing will run)."""
+        if self.mode == _DEFERRED or not self._queues:
+            return
+        while self._queues[rank] or self._worker_alive(rank):
+            self._idle[rank].wait(proc)
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _worker_alive(self, rank: int) -> bool:
+        w = self._workers[rank]
+        return w is not None and w.alive
+
+    def _ensure_worker(self, rank: int) -> None:
+        if not self._worker_alive(rank):
+            self._workers[rank] = self.sim.spawn(
+                self._worker_main, rank, name=f"maint-w{rank}"
+            )
+
+    def _worker_main(self, proc: Process, rank: int) -> None:
+        """Daemon body: drain the queue in order, then exit.
+
+        Exiting on empty (instead of parking) keeps an idle service from
+        pinning the simulation; new work respawns the worker.  Collective
+        jobs rendezvous across ranks through their job-unique
+        communicator context, so respawns can never misalign them.
+        """
+        queue = self._queues[rank]
+        while queue:
+            job = queue.popleft()
+            self._execute(proc, rank, job)
+        self._idle[rank].fire()
+
+    def _execute(self, proc: Process, rank: int, job: Any) -> None:
+        if isinstance(job, _LocalJob):
+            job.event.set(job.fn(proc))
+            self.n_executed += 1
+            return
+        host = _WorkerHost(self, rank, proc, job)
+        try:
+            if job.kind == REORGANIZE:
+                execute_reorganize(
+                    host, job.group_id, job.dataset, job.timestep,
+                    primitive_by_name(job.data_type), job.global_size,
+                    job.runid,
+                )
+            elif job.kind == COMPACT:
+                stats = compact_chunked_file(host, job.file_name)
+                if rank == 0:
+                    self.bytes_reclaimed += max(
+                        stats["before"] - stats["after"], 0
+                    )
+            else:
+                raise SDMStateError(
+                    f"unknown maintenance job kind {job.kind!r}"
+                )
+        finally:
+            host.close_all()
+        if rank == 0:
+            self.tables.delete_maintenance(job.jobid, proc=proc)
+        self.n_executed += 1

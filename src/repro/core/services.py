@@ -1,11 +1,18 @@
 """Shared services for SDM jobs, with cross-job persistence.
 
-An SDM job needs two machine-wide services: the parallel file system and
-the metadata database.  :func:`sdm_services` builds the ``services`` factory
-:func:`repro.mpi.mpirun` expects; :func:`snapshot_services` captures both
-after a job so a *subsequent* job can start from that state — which is how
-the history-file experiments model "subsequent runs" of an application
-(files and database outlive any single mpirun).
+An SDM job needs three machine-wide services: the parallel file system,
+the metadata database, and the background maintenance tier
+(:class:`~repro.core.maintenance.MaintenanceService` — the per-rank
+daemon workers that run reorganization, compaction, and asynchronous
+history writes off the application's critical path).  :func:`sdm_services`
+builds the ``services`` factory :func:`repro.mpi.mpirun` expects;
+:func:`snapshot_services` captures files and database after a job so a
+*subsequent* job can start from that state — which is how the
+history-file experiments model "subsequent runs" of an application
+(files and MySQL outlive any single mpirun).  The maintenance service
+itself is per-job, but its pending-work queue lives in the database's
+``maintenance_table``, so a backlog recorded by a ``deferred``-mode
+service rides the snapshot and is adopted by the next job's service.
 """
 
 from __future__ import annotations
@@ -50,15 +57,26 @@ def snapshot_services(job: JobResult) -> ServicesSnapshot:
     return ServicesSnapshot(files=files, db_dump=db.dump())
 
 
-def sdm_services(seed_from: Optional[ServicesSnapshot] = None):
+def sdm_services(
+    seed_from: Optional[ServicesSnapshot] = None,
+    maintenance_mode: str = "eager",
+):
     """Build the ``services`` factory for an SDM job.
 
     The factory creates a fresh :class:`FileSystem` and :class:`Database`
-    attached to the job's simulator; with ``seed_from`` their contents start
-    from a previous job's snapshot (host-side restore, no virtual time).
+    attached to the job's simulator, plus the job's
+    :class:`~repro.core.maintenance.MaintenanceService`; with ``seed_from``
+    the file and database contents start from a previous job's snapshot
+    (host-side restore, no virtual time) — including any maintenance
+    backlog recorded in ``maintenance_table``, which the new service
+    adopts and executes.  ``maintenance_mode="deferred"`` records
+    enqueued jobs without running them (they ride the next snapshot
+    instead), which is how tests model a job that ends mid-backlog.
     """
 
     def factory(sim: Simulator, machine: MachineModel):
+        from repro.core.maintenance import MaintenanceService
+
         fs = FileSystem(sim, machine)
         if seed_from is not None:
             layout = StripeLayout(
@@ -78,6 +96,7 @@ def sdm_services(seed_from: Optional[ServicesSnapshot] = None):
             db._server = Resource(sim, capacity=4, name="metadb-server")
         else:
             db = Database(sim, machine)
-        return {"fs": fs, "db": db}
+        maint = MaintenanceService(sim, machine, fs, db, mode=maintenance_mode)
+        return {"fs": fs, "db": db, "maint": maint}
 
     return factory

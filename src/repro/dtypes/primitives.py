@@ -17,6 +17,7 @@ __all__ = [
     "INT",
     "DOUBLE",
     "from_numpy_dtype",
+    "primitive_by_name",
 ]
 
 
@@ -54,6 +55,17 @@ DOUBLE = FLOAT64
 _BY_NUMPY = {
     p.numpy_dtype: p for p in (BYTE, INT32, INT64, FLOAT32, FLOAT64)
 }
+
+_BY_NAME = {p.name: p for p in (BYTE, INT32, INT64, FLOAT32, FLOAT64)}
+
+
+def primitive_by_name(name: str) -> Primitive:
+    """Primitive by its registered name (e.g. ``"FLOAT64"``) — the inverse
+    of the names the metadata tables store."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise DatatypeError(f"no primitive datatype named {name!r}") from None
 
 
 def from_numpy_dtype(dtype) -> Primitive:

@@ -25,12 +25,18 @@ Statements flow through three layers, each optional-but-default on the SDM
 path:
 
 1. **Statement cache** (:meth:`~repro.metadb.engine.Database.prepare`) —
-   parsed ASTs are memoized by exact SQL text in a bounded LRU, so the
-   parameterized statements SDM issues in loops (one per timestep, rank,
-   dataset) tokenize and parse exactly once per process.  Both
-   :meth:`~repro.metadb.engine.Database.execute` and
+   parsed ASTs are memoized by exact SQL text in a bounded per-instance
+   LRU backed by a bounded *process-global* cache shared across every
+   ``Database``, so the parameterized statements SDM issues in loops
+   (one per timestep, rank, dataset) tokenize and parse exactly once per
+   process — even across :meth:`~repro.metadb.engine.Database.loads`
+   restores, which arrive with a cold instance cache but a warm shared
+   one.  Both :meth:`~repro.metadb.engine.Database.execute` and
    :meth:`~repro.metadb.engine.Database.query_dicts` share it, so a dict
-   query costs a single parse (historically it parsed twice).
+   query costs a single parse (historically it parsed twice).  Batched
+   ``execute_many`` INSERTs take a bulk-load path: rows are coerced
+   up front, appended once, and each ordered index ingests the batch
+   with one sort instead of a per-row ``insort``.
 2. **Conjunct planner** (``Database._index_candidates`` /
    ``Database._sorted_rowids``) — a WHERE tree is decomposed
    (:func:`~repro.metadb.expr.conjuncts_of`) into its top-level AND of

@@ -1,6 +1,7 @@
 """The paper's SDM metadata schema (Figure 4) and typed accessors.
 
-Seven tables, as created by ``SDM_initialize``:
+Nine tables, as created by ``SDM_initialize`` (the paper's seven, plus
+two that back the maintenance service layer):
 
 * ``run_table`` — one row per application run: id, dimensionality, problem
   size, timestep count, wall-clock date fields.
@@ -20,6 +21,21 @@ Seven tables, as created by ``SDM_initialize``:
   size, process count, history file name.
 * ``index_history_table`` — per-rank partitioned sizes and history-file
   offsets for a registered distribution.
+* ``maintenance_table`` — one row per *pending* background-maintenance
+  job (reorganization or compaction) queued with
+  :mod:`repro.core.maintenance`.  Rows are inserted at enqueue time and
+  deleted when the job completes, so the set of rows *is* the surviving
+  work queue: a snapshot taken mid-backlog carries it to the next job,
+  which adopts and executes it (the DataFed-style persistent service
+  tier).
+* ``extent_table`` — one free (dead) region per row of a ``.chunked``
+  checkpoint file: reorganization moves an instance out of the file but
+  only the topmost region is reclaimed by the append cursor; interior
+  regions are recorded here until a compaction pass slides the live
+  chunks down and clears them.  Writes never consult this table — the
+  cursor never dips below a recorded extent (reorganization truncates
+  extents whenever it retreats the cursor), so extents are exact without
+  touching the chunked write hot path.
 
 :class:`SDMTables` wraps a :class:`~repro.metadb.engine.Database` with typed
 methods for exactly the statements SDM issues, so the SQL lives here and the
@@ -52,6 +68,7 @@ __all__ = [
     "ChunkRecord",
     "HistoryRecord",
     "HistoryRankRecord",
+    "MaintenanceRecord",
 ]
 
 SDM_SCHEMA: Tuple[str, ...] = (
@@ -87,6 +104,14 @@ SDM_SCHEMA: Tuple[str, ...] = (
         edge_count INTEGER, node_count INTEGER,
         edge_offset INTEGER, node_offset INTEGER
     )""",
+    """CREATE TABLE IF NOT EXISTS maintenance_table (
+        jobid INTEGER, kind TEXT, application TEXT, organization INTEGER,
+        group_id INTEGER, runid INTEGER, dataset TEXT, timestep INTEGER,
+        file_name TEXT, data_type TEXT, global_size INTEGER
+    )""",
+    """CREATE TABLE IF NOT EXISTS extent_table (
+        file_name TEXT, file_offset INTEGER, nbytes INTEGER
+    )""",
 )
 
 SDM_INDEXES: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
@@ -112,6 +137,13 @@ SDM_INDEXES: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
     # history_rank probes the triple; drop_history narrows by the pair.
     ("index_history_table", ("problem_size", "num_procs", "rank"), "hash"),
     ("index_history_table", ("problem_size", "num_procs"), "hash"),
+    # Pending-job adoption walks `ORDER BY jobid` and allocation probes
+    # MAX(jobid) — both served from the slice ends of one ordered index.
+    ("maintenance_table", ("jobid",), "ordered"),
+    # Extent listing/truncation is an equality-plus-range shape; the hash
+    # twin serves clear_extents / free-byte narrowing.
+    ("extent_table", ("file_name", "file_offset"), "ordered"),
+    ("extent_table", ("file_name",), "hash"),
 )
 """(table, column tuple, kind) declarations for SDM's hot lookups."""
 
@@ -132,6 +164,30 @@ class ChunkRecord:
     num_elements: int
     index_offset: int
     data_offset: int
+
+
+@dataclass(frozen=True)
+class MaintenanceRecord:
+    """maintenance_table row: one pending background-maintenance job.
+
+    ``kind`` is ``"reorganize"`` or ``"compact"``.  Reorganize jobs carry
+    everything the execute half needs to run without the producing
+    :class:`~repro.core.groups.DataGroup` (the dataset's type name and
+    global size, the group id for level-3 file naming); compact jobs only
+    use ``file_name``.
+    """
+
+    jobid: int
+    kind: str
+    application: str
+    organization: int
+    group_id: int
+    runid: int
+    dataset: str
+    timestep: int
+    file_name: str
+    data_type: str
+    global_size: int
 
 
 @dataclass(frozen=True)
@@ -162,7 +218,7 @@ class SDMTables:
         self.db = db
 
     def create_all(self, proc: Optional[Process] = None) -> None:
-        """Create the seven tables and their secondary indexes (idempotent)."""
+        """Create the nine tables and their secondary indexes (idempotent)."""
         for ddl in SDM_SCHEMA:
             self.db.execute(ddl, proc=proc)
         self.declare_indexes()
@@ -224,6 +280,19 @@ class SDMTables:
             proc=proc,
         )
 
+    def dataset_type_name(
+        self, runid: int, dataset: str, proc: Optional[Process] = None
+    ) -> Optional[str]:
+        """Registered element-type name of one dataset (composite-hash
+        probe), or None if the dataset was never registered."""
+        rows = self.db.execute(
+            "SELECT data_type FROM access_pattern_table "
+            "WHERE runid = ? AND dataset = ?",
+            (runid, dataset),
+            proc=proc,
+        )
+        return rows[0][0] if rows else None
+
     def datasets_for_run(
         self, runid: int, proc: Optional[Process] = None
     ) -> List[str]:
@@ -283,6 +352,22 @@ class SDMTables:
         if not rows:
             return 0
         return int(rows[0][0]) + int(rows[0][1])
+
+    def executions_in_file(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> List[Tuple[int, str, int, int, int]]:
+        """Every instance living in one file, by ascending base offset
+        (a sorted probe of the ``(file_name, file_offset)`` ordered
+        index): ``(runid, dataset, timestep, file_offset, nbytes)``."""
+        rows = self.db.execute(
+            "SELECT runid, dataset, timestep, file_offset, nbytes "
+            "FROM execution_table WHERE file_name = ? ORDER BY file_offset",
+            (file_name,),
+            proc=proc,
+        )
+        return [
+            (int(r), d, int(t), int(o), int(n)) for r, d, t, o, n in rows
+        ]
 
     def update_execution(
         self,
@@ -360,6 +445,161 @@ class SDMTables:
             "DELETE FROM chunk_table "
             "WHERE runid = ? AND dataset = ? AND timestep = ?",
             (runid, dataset, timestep),
+            proc=proc,
+        )
+
+    def update_chunk_locations(
+        self,
+        updates: Sequence[Tuple[int, int, int, str, int, int]],
+        proc: Optional[Process] = None,
+    ) -> None:
+        """Rewrite chunk-map offsets after compaction moved the blocks.
+
+        ``updates`` rows are ``(index_offset, data_offset, runid, dataset,
+        timestep, rank)``; the whole rewrite is one batched statement so a
+        compaction pass bills a single server trip however many chunks it
+        slid down.
+        """
+        self.db.execute_many(
+            "UPDATE chunk_table SET index_offset = ?, data_offset = ? "
+            "WHERE runid = ? AND dataset = ? AND timestep = ? AND rank = ?",
+            updates,
+            proc=proc,
+        )
+
+    def update_execution_offsets(
+        self,
+        updates: Sequence[Tuple[int, int, int, str, int]],
+        proc: Optional[Process] = None,
+    ) -> None:
+        """Rebase instances a compaction pass moved (one batched UPDATE).
+
+        ``updates`` rows are ``(file_offset, nbytes, runid, dataset,
+        timestep)``.
+        """
+        self.db.execute_many(
+            "UPDATE execution_table SET file_offset = ?, nbytes = ? "
+            "WHERE runid = ? AND dataset = ? AND timestep = ?",
+            updates,
+            proc=proc,
+        )
+
+    # -- extent_table --------------------------------------------------------
+
+    def record_extent(
+        self,
+        file_name: str,
+        file_offset: int,
+        nbytes: int,
+        proc: Optional[Process] = None,
+    ) -> None:
+        """Record a dead region of a chunked file (reorganization moved an
+        interior instance out; compaction will reclaim it)."""
+        self.db.execute(
+            "INSERT INTO extent_table VALUES (?, ?, ?)",
+            (file_name, file_offset, nbytes),
+            proc=proc,
+        )
+
+    def extents_for(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> List[Tuple[int, int]]:
+        """Free ``(offset, nbytes)`` extents of a file, ascending."""
+        rows = self.db.execute(
+            "SELECT file_offset, nbytes FROM extent_table "
+            "WHERE file_name = ? ORDER BY file_offset",
+            (file_name,),
+            proc=proc,
+        )
+        return [(int(o), int(n)) for o, n in rows]
+
+    def free_bytes_in(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> int:
+        """Total dead bytes recorded for one file (0 when fully live)."""
+        rows = self.db.execute(
+            "SELECT SUM(nbytes) FROM extent_table WHERE file_name = ?",
+            (file_name,),
+            proc=proc,
+        )
+        return 0 if rows[0][0] is None else int(rows[0][0])
+
+    def truncate_extents(
+        self, file_name: str, above: int, proc: Optional[Process] = None
+    ) -> None:
+        """Forget extents at or above an offset (the append cursor
+        retreated past them: the region is beyond end-of-data and will be
+        reclaimed by ordinary appends)."""
+        self.db.execute(
+            "DELETE FROM extent_table "
+            "WHERE file_name = ? AND file_offset >= ?",
+            (file_name, above),
+            proc=proc,
+        )
+
+    def clear_extents(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> None:
+        """Forget every extent of a file (compaction reclaimed them all)."""
+        self.db.execute(
+            "DELETE FROM extent_table WHERE file_name = ?",
+            (file_name,),
+            proc=proc,
+        )
+
+    # -- maintenance_table ---------------------------------------------------
+
+    def next_maintenance_jobid(self, proc: Optional[Process] = None) -> int:
+        """Allocate the next maintenance job id (MAX+1, starting at 1)."""
+        rows = self.db.execute(
+            "SELECT MAX(jobid) FROM maintenance_table", proc=proc
+        )
+        current = rows[0][0]
+        return 1 if current is None else int(current) + 1
+
+    def record_maintenance(
+        self, rec: MaintenanceRecord, proc: Optional[Process] = None
+    ) -> None:
+        """Queue one background-maintenance job (the row *is* the pending
+        work; it is deleted when the job completes)."""
+        self.db.execute(
+            "INSERT INTO maintenance_table "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                rec.jobid, rec.kind, rec.application, rec.organization,
+                rec.group_id, rec.runid, rec.dataset, rec.timestep,
+                rec.file_name, rec.data_type, rec.global_size,
+            ),
+            proc=proc,
+        )
+
+    def pending_maintenance(
+        self, proc: Optional[Process] = None
+    ) -> List[MaintenanceRecord]:
+        """Every queued job, oldest first (sorted jobid-index walk) —
+        what a restored database hands the next job's maintenance
+        service."""
+        rows = self.db.execute(
+            "SELECT jobid, kind, application, organization, group_id, "
+            "runid, dataset, timestep, file_name, data_type, global_size "
+            "FROM maintenance_table ORDER BY jobid",
+            proc=proc,
+        )
+        return [
+            MaintenanceRecord(
+                int(j), k, a, int(o), int(g), int(r), d, int(t), f, dt,
+                int(gs),
+            )
+            for j, k, a, o, g, r, d, t, f, dt, gs in rows
+        ]
+
+    def delete_maintenance(
+        self, jobid: int, proc: Optional[Process] = None
+    ) -> None:
+        """Mark a maintenance job done by removing its queue row."""
+        self.db.execute(
+            "DELETE FROM maintenance_table WHERE jobid = ?",
+            (jobid,),
             proc=proc,
         )
 

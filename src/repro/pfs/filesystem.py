@@ -144,6 +144,14 @@ class FileSystem:
             raise FileNotFound(f"no such file: {name!r}")
         del self._files[name]
 
+    def truncate(self, proc: Process, name: str, length: int) -> None:
+        """Shrink (or zero-extend) a file to ``length`` bytes (metadata-op
+        cost) — how a compaction pass returns reclaimed space."""
+        self._charge_metadata(proc, self.machine.storage.metadata_op_cost)
+        f = self.lookup(name)
+        f.store.truncate(length)
+        f.mtime = self.sim.now
+
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------

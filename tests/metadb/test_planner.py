@@ -481,3 +481,106 @@ def test_execute_many_bills_one_batched_statement():
     assert batch.held == pytest.approx(model.statement_time(rows=8))
     assert batch.held < single.held
     assert db.execute("SELECT COUNT(*) FROM t") == [(16,)]
+
+
+# -- bulk-load index path (execute_many INSERT) -------------------------
+
+
+def test_bulk_insert_keeps_every_index_scan_identical():
+    """execute_many's append_rows path must leave hash and ordered
+    indexes exactly as per-row inserts would — probes, slices, sorted
+    walks, and aggregates all agree with a fresh scan-only database."""
+    import random
+
+    rng = random.Random(11)
+    rows = [(rng.randrange(6), f"s{rng.randrange(4)}", i)
+            for i in range(200)]
+    rng.shuffle(rows)
+
+    indexed = Database()
+    indexed.execute("CREATE TABLE t (a INTEGER, b TEXT, c INTEGER)")
+    indexed.create_index("t", "a")
+    indexed.create_index("t", ("a", "b"), "hash")
+    indexed.create_index("t", ("a", "c"), "ordered")
+    indexed.execute_many("INSERT INTO t VALUES (?, ?, ?)", rows)
+
+    plain = Database()
+    plain.execute("CREATE TABLE t (a INTEGER, b TEXT, c INTEGER)")
+    for r in rows:
+        plain.execute("INSERT INTO t VALUES (?, ?, ?)", r)
+
+    queries = [
+        ("SELECT * FROM t WHERE a = ?", (3,)),
+        ("SELECT * FROM t WHERE a = ? AND b = ?", (2, "s1")),
+        ("SELECT * FROM t WHERE a = ? AND c >= ? AND c < ?", (1, 20, 160)),
+        ("SELECT c FROM t WHERE a = ? ORDER BY c DESC LIMIT 5", (4,)),
+        ("SELECT MAX(c) FROM t WHERE a = ?", (0,)),
+        ("SELECT * FROM t ORDER BY a, c", ()),
+    ]
+    for sql, params in queries:
+        assert indexed.execute(sql, params) == plain.execute(sql, params), sql
+    assert indexed.n_full_scans == 0  # every WHERE above used an index
+
+
+def test_bulk_insert_ordered_index_matches_incremental_maintenance():
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER)")
+    db.create_index("t", "a", "ordered")
+    db.execute("INSERT INTO t VALUES (?)", (5,))
+    db.execute_many("INSERT INTO t VALUES (?)", [(9,), (1,), (5,), (3,)])
+    index = db.tables["t"].ordered_indexes()[0]
+    assert index.entries == sorted(index.entries)
+    # Duplicate keys keep rowid-ascending (insertion) order.
+    assert [rowid for key, rowid in index.entries
+            if key == ((True, 5),)] == [0, 3]
+
+
+def test_bulk_insert_bad_row_rejects_whole_batch():
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER)")
+    db.create_index("t", "a", "ordered")
+    with pytest.raises(SQLTypeError):
+        db.execute_many("INSERT INTO t VALUES (?)", [(1,), ("nope",)])
+    assert db.execute("SELECT COUNT(*) FROM t") == [(0,)]
+    assert db.tables["t"].ordered_indexes()[0].entries == []
+
+
+# -- process-global statement cache -------------------------------------
+
+
+def test_restored_database_reparses_nothing():
+    """Database.loads restores share the process-global parse cache: the
+    statements the original instance prepared cost a dict hit, not a
+    parse, in the restored one."""
+    from repro.metadb.engine import clear_global_statement_cache
+
+    clear_global_statement_cache()
+    sql = "SELECT * FROM shared_cache_t WHERE a = ?"
+    db1 = Database()
+    db1.execute("CREATE TABLE shared_cache_t (a INTEGER)")
+    db1.execute("INSERT INTO shared_cache_t VALUES (?)", (1,))
+    db1.execute(sql, (1,))
+    assert db1.n_cold_parses >= 1
+
+    db2 = Database.loads(db1.dump())
+    cold_before = db2.n_cold_parses
+    assert db2.execute(sql, (1,)) == [(1,)]
+    assert db2.n_parses == 1  # instance cache was cold...
+    assert db2.n_cold_parses == cold_before  # ...but nothing re-parsed
+
+
+def test_global_cache_is_bounded_and_clearable():
+    from repro.metadb import engine
+
+    engine.clear_global_statement_cache()
+    db = Database()
+    db.execute("CREATE TABLE g (a INTEGER)")
+    db.execute("SELECT * FROM g WHERE a = 1")
+    assert len(engine._GLOBAL_STMT_CACHE) > 0
+    engine.clear_global_statement_cache()
+    assert len(engine._GLOBAL_STMT_CACHE) == 0
+    # A fresh database re-parses after the clear (the cold baseline).
+    db2 = Database()
+    cold = db2.n_cold_parses
+    db2.execute("CREATE TABLE g2 (a INTEGER)")
+    assert db2.n_cold_parses == cold + 1

@@ -26,6 +26,8 @@ def test_create_all_is_idempotent(tables):
         "import_table",
         "index_table",
         "index_history_table",
+        "maintenance_table",
+        "extent_table",
     }
 
 

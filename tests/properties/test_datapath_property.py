@@ -6,6 +6,11 @@ organization level, ``SDM.read`` must return identical arrays whether the
 instance was written canonically, chunked, or chunked and then
 ``reorganize()``d — and a whole-array read of the file must see global
 element order in the canonical and reorganized cases.
+
+The maintenance dimension extends the same property behind the service
+tier: writing chunked, *enqueueing* reorganization and compaction on the
+background workers, draining, and reading must also be byte-identical —
+with the compacted file's recorded free bytes at zero.
 """
 
 import numpy as np
@@ -16,6 +21,7 @@ from repro.config import fast_test
 from repro.core import SDM, Organization, sdm_services
 from repro.core.layout import CANONICAL, CHUNKED
 from repro.dtypes import DOUBLE
+from repro.metadb.schema import SDMTables
 from repro.mpi import mpirun
 
 
@@ -94,3 +100,76 @@ def test_read_equivalence_across_storage_orders(partition, level):
         np.testing.assert_allclose(
             whole, expected_global, err_msg=f"{variant} global read"
         )
+
+
+def run_maintenance_once(level, n, maps):
+    """Two chunked timesteps; t0 reorganized and the file compacted on
+    the background workers; reads after the drain."""
+    nprocs = len(maps)
+
+    def program(ctx):
+        sdm = SDM(ctx, "prop", organization=level, storage_order=CHUNKED,
+                  reorganize_mode="background")
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
+        handle = sdm.set_attributes(result)
+        mine = maps[ctx.rank]
+        sdm.data_view(handle, "d", mine)
+        for t in range(2):
+            sdm.write(handle, "d", t, mine * 1.5 + 0.25 + t)
+        sdm.reorganize(handle, "d", 0)  # enqueued
+        fnames = sorted({
+            sdm.checkpoint_file(handle, "d", t, storage_order=CHUNKED)
+            for t in range(2)
+        })
+        for fname in fnames:  # queued behind the reorganize
+            sdm.compact(fname)
+        sdm.drain_maintenance()
+        backs = []
+        for t in range(2):
+            back = np.empty(len(mine))
+            sdm.read(handle, "d", t, back)
+            backs.append(back)
+        # A foreign view crossing every chunk of the compacted file.
+        lo = n * ctx.rank // ctx.size
+        hi = n * (ctx.rank + 1) // ctx.size
+        share = np.arange(lo, hi, dtype=np.int64)
+        sdm.data_view(handle, "d", share)
+        whole = np.empty(len(share))
+        sdm.read(handle, "d", 1, whole)
+        sdm.finalize(handle)
+        return backs, whole, fnames
+
+    job = mpirun(program, nprocs, machine=fast_test(), services=sdm_services())
+    tables = SDMTables(job.services["db"])
+    fs = job.services["fs"]
+    backs = [b for b, _, _ in job.values]
+    whole = np.concatenate([w for _, w, _ in job.values])
+    fnames = job.values[0][2]
+    free = {f: tables.free_bytes_in(f) for f in fnames}
+    sizes = {f: fs.lookup(f).size if fs.exists(f) else 0 for f in fnames}
+    live = {
+        f: sum(r[4] for r in tables.executions_in_file(f)) for f in fnames
+    }
+    return backs, whole, free, sizes, live
+
+
+@settings(max_examples=8, deadline=None)
+@given(partitions(), st.sampled_from(list(Organization)))
+def test_background_maintenance_preserves_reads_and_zeroes_extents(
+    partition, level
+):
+    n, maps = partition
+    backs, whole, free, sizes, live = run_maintenance_once(level, n, maps)
+    for t in range(2):
+        for rank, back in enumerate(b[t] for b in backs):
+            np.testing.assert_allclose(
+                back, maps[rank] * 1.5 + 0.25 + t,
+                err_msg=f"maintenance read t{t}, rank {rank}",
+            )
+    np.testing.assert_allclose(
+        whole, np.arange(n) * 1.5 + 1.25, err_msg="maintenance global read"
+    )
+    for fname in free:
+        assert free[fname] == 0, (fname, free)
+        assert sizes[fname] == live[fname], (fname, sizes, live)
