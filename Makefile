@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-metadb test-datapath test-maintenance \
-    bench bench-metadb bench-datapath bench-maintenance
+    bench bench-metadb bench-datapath bench-maintenance perfcheck
 
 ## tier-1 verify: the metadb subset first (fast signal), then everything else
 test: test-metadb
@@ -30,9 +30,17 @@ bench-metadb:
 	METADB_BENCH_JSON=BENCH_metadb.json $(PYTHON) -m pytest benchmarks/bench_ablation_metadb.py --benchmark-only -q
 
 ## storage-order ablation (chunked vs canonical writes, reorganize cost,
-## read price of each representation); emits BENCH_datapath.json
+## read price of each representation, coalesced-read gap + run counts);
+## emits BENCH_datapath.json
 bench-datapath:
 	DATAPATH_BENCH_JSON=BENCH_datapath.json $(PYTHON) -m pytest benchmarks/bench_ablation_datapath.py --benchmark-only -q
+	$(PYTHON) benchmarks/perfcheck_datapath.py BENCH_datapath.json
+
+## guard the committed BENCH_datapath.json: fails if the cold chunked read
+## exceeds READ_GAP_MAX (1.3x) of canonical at 4/8 ranks, or the chunked
+## read's submitted run count regresses toward O(elements)
+perfcheck:
+	$(PYTHON) benchmarks/perfcheck_datapath.py BENCH_datapath.json
 
 ## maintenance ablation (sync vs background reorganize critical path,
 ## cold vs warm chunked-read index cache, compaction file sizes); emits
@@ -40,9 +48,15 @@ bench-datapath:
 bench-maintenance:
 	MAINTENANCE_BENCH_JSON=BENCH_maintenance.json $(PYTHON) -m pytest benchmarks/bench_ablation_maintenance.py --benchmark-only -q
 
-## every paper-reproduction benchmark (tracked-JSON ablations first)
+## every paper-reproduction benchmark (tracked-JSON ablations first; the
+## datapath ablation runs perfcheck against its regenerated JSON).
+## Benchmarks are passed as explicit file arguments: bench_*.py does not
+## match pytest's default test_*.py discovery pattern, so a bare
+## `pytest benchmarks/` collects nothing.
+TRACKED_BENCHES := benchmarks/bench_ablation_metadb.py \
+    benchmarks/bench_ablation_datapath.py \
+    benchmarks/bench_ablation_maintenance.py
 bench: bench-metadb bench-datapath bench-maintenance
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q \
-	    --ignore=benchmarks/bench_ablation_metadb.py \
-	    --ignore=benchmarks/bench_ablation_datapath.py \
-	    --ignore=benchmarks/bench_ablation_maintenance.py
+	$(PYTHON) -m pytest --benchmark-only -q \
+	    $(filter-out $(TRACKED_BENCHES),$(wildcard benchmarks/bench_*.py))
+	$(PYTHON) benchmarks/perfcheck_datapath.py BENCH_datapath.json

@@ -14,10 +14,17 @@ the critical path:
 * ``write/chunked``     — exchange-free appends,
 * ``reorganize``        — one-time conversion of every chunked instance,
 * ``read/canonical`` and ``read/chunked`` — the read price of each
-  representation (chunked reads assemble from chunk maps).
+  representation (chunked reads resolve positions from the chunk maps,
+  coalesce them into maximal byte runs, and gather collectively),
+* ``read-gap``          — cold chunked/canonical read ratio (the number
+  ``make perfcheck`` guards),
+* ``read-runs``         — byte runs submitted to the I/O layer during
+  each read: the coalescer must keep the chunked read at O(chunks), not
+  O(elements).
 
 Reads must return byte-identical arrays either way — the bench asserts it
-— and chunked writes must win from 4 ranks up.
+— chunked writes must win from 4 ranks up, and the cold chunked read must
+stay within 1.3x of canonical at 4 and 8 ranks.
 
 Set ``DATAPATH_BENCH_JSON=<path>`` (the Makefile's ``bench-datapath``
 target points it at ``BENCH_datapath.json``) to emit the matrix as JSON
@@ -47,7 +54,8 @@ TIMESTEPS = 5
 
 def run_case(nprocs, order, reorganize):
     """One simulated checkpoint run; returns critical-path phase seconds
-    and the concatenated read-back of the final timestep."""
+    (plus job-wide I/O counters for the cold read) and the concatenated
+    read-back of the final timestep."""
 
     def program(ctx):
         sdm = SDM(
@@ -72,20 +80,34 @@ def run_case(nprocs, order, reorganize):
                 with ctx.phase("reorganize"):
                     sdm.reorganize(handle, "d", t)
         back = np.empty(len(mine))
+        # Barrier-delimit the read so the job-wide fs counters isolate it:
+        # the barrier after the snapshot guarantees every rank records
+        # "before" before any rank's read touches the counters, and the
+        # one after the read closes the window.
+        fs = ctx.service("fs")
+        before = (fs.runs_submitted, fs.runs_serviced, fs.n_requests)
+        ctx.comm.barrier()
         with ctx.phase("read"):
             sdm.read(handle, "d", TIMESTEPS - 1, back)
+        ctx.comm.barrier()
+        counters = {
+            "read_runs_submitted": fs.runs_submitted - before[0],
+            "read_runs_serviced": fs.runs_serviced - before[1],
+            "read_requests": fs.n_requests - before[2],
+        }
         sdm.finalize(handle)
-        return back
+        return back, counters
 
     job = mpirun(program, nprocs, machine=origin2000(),
                  services=sdm_services())
     merged = np.empty(GLOBAL_ELEMENTS)
-    for rank, back in enumerate(job.values):
+    for rank, (back, _c) in enumerate(job.values):
         merged[rank::nprocs] = back
     return {
         "write": job.phase_max("write"),
         "reorganize": job.phase_max("reorganize"),
         "read": job.phase_max("read"),
+        **job.values[0][1],
     }, merged
 
 
@@ -108,6 +130,11 @@ def run_matrix():
             "reorganize": reorg["reorganize"],
             "read_canonical": canonical["read"],
             "read_chunked": chunked["read"],
+            "read_gap": chunked["read"] / canonical["read"],
+            "read_runs_chunked": chunked["read_runs_submitted"],
+            "read_runs_canonical": canonical["read_runs_submitted"],
+            "read_requests_chunked": chunked["read_requests"],
+            "read_requests_canonical": canonical["read_requests"],
         }
         for config, value in (
             (f"write-canonical/{nprocs}p", canonical["write"]),
@@ -120,6 +147,18 @@ def run_matrix():
         table.add(
             "ablation-datapath", f"chunked-write-speedup/{nprocs}p",
             "speedup", cells[nprocs]["write_speedup"], "x",
+        )
+        table.add(
+            "ablation-datapath", f"read-gap/{nprocs}p",
+            "ratio", cells[nprocs]["read_gap"], "x",
+        )
+        table.add(
+            "ablation-datapath", f"read-runs-chunked/{nprocs}p",
+            "runs-submitted", float(chunked["read_runs_submitted"]), "runs",
+        )
+        table.add(
+            "ablation-datapath", f"read-runs-canonical/{nprocs}p",
+            "runs-submitted", float(canonical["read_runs_submitted"]), "runs",
         )
     return table, cells
 
@@ -161,9 +200,20 @@ def test_chunked_writes_beat_canonical(benchmark, report):
     # a full canonical write phase.
     for nprocs in RANK_COUNTS:
         assert cells[nprocs]["reorganize"] < 10 * cells[nprocs]["write_canonical"]
+    for nprocs in RANK_COUNTS:
+        # The coalescer's request-count collapse: a chunked read submits
+        # O(chunks) byte runs, not O(elements) — the canonical read's
+        # per-element view runs are the contrast.
+        assert cells[nprocs]["read_runs_chunked"] <= 64 * nprocs, cells[nprocs]
+        if nprocs >= 4:
+            # The read-gap acceptance bar (enforced against the committed
+            # JSON by `make perfcheck`).
+            assert cells[nprocs]["read_gap"] <= 1.3, cells[nprocs]
     benchmark.extra_info["write_speedup_4p"] = round(
         cells[4]["write_speedup"], 2
     )
     benchmark.extra_info["write_speedup_8p"] = round(
         cells[8]["write_speedup"], 2
     )
+    benchmark.extra_info["read_gap_4p"] = round(cells[4]["read_gap"], 2)
+    benchmark.extra_info["read_gap_8p"] = round(cells[8]["read_gap"], 2)

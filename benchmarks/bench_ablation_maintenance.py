@@ -57,6 +57,14 @@ def _round_robin(ctx, n):
     return np.arange(ctx.rank, n, ctx.size, dtype=np.int64)
 
 
+def _irregular(ctx, n, seed=7):
+    """Deliberately non-arithmetic maps (a seeded permutation dealt round-
+    robin): constant-stride maps are arithmetic chunks that store no index
+    block at all, which would make the index-cache ablation vacuous."""
+    perm = np.random.default_rng(seed).permutation(n).astype(np.int64)
+    return perm[ctx.rank :: ctx.size]
+
+
 # ---------------------------------------------------------------------------
 # 1. sync vs background reorganization
 # ---------------------------------------------------------------------------
@@ -109,29 +117,31 @@ def run_reorganize_case(nprocs, mode):
 
 def run_read_case(nprocs, order):
     """Write TIMESTEPS instances; read one cold, then one warm (chunked
-    instances share index blocks across timesteps)."""
+    instances share index blocks across timesteps).  Irregular maps: this
+    ablation measures the index-block cache, so the chunks must actually
+    store index blocks."""
 
     def program(ctx):
         sdm = SDM(ctx, "bench", organization=Organization.LEVEL_2,
                   storage_order=order)
         handle = _setup(sdm, GLOBAL_ELEMENTS)
-        mine = _round_robin(ctx, GLOBAL_ELEMENTS)
+        mine = _irregular(ctx, GLOBAL_ELEMENTS)
         sdm.data_view(handle, "d", mine)
         for t in range(TIMESTEPS):
             sdm.write(handle, "d", t, mine * 1.0 + t)
         back = np.empty(len(mine))
         with ctx.phase("read_cold"):
-            sdm.read(handle, "d", 0, back)
-        with ctx.phase("read_warm"):
             sdm.read(handle, "d", 1, back)
+        with ctx.phase("read_warm"):
+            sdm.read(handle, "d", 2, back)
         sdm.finalize(handle)
-        return back
+        return mine, back
 
     job = mpirun(program, nprocs, machine=origin2000(),
                  services=sdm_services())
     merged = np.empty(GLOBAL_ELEMENTS)
-    for rank, back in enumerate(job.values):
-        merged[rank::nprocs] = back
+    for _rank, (mine, back) in enumerate(job.values):
+        merged[mine] = back
     return {
         "read_cold": job.phase_max("read_cold"),
         "read_warm": job.phase_max("read_warm"),

@@ -1,0 +1,77 @@
+"""Guard the committed datapath benchmark against read-path regressions.
+
+``make perfcheck`` (also run at the end of ``make bench``) loads
+``BENCH_datapath.json`` — the matrix ``make bench-datapath`` regenerates
+and commits — and fails if either invariant of the run-coalescing read
+path has regressed:
+
+* **read gap** — the cold chunked read must stay within ``READ_GAP_MAX``
+  (default 1.3x) of the canonical read at 4 and 8 ranks.  Before the
+  coalescer this ratio sat at 3.5-5.6x.
+* **run count** — the collective read of a chunked instance must submit
+  O(chunks) byte runs, not O(elements): the recorded
+  ``read_runs_chunked`` must stay under ``READ_RUNS_MAX`` (default
+  10,000 — the workload reads 1,000,000 elements).
+
+Thresholds are overridable through the environment for experiments::
+
+    READ_GAP_MAX=1.5 READ_RUNS_MAX=500 python benchmarks/perfcheck_datapath.py
+"""
+
+import json
+import os
+import sys
+
+DEFAULT_JSON = "BENCH_datapath.json"
+GAP_RANKS = (4, 8)
+
+
+def check(path: str) -> int:
+    gap_max = float(os.environ.get("READ_GAP_MAX", "1.3"))
+    runs_max = int(os.environ.get("READ_RUNS_MAX", "10000"))
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"perfcheck: cannot load {path}: {exc}", file=sys.stderr)
+        return 2
+    cells = doc.get("cells", {})
+    failures = []
+    for nprocs in GAP_RANKS:
+        cell = cells.get(str(nprocs))
+        if cell is None:
+            failures.append(f"no cell for {nprocs}p in {path}")
+            continue
+        gap = cell.get("read_gap")
+        if gap is None:
+            gap = cell["read_chunked"] / cell["read_canonical"]
+        status = "ok" if gap <= gap_max else "FAIL"
+        print(f"perfcheck: read-gap/{nprocs}p = {gap:.3f}x "
+              f"(max {gap_max:.2f}x) {status}")
+        if gap > gap_max:
+            failures.append(
+                f"read-gap/{nprocs}p = {gap:.3f}x exceeds {gap_max:.2f}x"
+            )
+        runs = cell.get("read_runs_chunked")
+        if runs is None:
+            failures.append(f"no read_runs_chunked cell for {nprocs}p "
+                            "(regenerate with make bench-datapath)")
+            continue
+        status = "ok" if runs <= runs_max else "FAIL"
+        print(f"perfcheck: read-runs-chunked/{nprocs}p = {int(runs)} "
+              f"(max {runs_max}) {status}")
+        if runs > runs_max:
+            failures.append(
+                f"read-runs-chunked/{nprocs}p = {int(runs)} exceeds "
+                f"{runs_max} (run coalescing regressed to per-element?)"
+            )
+    if failures:
+        for f in failures:
+            print(f"perfcheck: FAIL: {f}", file=sys.stderr)
+        return 1
+    print("perfcheck: all datapath read-path guards hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else DEFAULT_JSON))

@@ -179,6 +179,13 @@ class CollectiveIOModel:
     ds_threshold_gap: int = 256 * 1024
     """Hole size above which data sieving splits into separate requests."""
 
+    coalesce_gap: int = 0
+    """Largest hole (bytes) the read-side run coalescer bridges at the
+    *source* rank before a request is issued: holes up to this size are
+    read and discarded to save a request (the data-sieving trade, applied
+    before the runs ever reach the exchange phase).  0 merges only
+    exactly-adjacent runs — always beneficial, never wasteful."""
+
 
 @dataclass
 class MachineModel:

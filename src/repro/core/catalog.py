@@ -82,10 +82,14 @@ class SDMCatalog:
     """Read-only view over a (possibly finished) SDM metadata database."""
 
     def __init__(self, ctx: RankContext, tables: SDMTables, fs,
-                 maintenance=None) -> None:
+                 maintenance=None, io_hints=None) -> None:
         self.ctx = ctx
         self.tables = tables
         self.fs = fs
+        self.io_hints = dict(io_hints) if io_hints else None
+        """MPI-IO hints applied to every catalog read (e.g. a
+        ``coalesce_gap`` for viewers scanning sparse subsets of chunked
+        runs)."""
         self.index_cache = IndexBlockCache()
         """Rank-local LRU over chunked index-block fetches, so a viewer
         stepping through timesteps (which share blocks) fetches each map
@@ -95,7 +99,7 @@ class SDMCatalog:
             maintenance.register_caches(None, self.index_cache)
 
     @classmethod
-    def attach(cls, ctx: RankContext) -> "SDMCatalog":
+    def attach(cls, ctx: RankContext, io_hints=None) -> "SDMCatalog":
         """Attach to the job's shared database and file system services."""
         from repro.metadb.schema import SDMTables as _Tables
 
@@ -106,7 +110,7 @@ class SDMCatalog:
         # either way).
         tables.declare_indexes()
         return cls(ctx, tables, ctx.service("fs"),
-                   maintenance=ctx.services.get("maint"))
+                   maintenance=ctx.services.get("maint"), io_hints=io_hints)
 
     # ------------------------------------------------------------------
     # Browsing
@@ -214,7 +218,8 @@ class SDMCatalog:
                 f"run {runid} dataset {dataset!r} has no timestep {timestep}"
             )
         view = DataView.from_map(np.asarray(map_array, dtype=np.int64))
-        f = File.open(comm, self.fs, where[0], MODE_RDONLY)
+        f = File.open(comm, self.fs, where[0], MODE_RDONLY,
+                      hints=self.io_hints)
         out = read_instance(comm, f, where, chunks, rec.data_type, view,
                             cache=self.index_cache)
         f.close()

@@ -17,11 +17,29 @@ into a strategy layer:
 
 Reads are transparent across both: :func:`locate_instance` returns the
 ``execution_table`` row plus any chunk maps, and :func:`read_instance`
-either takes the canonical fast path or assembles the requested elements
-from the chunk maps.  :func:`reorganize` converts a chunked instance into
-canonical order — reading the chunk maps, performing the deferred exchange
-exactly once, and atomically repointing ``execution_table`` while dropping
-the ``chunk_table`` rows — so the write-time savings need not be paid back
+either takes the canonical fast path or runs the chunked read pipeline:
+
+1. **resolve** — :func:`_chunk_positions` turns the wanted global indices
+   into absolute file byte positions against all chunk maps at once:
+   arithmetic chunks (constant-stride maps, ``index_offset ==
+   data_offset``) are pure arithmetic, and every *indexed* chunk's block
+   is fetched in **one** batched (cache-aware) request; candidates from
+   all chunks merge in a single stable sort whose last-per-gid survivor
+   reproduces the two-phase overlap rule (highest writing rank wins) —
+   no per-chunk rescan of the wanted array;
+2. **coalesce** — the unique positions collapse into maximal contiguous
+   byte runs (:func:`repro.mpiio.runs.coalesce_positions`, one
+   ``np.diff``), with holes up to the ``coalesce_gap`` MPI-IO hint
+   bridged (read-and-discard, the data-sieving trade), so the collective
+   read ships O(chunks) runs instead of O(elements);
+3. **gather** — one collective ``read_runs_at_all`` fetches the coalesced
+   runs and a vectorized scatter puts each element's bytes back in view
+   order.
+
+:func:`reorganize` converts a chunked instance into canonical order —
+reading the chunk maps, performing the deferred exchange exactly once,
+and atomically repointing ``execution_table`` while dropping the
+``chunk_table`` rows — so the write-time savings need not be paid back
 on every subsequent read.
 
 Layout of one chunked instance in its file (per rank, back to back in rank
@@ -32,8 +50,11 @@ order at the instance's base offset)::
 with two index-block elisions that keep the steady-state write volume equal
 to the data volume:
 
-* a **dense** chunk (the map is a contiguous gid range) stores no index
-  block at all — marked by ``index_offset == data_offset``;
+* an **arithmetic** chunk (the map is a constant-stride progression —
+  contiguous ranges, round-robin/block-cyclic interleavings) stores no
+  index block at all: it is marked by ``index_offset == data_offset`` and
+  its stride recorded as the chunk row's ``gid_step``, so positions are
+  computed, never fetched (the dense case is ``gid_step == 1``);
 * a rank whose map is unchanged since its previous chunk in the same file
   **shares** that chunk's index block (``index_offset`` points backward),
   so a checkpoint loop writes each rank's map once, then data only.
@@ -100,6 +121,7 @@ from repro.dtypes.primitives import Primitive, primitive_by_name
 from repro.errors import SDMStateError, SDMUnknownDataset
 from repro.metadb.schema import ChunkRecord, SDMTables
 from repro.mpi.communicator import Communicator
+from repro.mpiio import runs
 from repro.mpiio.consts import MODE_CREATE, MODE_RDONLY, MODE_RDWR
 from repro.mpiio.file import File
 
@@ -156,6 +178,11 @@ class IndexBlockCache:
     (the write side's reference-not-copy sharing), so a small per-rank
     cache of hot blocks removes those fetches from every warm read.
 
+    Cached blocks are stored as private read-only copies and handed out
+    with ``writeable=False``: a caller mutating a block it fetched (or the
+    array it inserted) cannot silently corrupt what later reads resolve
+    their positions against.
+
     Entries are keyed by ``(file_name, index_offset)`` and are only valid
     while the bytes at that offset are what the writer left there; they
     are dropped
@@ -181,8 +208,9 @@ class IndexBlockCache:
     def get(self, file_name: str, offset: int, count: int) -> Optional[np.ndarray]:
         """The cached gid block at ``(file_name, offset)``, or None.
 
-        A length mismatch (a different block landed at a recycled offset)
-        is treated as a miss; the fetch that follows replaces the entry.
+        The returned array is read-only.  A length mismatch (a different
+        block landed at a recycled offset) is treated as a miss; the
+        fetch that follows replaces the entry.
         """
         key = (file_name, offset)
         gids = self._blocks.get(key)
@@ -193,12 +221,22 @@ class IndexBlockCache:
         self.hits += 1
         return gids
 
-    def put(self, file_name: str, offset: int, gids: np.ndarray) -> None:
-        """Remember a fetched block (evicts LRU beyond capacity)."""
+    def put(self, file_name: str, offset: int, gids: np.ndarray) -> np.ndarray:
+        """Remember a fetched block (evicts LRU beyond capacity).
+
+        The cache keeps a private read-only copy — later mutation of the
+        caller's array cannot reach it — and returns that copy, which is
+        what :meth:`get` will serve.
+        """
+        gids = np.asarray(gids)
+        if gids.flags.writeable:
+            gids = gids.copy()
+        gids.setflags(write=False)
         self._blocks[(file_name, offset)] = gids
         self._blocks.move_to_end((file_name, offset))
         if len(self._blocks) > self.capacity:
             self._blocks.popitem(last=False)
+        return gids
 
     def drop_file(self, file_name: str) -> None:
         """Forget every block of one file."""
@@ -320,9 +358,10 @@ class ChunkedOrder(StorageOrder):
     Each rank independently appends its chunk at an offset derived from an
     exscan of local byte counts — only scalar metadata crosses ranks; the
     transport's ``alltoallv`` counters stay untouched (tests assert exactly
-    that).  The index block is elided when the map is a dense gid range,
-    and shared with the rank's previous chunk when the map is unchanged —
-    the checkpoint-loop steady state writes data bytes only.
+    that).  The index block is elided when the map is an arithmetic
+    progression (``gid_step`` recorded in the chunk row), and shared with
+    the rank's previous chunk when the map is unchanged — the
+    checkpoint-loop steady state writes data bytes only.
     """
 
     name = CHUNKED
@@ -381,7 +420,14 @@ class ChunkedOrder(StorageOrder):
             raise SDMStateError(
                 f"map array for {name!r} holds duplicate global indices"
             )
-        dense = count > 0 and bool((steps == 1).all())
+        # Constant-stride maps (contiguous blocks, round-robin/block-cyclic
+        # interleavings) need no index block: positions are arithmetic.
+        # ``step == 0`` means the map is genuinely irregular.
+        if count > 1:
+            step = int(steps[0]) if bool((steps == steps[0]).all()) else 0
+        else:
+            step = 1  # empty or single-element: trivially arithmetic
+        arithmetic = step > 0
 
         fname = self.file_name(sdm, handle, name, timestep)
         base = _next_append_base(sdm, fname)
@@ -398,9 +444,9 @@ class ChunkedOrder(StorageOrder):
         key = (fname, handle.group_id, name)
         shared = (
             self._shared_index(key, gids, base)
-            if sharable and not dense else None
+            if sharable and not arithmetic else None
         )
-        write_index = count > 0 and not dense and shared is None
+        write_index = count > 0 and not arithmetic and shared is None
         local_bytes = count * dtype.size
         if write_index:
             local_bytes += count * CHUNK_INDEX_BYTES
@@ -425,7 +471,7 @@ class ChunkedOrder(StorageOrder):
                 self._index_cache[key] = (gids.copy(), index_offset, data_offset)
         elif shared is not None:
             index_offset, data_offset = shared, chunk_off
-        else:  # dense (or empty): no index block anywhere
+        else:  # arithmetic (or empty): no index block anywhere
             index_offset = data_offset = chunk_off
         record = ChunkRecord(
             rank=sdm.ctx.rank,
@@ -434,6 +480,7 @@ class ChunkedOrder(StorageOrder):
             num_elements=count,
             index_offset=index_offset,
             data_offset=data_offset,
+            gid_step=step if arithmetic else 1,
         )
         payloads = sdm.comm.gather((record, local_bytes), root=0)
         if sdm.ctx.rank == 0:
@@ -522,25 +569,62 @@ def read_instance(
 def _chunk_index(
     f: File, ch: ChunkRecord, cache: Optional[IndexBlockCache] = None
 ) -> np.ndarray:
-    """A chunk's sorted gid index block (dense chunks are the arange of
-    their gid range and store none).  A cache hit skips the file read
-    entirely — the warm-read fast path."""
+    """A chunk's sorted gid index block (arithmetic chunks are the
+    progression of their gid range and store none).  A cache hit skips the
+    file read entirely — the warm-read fast path."""
     if ch.index_offset == ch.data_offset:
-        return np.arange(ch.gid_min, ch.gid_max + 1, dtype=np.int64)
-    if cache is not None:
-        gids = cache.get(f.name, ch.index_offset, ch.num_elements)
-        if gids is not None:
-            return gids
-    raw = np.empty(ch.num_elements * CHUNK_INDEX_BYTES, dtype=np.uint8)
-    f.read_runs(
-        np.array([ch.index_offset], dtype=np.int64),
-        np.array([len(raw)], dtype=np.int64),
-        raw,
-    )
-    gids = raw.view(np.int64)
-    if cache is not None:
-        cache.put(f.name, ch.index_offset, gids)
-    return gids
+        return np.arange(
+            ch.gid_min, ch.gid_max + 1, max(ch.gid_step, 1), dtype=np.int64
+        )
+    blocks = _chunk_indexes(f, [ch], cache)
+    return blocks[(ch.index_offset, ch.num_elements)]
+
+
+def _chunk_indexes(
+    f: File,
+    chunks: Sequence[ChunkRecord],
+    cache: Optional[IndexBlockCache] = None,
+) -> Dict[Tuple[int, int], np.ndarray]:
+    """Index blocks of several chunks, fetched in one batched request.
+
+    Returns ``{(index_offset, num_elements): gids}`` for every chunk that
+    stores a real block (arithmetic chunks are skipped).  Cache hits are
+    resolved first; every miss lands in a single ``read_runs`` call whose
+    runs are zero-gap coalesced — adjacent blocks (back-to-back writer
+    ranks) become one streaming transfer instead of a serial chain of
+    per-chunk requests.
+    """
+    out: Dict[Tuple[int, int], np.ndarray] = {}
+    need: List[Tuple[int, int]] = []
+    seen: set = set()
+    for ch in chunks:
+        if ch.index_offset == ch.data_offset:
+            continue
+        key = (ch.index_offset, ch.num_elements)
+        if key in out or key in seen:
+            continue
+        if cache is not None:
+            gids = cache.get(f.name, ch.index_offset, ch.num_elements)
+            if gids is not None:
+                out[key] = gids
+                continue
+        seen.add(key)
+        need.append(key)
+    if not need:
+        return out
+    need.sort()
+    offs = np.array([o for o, _ in need], dtype=np.int64)
+    lens = np.array([n * CHUNK_INDEX_BYTES for _, n in need], dtype=np.int64)
+    coff, clen, owner = runs.coalesce_runs(offs, lens)
+    blob = np.empty(int(clen.sum()), dtype=np.uint8)
+    f.read_runs(coff, clen, blob)
+    raw = runs.extract_runs(blob, coff, clen, offs, lens, owner)
+    for key, part in zip(need, np.split(raw, np.cumsum(lens)[:-1])):
+        gids = part.view(np.int64)
+        if cache is not None:
+            gids = cache.put(f.name, key[0], gids)
+        out[key] = gids
+    return out
 
 
 def _chunk_positions(
@@ -550,30 +634,69 @@ def _chunk_positions(
     """Absolute file byte position of each wanted global index, resolved
     against the chunk maps (-1 where no chunk holds it).
 
-    Walks chunks in ascending writer rank and lets later chunks override,
-    so ghost overlaps resolve exactly as the two-phase exchange would
-    (highest writing rank wins).  Only index blocks of range-overlapping
-    chunks are read — independent reads; the simulator charges them.
+    Arithmetic chunks resolve by pure arithmetic; indexed chunks' blocks
+    arrive via one batched :func:`_chunk_indexes` fetch.  Candidate
+    ``(gid, position)`` pairs from every overlapping chunk are gathered in
+    ascending writer rank and merged with one stable sort whose
+    last-per-gid survivor wins — exactly the two-phase exchange's overlap
+    rule (highest writing rank wins) without a per-chunk rescan of the
+    wanted array.
     """
     pos = np.full(len(wanted), -1, dtype=np.int64)
     if len(wanted) == 0:
         return pos
     lo, hi = int(wanted[0]), int(wanted[-1])
     esize = dtype.size
-    for ch in sorted(chunks, key=lambda c: c.rank):
-        if ch.num_elements == 0 or ch.gid_max < lo or ch.gid_min > hi:
-            continue
+    live = [
+        ch for ch in sorted(chunks, key=lambda c: c.rank)
+        if ch.num_elements and ch.gid_max >= lo and ch.gid_min <= hi
+    ]
+    if not live:
+        return pos
+    blocks = _chunk_indexes(f, live, cache)
+    cand_gid: List[np.ndarray] = []
+    cand_pos: List[np.ndarray] = []
+    for ch in live:  # ascending rank: later candidates override earlier
         if ch.index_offset == ch.data_offset:
-            # Dense chunk: positions are arithmetic, no index block.
-            hit = (wanted >= ch.gid_min) & (wanted <= ch.gid_max)
-            pos[hit] = ch.data_offset + (wanted[hit] - ch.gid_min) * esize
-            continue
-        cidx = _chunk_index(f, ch, cache)
-        j = np.searchsorted(cidx, wanted)
-        hit = np.zeros(len(wanted), dtype=bool)
-        inb = j < len(cidx)
-        hit[inb] = cidx[j[inb]] == wanted[inb]
-        pos[hit] = ch.data_offset + j[hit] * esize
+            step = max(ch.gid_step, 1)
+            sel = (wanted >= ch.gid_min) & (wanted <= ch.gid_max)
+            if step > 1:
+                sel &= (wanted - ch.gid_min) % step == 0
+            g = wanted[sel]
+            p = ch.data_offset + ((g - ch.gid_min) // step) * esize
+        else:
+            cidx = blocks[(ch.index_offset, ch.num_elements)]
+            a = int(np.searchsorted(cidx, lo))
+            b = int(np.searchsorted(cidx, hi, side="right"))
+            if b - a <= len(wanted):
+                # Bulk read: the chunk's in-range slice is the smaller
+                # side — contribute it wholesale.
+                g = cidx[a:b]
+                p = ch.data_offset + np.arange(a, b, dtype=np.int64) * esize
+            else:
+                # Sparse read (catalog viewers): probing wanted into the
+                # block bounds candidates by O(wanted), not O(chunk).
+                j = np.searchsorted(cidx, wanted)
+                inb = j < len(cidx)
+                m = np.zeros(len(wanted), dtype=bool)
+                m[inb] = cidx[j[inb]] == wanted[inb]
+                g = wanted[m]
+                p = ch.data_offset + j[m] * esize
+        cand_gid.append(g)
+        cand_pos.append(p)
+    gid = np.concatenate(cand_gid)
+    gpos = np.concatenate(cand_pos)
+    if len(gid) == 0:
+        return pos
+    order = np.argsort(gid, kind="stable")  # ties keep rank order
+    gid, gpos = gid[order], gpos[order]
+    last = np.r_[gid[1:] != gid[:-1], True]
+    gid, gpos = gid[last], gpos[last]
+    j = np.searchsorted(gid, wanted)
+    inb = j < len(gid)
+    hit = np.zeros(len(wanted), dtype=bool)
+    hit[inb] = gid[j[inb]] == wanted[inb]
+    pos[hit] = gpos[j[hit]]
     return pos
 
 
@@ -585,16 +708,24 @@ def _assemble_chunked(
     view: DataView,
     cache: Optional[IndexBlockCache] = None,
 ) -> np.ndarray:
-    """Gather this rank's wanted elements out of a chunked instance: chunk
-    maps give each element's file position, one collective read fetches the
-    (deduplicated, sorted) positions.  Elements no chunk wrote read as 0 —
-    the bytes a canonical read of an unwritten region would return."""
+    """Gather this rank's wanted elements out of a chunked instance.
+
+    The chunk maps give each element's file position; the positions
+    coalesce into maximal contiguous byte runs (holes up to the file's
+    ``coalesce_gap`` hint bridged) so the one collective read carries
+    O(chunks) runs, not O(elements); a vectorized scatter puts the bytes
+    back on their elements.  Elements no chunk wrote read as 0 — the
+    bytes a canonical read of an unwritten region would return."""
     esize = dtype.size
     wanted = view.map_sorted
     pos = _chunk_positions(f, chunks, dtype, wanted, cache)
     present = pos >= 0
     upos = np.unique(pos[present])
-    raw = f.read_runs_at_all(upos, np.full(len(upos), esize, dtype=np.int64))
+    coff, clen, owner = runs.coalesce_positions(
+        upos, esize, max(f.hints.coalesce_gap, 0)
+    )
+    blob = f.read_runs_at_all(coff, clen)
+    raw = runs.gather_elements(blob, coff, clen, upos, esize, owner)
     elems = raw.view(dtype.numpy_dtype)
     out = np.zeros(len(wanted), dtype=dtype.numpy_dtype)
     out[present] = elems[np.searchsorted(upos, pos[present])]
@@ -669,17 +800,34 @@ def execute_reorganize(
         if i % comm.size == comm.rank and ch.num_elements
     ]
     src = host._open_cached(old_fname, MODE_RDONLY)
-    gid_parts: List[np.ndarray] = []
+    # One batched request fetches every index block this rank needs ...
+    blocks = _chunk_indexes(src, mine, cache)
+    gid_parts: List[np.ndarray] = [
+        _chunk_index(src, ch, cache)
+        if ch.index_offset == ch.data_offset
+        else blocks[(ch.index_offset, ch.num_elements)]
+        for ch in mine
+    ]
     val_parts: List[np.ndarray] = []
-    for ch in mine:
-        gid_parts.append(_chunk_index(src, ch, cache))
-        raw = np.empty(ch.num_elements * dtype.size, dtype=np.uint8)
-        src.read_runs(
-            np.array([ch.data_offset], dtype=np.int64),
-            np.array([len(raw)], dtype=np.int64),
-            raw,
+    if mine:
+        # ... and one coalesced request streams all their data blocks
+        # (adjacent chunks merge; holes up to the hint are bridged).
+        offs = np.array([ch.data_offset for ch in mine], dtype=np.int64)
+        lens = np.array(
+            [ch.num_elements * dtype.size for ch in mine], dtype=np.int64
         )
-        val_parts.append(raw.view(dtype.numpy_dtype))
+        by_off = np.argsort(offs, kind="stable")
+        soffs, slens = offs[by_off], lens[by_off]
+        coff, clen, owner = runs.coalesce_runs(
+            soffs, slens, max(src.hints.coalesce_gap, 0)
+        )
+        blob = np.empty(int(clen.sum()), dtype=np.uint8)
+        src.read_runs(coff, clen, blob)
+        raw = runs.extract_runs(blob, coff, clen, soffs, slens, owner)
+        pieces = np.split(raw, np.cumsum(slens)[:-1])
+        val_parts = [np.empty(0, dtype=dtype.numpy_dtype)] * len(mine)
+        for k, i in enumerate(by_off):
+            val_parts[int(i)] = pieces[k].view(dtype.numpy_dtype)
     if gid_parts:
         gids = np.concatenate(gid_parts)
         vals = np.concatenate(val_parts)
@@ -848,15 +996,26 @@ def compact_chunked_file(host, file_name: str) -> Dict:
         if mine:
             src = np.array([m[0] for m in mine], dtype=np.int64)
             lens = np.array([m[1] for m in mine], dtype=np.int64)
-            blob = np.empty(int(lens.sum()), dtype=np.uint8)
-            f.read_runs(src, lens, blob)
-            parts = np.split(blob, np.cumsum(lens)[:-1])
+            # Coalesced gather: abutting sources stream as one run, holes
+            # up to the hint are read and discarded.
+            coff, clen, owner = runs.coalesce_runs(
+                src, lens, max(f.hints.coalesce_gap, 0)
+            )
+            blob = np.empty(int(clen.sum()), dtype=np.uint8)
+            f.read_runs(coff, clen, blob)
+            raw = runs.extract_runs(blob, coff, clen, src, lens, owner)
+            parts = np.split(raw, np.cumsum(lens)[:-1])
         comm.barrier()  # every source byte is in memory before any write
         if mine:
             order = sorted(range(len(mine)), key=lambda i: mine[i][2])
             dst = np.array([mine[i][2] for i in order], dtype=np.int64)
             dlens = np.array([mine[i][1] for i in order], dtype=np.int64)
-            f.write_runs(dst, dlens, np.concatenate([parts[i] for i in order]))
+            # Zero-gap coalescing only: writes must not touch hole bytes,
+            # but packed destinations abut, so most moves fuse into a few
+            # streaming writes (lossless: disjoint runs, sum preserved).
+            woff, wlen, _owner = runs.coalesce_runs(dst, dlens)
+            f.write_runs(woff, wlen,
+                         np.concatenate([parts[i] for i in order]))
         comm.barrier()  # every block is in place before the metadata flip
 
     if comm.rank == 0:

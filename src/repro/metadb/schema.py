@@ -11,9 +11,11 @@ two that back the maintenance service layer):
   and at which offset — this is what makes level-2/3 packed organizations
   navigable.
 * ``chunk_table`` — one row per rank-chunk of a *chunked* (write-optimized)
-  dataset instance: which global index range the chunk covers and where its
-  index block and data block live in the file.  A (runid, dataset, timestep)
-  with chunk rows is stored in distribution order; one without is canonical.
+  dataset instance: which global index range the chunk covers (plus its
+  ``gid_step`` for arithmetic-progression maps, which store no index
+  block) and where its index block and data block live in the file.  A
+  (runid, dataset, timestep) with chunk rows is stored in distribution
+  order; one without is canonical.
   :meth:`SDMTables.update_execution` + :meth:`SDMTables.delete_chunks` flip
   an instance from chunked to canonical after reorganization.
 * ``import_table`` — one row per imported (externally created) array.
@@ -88,7 +90,7 @@ SDM_SCHEMA: Tuple[str, ...] = (
     """CREATE TABLE IF NOT EXISTS chunk_table (
         runid INTEGER, dataset TEXT, timestep INTEGER, rank INTEGER,
         gid_min INTEGER, gid_max INTEGER, num_elements INTEGER,
-        index_offset INTEGER, data_offset INTEGER
+        gid_step INTEGER, index_offset INTEGER, data_offset INTEGER
     )""",
     """CREATE TABLE IF NOT EXISTS import_table (
         runid INTEGER, imported_name TEXT, file_name TEXT,
@@ -155,7 +157,11 @@ class ChunkRecord:
     ``gid_min``/``gid_max`` bound the global indices the chunk covers
     (``(0, -1)`` for an empty chunk); ``index_offset``/``data_offset`` are
     absolute file byte offsets of the chunk's sorted int64 index block and
-    its data block.
+    its data block.  ``index_offset == data_offset`` marks an *arithmetic*
+    chunk — the map is the progression ``gid_min, gid_min + gid_step, ...,
+    gid_max`` (``gid_step == 1``: the dense case), so no index block is
+    stored and element positions are computed, never fetched.  For chunks
+    with a real index block ``gid_step`` is 1 and unused.
     """
 
     rank: int
@@ -164,6 +170,7 @@ class ChunkRecord:
     num_elements: int
     index_offset: int
     data_offset: int
+    gid_step: int = 1
 
 
 @dataclass(frozen=True)
@@ -400,11 +407,11 @@ class SDMTables:
         """Record every rank's chunk of a chunked dataset instance (one
         batched INSERT — this sits on the per-timestep write path)."""
         self.db.execute_many(
-            "INSERT INTO chunk_table VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            "INSERT INTO chunk_table VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             [
                 (
                     runid, dataset, timestep, c.rank, c.gid_min, c.gid_max,
-                    c.num_elements, c.index_offset, c.data_offset,
+                    c.num_elements, c.gid_step, c.index_offset, c.data_offset,
                 )
                 for c in chunks
             ],
@@ -423,14 +430,15 @@ class SDMTables:
         ordered ``(runid, dataset, timestep, rank)`` index."""
         rows = self.db.execute(
             "SELECT rank, gid_min, gid_max, num_elements, index_offset, "
-            "data_offset FROM chunk_table "
+            "data_offset, gid_step FROM chunk_table "
             "WHERE runid = ? AND dataset = ? AND timestep = ? ORDER BY rank",
             (runid, dataset, timestep),
             proc=proc,
         )
         return [
-            ChunkRecord(int(r), int(lo), int(hi), int(n), int(io), int(do))
-            for r, lo, hi, n, io, do in rows
+            ChunkRecord(int(r), int(lo), int(hi), int(n), int(io), int(do),
+                        int(step))
+            for r, lo, hi, n, io, do, step in rows
         ]
 
     def delete_chunks(

@@ -21,6 +21,7 @@ from repro.dtypes.primitives import BYTE
 from repro.errors import FileExists, FileNotFound, MPIIOError
 from repro.mpi.communicator import Communicator
 from repro.mpiio import sieving, twophase
+from repro.mpiio.runs import coalesce_runs, extract_runs
 from repro.mpiio.consts import (
     MODE_APPEND,
     MODE_CREATE,
@@ -237,11 +238,39 @@ class File:
         self._check_live()
         raw = _as_bytes(buf)
         off, ln = self._view.runs_for(offset * self._view.etype.size, len(raw))
-        data = twophase.collective_read(
-            self.comm, self.comm.proc, self.fs, self._handle, off, ln, self.hints
-        )
-        raw[:] = data
+        raw[:] = self._collective_read_coalesced(off, ln)
         return buf
+
+    def _collective_read_coalesced(
+        self, off: np.ndarray, ln: np.ndarray
+    ) -> np.ndarray:
+        """Two-phase read with source-side run coalescing.
+
+        This rank merges its runs before the exchange — exactly-adjacent
+        runs always (gap 0, lossless), nearby runs with holes up to the
+        ``coalesce_gap`` hint (read-and-discard) — so the request
+        *metadata* shipped to the aggregators shrinks with the run count,
+        not the element count.  The returned bytes are exactly the
+        requested runs, in run order, either way.
+        """
+        if len(off) > 1:
+            coff, clen, owner = coalesce_runs(
+                off, ln, max(self.hints.coalesce_gap, 0)
+            )
+            if len(coff) < len(off):
+                blob = twophase.collective_read(
+                    self.comm, self.comm.proc, self.fs, self._handle,
+                    coff, clen, self.hints,
+                )
+                if int(clen.sum()) == int(ln.sum()):
+                    # Lossless merge (no holes bridged): the coalesced
+                    # stream is already the concatenated requested runs.
+                    return blob
+                return extract_runs(blob, coff, clen, off, ln, owner)
+        return twophase.collective_read(
+            self.comm, self.comm.proc, self.fs, self._handle, off, ln,
+            self.hints,
+        )
 
     def write_all(self, buf) -> int:
         """Collective write at the individual file pointer."""
@@ -312,13 +341,11 @@ class File:
 
     def read_runs_at_all(self, offsets, lengths) -> np.ndarray:
         """Collective read of explicit byte runs; returns the bytes in run
-        order (empty for a rank with no runs)."""
+        order (empty for a rank with no runs).  Nearby runs are merged at
+        the source under the ``coalesce_gap`` hint."""
         self._check_live()
         off, ln = check_runs(offsets, lengths)
-        return twophase.collective_read(
-            self.comm, self.comm.proc, self.fs, self._handle, off, ln,
-            self.hints,
-        )
+        return self._collective_read_coalesced(off, ln)
 
     # ------------------------------------------------------------------
 

@@ -23,6 +23,10 @@ class Hints:
     cb_nodes: int
     ds_buffer_size: int
     ds_threshold_gap: int
+    coalesce_gap: int = 0
+    """Read-side source coalescing: bridge holes up to this many bytes
+    when merging a rank's byte runs into requests (read-and-discard the
+    hole to save a request).  Never applied to writes."""
 
     @classmethod
     def from_machine(
@@ -35,6 +39,7 @@ class Hints:
             "cb_nodes": cio.cb_nodes,
             "ds_buffer_size": cio.ds_buffer_size,
             "ds_threshold_gap": cio.ds_threshold_gap,
+            "coalesce_gap": cio.coalesce_gap,
         }
         if overrides:
             for key, val in overrides.items():

@@ -1,0 +1,142 @@
+"""Vectorized byte-run coalescing: merge many small I/O requests into few.
+
+The collective-I/O discipline of the source paper (and of ROMIO's data
+sieving / two-phase machinery) is to never let "many small noncontiguous
+requests" reach the file system.  This module is the request-merging core
+the rest of the I/O stack shares:
+
+* :func:`coalesce_runs` — merge sorted byte runs into maximal contiguous
+  runs, optionally bridging holes of at most ``gap`` bytes (the
+  data-sieving trade: read-and-discard a small hole to save a request);
+* :func:`coalesce_positions` — the uniform-width special case the chunked
+  read path uses (element positions, all ``width`` bytes long);
+* :func:`extract_runs` / :func:`gather_elements` — pull the originally
+  requested bytes back out of a coalesced read blob (which may contain
+  bridged hole bytes), fully vectorized.
+
+Every function is O(n) numpy work with no Python-level per-run loop; the
+``owner`` array returned by the coalescers (input run -> coalesced run) is
+what makes the inverse mapping vectorizable.
+
+Gap-tolerant merging (``gap > 0``) is only meaningful for *reads* — a
+write must not touch hole bytes.  Zero-gap coalescing of sorted
+non-overlapping runs is *lossless* (``clen.sum() == lengths.sum()``, the
+coalesced byte stream is exactly the concatenated input runs) and is
+therefore safe for writes too.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "coalesce_runs",
+    "coalesce_positions",
+    "extract_runs",
+    "gather_elements",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def coalesce_runs(
+    offsets: np.ndarray, lengths: np.ndarray, gap: int = 0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge sorted byte runs into maximal runs bridging holes <= ``gap``.
+
+    ``offsets`` must be ascending; runs may abut or overlap (a coalesced
+    run covers through the furthest end seen so far, like
+    :func:`repro.mpiio.twophase.union_runs`).  Returns ``(coff, clen,
+    owner)`` where ``owner[i]`` is the index of the coalesced run
+    containing input run ``i``.
+    """
+    off = np.asarray(offsets, dtype=np.int64).reshape(-1)
+    ln = np.asarray(lengths, dtype=np.int64).reshape(-1)
+    n = len(off)
+    if n == 0:
+        return _EMPTY.copy(), _EMPTY.copy(), _EMPTY.copy()
+    ends = off + ln
+    reach = np.maximum.accumulate(ends)
+    new = np.empty(n, dtype=bool)
+    new[0] = True
+    np.greater(off[1:], reach[:-1] + gap, out=new[1:])
+    owner = np.cumsum(new, dtype=np.int64) - 1
+    starts = np.flatnonzero(new)
+    coff = off[starts]
+    cend = np.maximum.reduceat(ends, starts)
+    return coff, cend - coff, owner
+
+
+def coalesce_positions(
+    positions: np.ndarray, width: int, gap: int = 0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Coalesced byte runs for sorted positions of uniform ``width`` bytes.
+
+    The chunked read path's shape: ``positions`` are the (unique,
+    ascending) file offsets of wanted elements, each ``width`` bytes.
+    Adjacent elements (``diff == width``) always merge; holes up to
+    ``gap`` bytes are bridged.  Returns ``(coff, clen, owner)`` with
+    ``owner[i]`` the coalesced run holding element ``i``.
+    """
+    pos = np.asarray(positions, dtype=np.int64).reshape(-1)
+    n = len(pos)
+    if n == 0:
+        return _EMPTY.copy(), _EMPTY.copy(), _EMPTY.copy()
+    new = np.empty(n, dtype=bool)
+    new[0] = True
+    np.greater(np.diff(pos), width + gap, out=new[1:])
+    owner = np.cumsum(new, dtype=np.int64) - 1
+    starts = np.flatnonzero(new)
+    last = np.r_[starts[1:] - 1, n - 1]
+    coff = pos[starts]
+    clen = pos[last] + width - coff
+    return coff, clen, owner
+
+
+def extract_runs(
+    blob: np.ndarray,
+    coff: np.ndarray,
+    clen: np.ndarray,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    owner: np.ndarray,
+) -> np.ndarray:
+    """Original runs' bytes out of a coalesced read blob, in input order.
+
+    ``blob`` is the concatenated coalesced runs (bridged hole bytes
+    included); the result has ``lengths.sum()`` bytes — exactly the bytes
+    the caller asked for before coalescing.
+    """
+    ln = np.asarray(lengths, dtype=np.int64).reshape(-1)
+    total = int(ln.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.uint8)
+    cstart = np.cumsum(clen, dtype=np.int64) - clen
+    run_start = cstart[owner] + (np.asarray(offsets, dtype=np.int64) - coff[owner])
+    first = np.cumsum(ln, dtype=np.int64) - ln
+    idx = np.arange(total, dtype=np.int64) + np.repeat(run_start - first, ln)
+    return blob[idx]
+
+
+def gather_elements(
+    blob: np.ndarray,
+    coff: np.ndarray,
+    clen: np.ndarray,
+    positions: np.ndarray,
+    width: int,
+    owner: np.ndarray,
+) -> np.ndarray:
+    """Uniform-width special case of :func:`extract_runs`.
+
+    Returns the ``len(positions) * width`` requested bytes in position
+    order, pulled out of the coalesced blob with one 2-D fancy index.
+    """
+    pos = np.asarray(positions, dtype=np.int64).reshape(-1)
+    if len(pos) == 0:
+        return np.empty(0, dtype=np.uint8)
+    cstart = np.cumsum(clen, dtype=np.int64) - clen
+    elem_start = cstart[owner] + (pos - coff[owner])
+    idx = elem_start[:, None] + np.arange(width, dtype=np.int64)[None, :]
+    return np.ascontiguousarray(blob[idx]).reshape(-1)

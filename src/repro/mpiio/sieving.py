@@ -11,6 +11,12 @@ and issues one large *covering* request per group:
 Grouping policy: a run joins the current group while the hole separating it
 from the previous run is at most ``ds_threshold_gap`` and the group span
 stays within ``ds_buffer_size``.
+
+Group boundaries are computed vectorized: the gap condition is a single
+``np.diff``/``flatnonzero`` pass, and the span condition subdivides each
+gap segment with one ``searchsorted`` per *emitted group* (run ends are
+monotone for sorted non-overlapping runs), so the cost is O(runs) numpy
+work plus O(groups) Python — not O(runs) Python.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from typing import Iterator, Tuple
 import numpy as np
 
 from repro.mpiio.hints import Hints
+from repro.mpiio.runs import extract_runs
 from repro.pfs.file import PFSHandle
 from repro.pfs.filesystem import FileSystem
 from repro.simt.process import Process
@@ -38,17 +45,25 @@ def sieve_groups(
     n = len(offsets)
     if n == 0:
         return
-    group_start = 0
-    span_start = int(offsets[0])
-    for i in range(1, n):
-        prev_end = int(offsets[i - 1] + lengths[i - 1])
-        gap = int(offsets[i]) - prev_end
-        span = int(offsets[i] + lengths[i]) - span_start
-        if gap > hints.ds_threshold_gap or span > hints.ds_buffer_size:
-            yield group_start, i
-            group_start = i
-            span_start = int(offsets[i])
-    yield group_start, n
+    ends = offsets + lengths
+    # Gap cuts are position-independent: one vectorized pass finds every
+    # hole wider than the threshold.
+    gap_cuts = 1 + np.flatnonzero(
+        offsets[1:] - ends[:-1] > hints.ds_threshold_gap
+    )
+    segment_bounds = np.concatenate(([0], gap_cuts, [n]))
+    for s in range(len(segment_bounds) - 1):
+        start, seg_end = int(segment_bounds[s]), int(segment_bounds[s + 1])
+        # Span cuts within a gap segment: ends are monotone, so the last
+        # run fitting the buffer from the group's start is one bisect.
+        while start < seg_end:
+            limit = int(offsets[start]) + hints.ds_buffer_size
+            end = start + int(
+                np.searchsorted(ends[start:seg_end], limit, side="right")
+            )
+            end = max(end, start + 1)  # an oversized run forms its own group
+            yield start, min(end, seg_end)
+            start = end
 
 
 def independent_read(
@@ -60,6 +75,7 @@ def independent_read(
 ) -> np.ndarray:
     """Sieved independent read; returns the gathered bytes in run order."""
     hints = Hints.from_machine(fs.machine)
+    fs.runs_submitted += len(offsets)
     total = int(lengths.sum())
     out = np.empty(total, dtype=np.uint8)
     out_pos = 0
@@ -76,11 +92,13 @@ def independent_read(
         else:
             cover = fs.read(proc, handle, [span_start], [span_len])
             proc.hold(fs.machine.compute.copy_time(grp_bytes))
-            pos = out_pos
-            for o, l in zip(grp_off.tolist(), grp_len.tolist()):
-                rel = o - span_start
-                out[pos : pos + l] = cover[rel : rel + l]
-                pos += l
+            out[out_pos : out_pos + grp_bytes] = extract_runs(
+                cover,
+                np.array([span_start], dtype=np.int64),
+                np.array([span_len], dtype=np.int64),
+                grp_off, grp_len,
+                np.zeros(len(grp_off), dtype=np.int64),
+            )
         out_pos += grp_bytes
     return out
 
@@ -101,6 +119,7 @@ def independent_write(
     collective I/O avoids.
     """
     hints = Hints.from_machine(fs.machine)
+    fs.runs_submitted += len(offsets)
     data = np.asarray(data).reshape(-1).view(np.uint8)
     from repro.pfs.file import RD
 
@@ -128,11 +147,13 @@ def independent_write(
             with fs.write_lock(handle.file.name).request(proc):
                 cover = fs.read(proc, handle, [span_start], [span_len])
                 proc.hold(fs.machine.compute.copy_time(grp_bytes))
-                pos = 0
-                for o, l in zip(grp_off.tolist(), grp_len.tolist()):
-                    rel = o - span_start
-                    cover[rel : rel + l] = chunk[pos : pos + l]
-                    pos += l
+                rel = grp_off - span_start
+                first = np.cumsum(grp_len) - grp_len
+                idx = (
+                    np.arange(grp_bytes, dtype=np.int64)
+                    + np.repeat(rel - first, grp_len)
+                )
+                cover[idx] = chunk
                 fs.write(proc, handle, [span_start], [span_len], cover)
         data_pos += grp_bytes
     return data_pos

@@ -161,31 +161,34 @@ def _gather_segments(
 def _request_batches(
     uo: np.ndarray, ul: np.ndarray, cb_buffer_size: int
 ) -> List[Tuple[np.ndarray, np.ndarray]]:
-    """Split union runs into file requests of at most cb_buffer_size bytes."""
-    batches: List[Tuple[np.ndarray, np.ndarray]] = []
-    cur_off: List[int] = []
-    cur_len: List[int] = []
-    cur_bytes = 0
-    for o, l in zip(uo.tolist(), ul.tolist()):
-        while l > 0:
-            room = cb_buffer_size - cur_bytes
-            if room == 0:
-                batches.append(
-                    (np.array(cur_off, dtype=np.int64), np.array(cur_len, dtype=np.int64))
-                )
-                cur_off, cur_len, cur_bytes = [], [], 0
-                room = cb_buffer_size
-            take = min(l, room)
-            cur_off.append(o)
-            cur_len.append(take)
-            cur_bytes += take
-            o += take
-            l -= take
-    if cur_off:
-        batches.append(
-            (np.array(cur_off, dtype=np.int64), np.array(cur_len, dtype=np.int64))
-        )
-    return batches
+    """Split union runs into file requests of at most cb_buffer_size bytes.
+
+    Batches are full to capacity: boundaries sit at multiples of
+    ``cb_buffer_size`` in the cumulative byte space of the runs, splitting
+    any run that crosses one.  Computed as one cumulative-sum/searchsorted
+    pass — no per-byte walk.
+    """
+    keep = ul > 0
+    uo, ul = uo[keep], ul[keep]
+    if len(uo) == 0:
+        return []
+    cum = np.cumsum(ul, dtype=np.int64)
+    total = int(cum[-1])
+    run_start = cum - ul  # byte position (in run space) each run begins at
+    cuts = np.arange(
+        cb_buffer_size, total, cb_buffer_size, dtype=np.int64
+    )
+    piece_start = np.union1d(run_start, cuts)
+    piece_len = np.diff(np.concatenate((piece_start, [total])))
+    run_idx = np.searchsorted(cum, piece_start, side="right")
+    piece_off = uo[run_idx] + (piece_start - run_start[run_idx])
+    splits = np.searchsorted(piece_start, cuts)
+    bounds = np.concatenate(([0], splits, [len(piece_start)]))
+    return [
+        (piece_off[a:b], piece_len[a:b])
+        for a, b in zip(bounds[:-1], bounds[1:])
+        if b > a
+    ]
 
 
 def _local_extent(offsets: np.ndarray, lengths: np.ndarray) -> Tuple[int, int]:
@@ -206,6 +209,7 @@ def collective_write(
 ) -> int:
     """Two-phase collective write of this rank's runs; returns local bytes."""
     handle.check_writable()
+    fs.runs_submitted += len(offsets)
     raw = np.asarray(data).reshape(-1).view(np.uint8)
     lo, hi = _local_extent(offsets, lengths)
     glo = comm.allreduce(lo, op=MIN)
@@ -237,15 +241,13 @@ def collective_write(
             idx = _segment_scatter_indices(seg_off, seg_len, uo, ucum[:-1])
             scratch[idx] = seg_data  # src-rank order: highest rank wins overlaps
             proc.hold(fs.machine.compute.copy_time(len(seg_data)))
+            # Batches walk the union space sequentially, so a running
+            # cursor slices the scratch range each one covers.
+            upos = 0
             for b_off, b_len in _request_batches(uo, ul, hints.cb_buffer_size):
-                # Slice the scratch range this batch covers (batches walk the
-                # union space sequentially).
-                start = int(
-                    ucum[np.searchsorted(uo, b_off[0], side="right") - 1]
-                    + (b_off[0] - uo[np.searchsorted(uo, b_off[0], side="right") - 1])
-                )
                 nb = int(b_len.sum())
-                fs.write(proc, handle, b_off, b_len, scratch[start : start + nb])
+                fs.write(proc, handle, b_off, b_len, scratch[upos : upos + nb])
+                upos += nb
     comm.barrier()
     return int(lengths.sum())
 
@@ -261,6 +263,7 @@ def collective_read(
 ) -> np.ndarray:
     """Two-phase collective read; returns this rank's bytes in run order."""
     handle.check_readable()
+    fs.runs_submitted += len(offsets)
     lo, hi = _local_extent(offsets, lengths)
     glo = comm.allreduce(lo, op=MIN)
     ghi = comm.allreduce(hi, op=MAX)

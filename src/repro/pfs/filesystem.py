@@ -55,6 +55,14 @@ class FileSystem:
         self.bytes_read = 0
         self.n_requests = 0
         self.n_opens = 0
+        self.runs_submitted = 0
+        """Byte runs handed to the sieving/two-phase entry points — i.e.
+        *after* any source-side coalescing a caller performed.  A
+        coalescing read path therefore submits O(chunks) runs where an
+        uncoalesced one submits O(elements); the datapath bench contrasts
+        exactly that (chunked vs canonical submissions)."""
+        self.runs_serviced = 0
+        """Byte runs actually issued to the file system (post-merge)."""
 
     def write_lock(self, name: str) -> Resource:
         """Per-file advisory write lock (fcntl-style).
@@ -175,6 +183,7 @@ class FileSystem:
         handle.file.mtime = self.sim.now
         self.bytes_written += nbytes
         self.n_requests += 1
+        self.runs_serviced += len(offsets)
         self.sim.trace.record(
             self.sim.now, proc.name, "pfs.write",
             {"file": handle.file.name, "bytes": nbytes, "runs": len(offsets)},
@@ -194,6 +203,7 @@ class FileSystem:
             proc.hold(service)
         self.bytes_read += nbytes
         self.n_requests += 1
+        self.runs_serviced += len(offsets)
         self.sim.trace.record(
             self.sim.now, proc.name, "pfs.read",
             {"file": handle.file.name, "bytes": nbytes, "runs": len(offsets)},

@@ -98,10 +98,11 @@ def test_chunk_table_records_every_rank_block():
     t0_bytes = 0
     for rank, c in enumerate(chunks):
         mine = np.sort(maps[rank])
-        dense = (np.diff(mine) == 1).all()
+        steps = np.diff(mine)
+        arithmetic = len(mine) <= 1 or (steps == steps[0]).all()
         assert c.num_elements == len(mine)
         assert (c.gid_min, c.gid_max) == (int(mine[0]), int(mine[-1]))
-        if dense:  # contiguous range: no index block stored
+        if arithmetic:  # constant stride: no index block stored
             assert c.data_offset == c.index_offset
             t0_bytes += 8 * len(mine)
         else:
@@ -149,6 +150,184 @@ def test_dense_chunks_store_no_index_block():
     assert tables.lookup_execution(1, "d", 0)[2] == n * 8
     for mine, back in job.values:
         np.testing.assert_allclose(back, mine * 1.0)
+
+
+def test_strided_chunks_store_no_index_block_and_read_back():
+    """Constant-stride maps (round-robin/block-cyclic) are arithmetic
+    chunks: no index block on disk, ``gid_step`` recorded in the chunk
+    row, positions computed at read time."""
+    n = 32
+
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
+                  storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
+        handle = sdm.set_attributes(result)
+        mine = np.arange(ctx.rank, n, ctx.size, dtype=np.int64)
+        sdm.data_view(handle, "d", mine)
+        for t in range(2):
+            sdm.write(handle, "d", t, mine * 1.0 + t)
+        back = np.empty(len(mine))
+        sdm.read(handle, "d", 1, back)
+        # A foreign dense view crossing every strided chunk.
+        block = n // ctx.size
+        share = np.arange(ctx.rank * block, (ctx.rank + 1) * block,
+                          dtype=np.int64)
+        sdm.data_view(handle, "d", share)
+        whole = np.empty(block)
+        sdm.read(handle, "d", 0, whole)
+        sdm.finalize(handle)
+        return mine, back, share, whole
+
+    job = mpirun(program, NPROCS, machine=fast_test(), services=sdm_services())
+    tables = SDMTables(job.services["db"])
+    for t in range(2):
+        for c in tables.chunks_for(1, "d", t):
+            assert c.index_offset == c.data_offset  # no index block
+            assert c.gid_step == NPROCS
+        # The instance region holds exactly the data bytes.
+        assert tables.lookup_execution(1, "d", t)[2] == n * 8
+    fname = tables.lookup_execution(1, "d", 0)[0]
+    assert job.services["fs"].lookup(fname).size == 2 * n * 8
+    for mine, back, share, whole in job.values:
+        np.testing.assert_allclose(back, mine * 1.0 + 1)
+        np.testing.assert_allclose(whole, share * 1.0)
+
+
+def test_strided_chunks_reorganize_to_global_order():
+    n = 24
+    maps = [np.arange(r, n, NPROCS, dtype=np.int64) for r in range(NPROCS)]
+    job = mpirun(
+        simple_program(CHUNKED, Organization.LEVEL_2, reorganize=True,
+                       maps=maps, n=n),
+        NPROCS, machine=fast_test(), services=sdm_services(),
+    )
+    tables = SDMTables(job.services["db"])
+    for t in range(2):
+        assert tables.chunks_for(1, "d", t) == []
+        fname, base, _nbytes = tables.lookup_execution(1, "d", t)
+        data = (
+            job.services["fs"].lookup(fname).store
+            .read(base, n * 8).view(np.float64)
+        )
+        np.testing.assert_allclose(data, np.arange(n) * 1.0 + t)
+    for mine, back, _ in job.values:
+        np.testing.assert_allclose(back, mine * 1.0 + 1)
+
+
+def test_chunked_read_submits_runs_per_chunk_not_per_element():
+    """The run-coalescing collapse: the collective read of a chunked
+    instance submits O(chunks) byte runs to the I/O layer, not
+    O(elements)."""
+    n = 4096
+
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
+                  storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
+        handle = sdm.set_attributes(result)
+        mine = np.arange(ctx.rank, n, ctx.size, dtype=np.int64)
+        sdm.data_view(handle, "d", mine)
+        sdm.write(handle, "d", 0, mine * 1.0)
+        fs = ctx.service("fs")
+        before = fs.runs_submitted
+        ctx.comm.barrier()  # every rank snapshots before any read starts
+        back = np.empty(len(mine))
+        sdm.read(handle, "d", 0, back)
+        ctx.comm.barrier()  # every rank's runs are counted
+        submitted = fs.runs_submitted - before
+        sdm.finalize(handle)
+        return mine, back, submitted
+
+    job = mpirun(program, NPROCS, machine=fast_test(), services=sdm_services())
+    # The counter is fs-global; every rank observed the same job-wide
+    # total: far fewer runs than the n elements read.
+    for mine, back, submitted in job.values:
+        np.testing.assert_allclose(back, mine * 1.0)
+        assert submitted <= 4 * NPROCS, submitted
+
+
+def test_sparse_foreign_view_reads_few_elements_of_big_chunks():
+    """A reader wanting a handful of scattered gids out of large irregular
+    chunks (the catalog-viewer shape): candidates bound by the wanted
+    count, values still exact."""
+    n = 256
+    maps = irregular_maps(n=n, seed=17)
+
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
+                  storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
+        handle = sdm.set_attributes(result)
+        sdm.data_view(handle, "d", maps[ctx.rank])
+        sdm.write(handle, "d", 0, maps[ctx.rank] * 1.0)
+        # Three scattered gids per rank, spanning the whole range.
+        sparse = np.array([ctx.rank, n // 2 + ctx.rank, n - 1 - ctx.rank],
+                          dtype=np.int64)
+        sdm.data_view(handle, "d", sparse)
+        back = np.empty(len(sparse))
+        sdm.read(handle, "d", 0, back)
+        sdm.finalize(handle)
+        return sparse, back
+
+    job = mpirun(program, NPROCS, machine=fast_test(), services=sdm_services())
+    for sparse, back in job.values:
+        np.testing.assert_allclose(back, sparse * 1.0)
+
+
+def test_coalesced_read_matches_per_element_read(monkeypatch):
+    """Coalescing off (one run per element) and on must produce
+    byte-identical chunked reads."""
+    from repro.mpiio import runs as runs_mod
+
+    maps = irregular_maps()
+
+    def run(coalesce):
+        if not coalesce:
+            monkeypatch.setattr(
+                runs_mod, "coalesce_positions",
+                lambda pos, width, gap=0: (
+                    np.asarray(pos, dtype=np.int64),
+                    np.full(len(pos), width, dtype=np.int64),
+                    np.arange(len(pos), dtype=np.int64),
+                ),
+            )
+        else:
+            monkeypatch.undo()
+        job = mpirun(
+            simple_program(CHUNKED, Organization.LEVEL_2, maps=maps),
+            NPROCS, machine=fast_test(), services=sdm_services(),
+        )
+        return [back for _, back, _ in job.values]
+
+    off = run(False)
+    on = run(True)
+    for a, b in zip(off, on):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_index_block_cache_entries_are_immutable():
+    """Regression: a caller mutating a cached index block (or the array
+    it inserted) must not corrupt later reads."""
+    from repro.core.datapath import IndexBlockCache
+
+    cache = IndexBlockCache()
+    block = np.array([3, 5, 9], dtype=np.int64)
+    stored = cache.put("f", 100, block)
+    # Mutating the caller's array after the put cannot reach the cache.
+    block[:] = -1
+    got = cache.get("f", 100, 3)
+    np.testing.assert_array_equal(got, [3, 5, 9])
+    # The handed-out array is read-only.
+    assert not got.flags.writeable
+    assert not stored.flags.writeable
+    with pytest.raises(ValueError):
+        got[0] = 42
+    # And the entry is still intact afterwards.
+    np.testing.assert_array_equal(cache.get("f", 100, 3), [3, 5, 9])
 
 
 def test_chunked_and_canonical_use_distinct_files():
@@ -249,6 +428,7 @@ def test_index_cache_invalidated_when_cursor_returns_above_block():
     back above it — a later write with the original view must re-emit its
     block rather than reference the overwritten bytes."""
     n = 64
+    maps = irregular_maps(n=n, seed=13)  # irregular: index blocks exist
 
     def program(ctx):
         sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
@@ -257,7 +437,7 @@ def test_index_cache_invalidated_when_cursor_returns_above_block():
         sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
         handle = sdm.set_attributes(result)
         # Irregular view: index block written at the file start and cached.
-        irregular = np.arange(ctx.rank, n, ctx.size, dtype=np.int64)
+        irregular = maps[ctx.rank]
         sdm.data_view(handle, "d", irregular)
         sdm.write(handle, "d", 0, irregular * 1.0)
         sdm.reorganize(handle, "d", 0)  # cursor retreats to 0

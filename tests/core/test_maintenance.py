@@ -378,6 +378,9 @@ def test_deferred_backlog_survives_snapshot_and_next_job_adopts_it():
 
 def test_index_cache_serves_warm_reads_without_file_traffic():
     n = 32
+    # Genuinely irregular maps: constant-stride maps are arithmetic chunks
+    # now and store no index block at all, leaving nothing to cache.
+    maps = irregular_maps(n=n, seed=11)
 
     def program(ctx):
         sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
@@ -385,7 +388,7 @@ def test_index_cache_serves_warm_reads_without_file_traffic():
         result = sdm.make_datalist(["d"])
         sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
         handle = sdm.set_attributes(result)
-        mine = np.arange(ctx.rank, n, ctx.size, dtype=np.int64)  # non-dense
+        mine = maps[ctx.rank]
         sdm.data_view(handle, "d", mine)
         for t in range(2):
             sdm.write(handle, "d", t, mine * 1.0 + t)
@@ -412,6 +415,7 @@ def test_index_cache_dropped_when_cursor_retreats_over_blocks():
     blocks' bytes, and a re-view read must re-fetch, not serve stale
     gids."""
     n = 64
+    maps = irregular_maps(n=n, seed=13)  # irregular: index blocks exist
 
     def program(ctx):
         sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
@@ -419,7 +423,7 @@ def test_index_cache_dropped_when_cursor_retreats_over_blocks():
         result = sdm.make_datalist(["d"])
         sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
         handle = sdm.set_attributes(result)
-        irregular = np.arange(ctx.rank, n, ctx.size, dtype=np.int64)
+        irregular = maps[ctx.rank]
         sdm.data_view(handle, "d", irregular)
         sdm.write(handle, "d", 0, irregular * 1.0)
         back = np.empty(len(irregular))

@@ -261,3 +261,72 @@ def test_cb_buffer_size_hint_controls_request_count():
     job_big = run(make_program(1 << 20), 2)
     n_big = job_big.services["fs"].n_requests
     assert n_small > n_big
+
+
+def test_adjacent_runs_coalesce_at_source_by_default():
+    """Exactly-adjacent runs merge before the collective exchange even at
+    the default coalesce_gap of 0 (the lossless merge), and gap-tolerant
+    merging bridges holes when hinted — bytes identical in every case."""
+    n = 64
+
+    def make_program(hints):
+        def program(ctx):
+            fs = ctx.service("fs")
+            f = File.open(ctx.comm, fs, "runs.dat",
+                          MODE_CREATE | MODE_RDWR, hints=hints)
+            whole = np.arange(n * ctx.size, dtype=np.uint8)
+            if ctx.rank == 0:
+                f.write_runs([0], [len(whole)], whole)
+            ctx.comm.barrier()
+            # n exactly-adjacent 1-byte runs per rank.
+            off = np.arange(n, dtype=np.int64) + ctx.rank * n
+            ln = np.ones(n, dtype=np.int64)
+            before = fs.runs_submitted
+            ctx.comm.barrier()  # every rank snapshots before any read starts
+            got = f.read_runs_at_all(off, ln)
+            ctx.comm.barrier()  # every rank's runs are counted
+            submitted = fs.runs_submitted - before
+            f.close()
+            return got, submitted
+
+        return program
+
+    for hints in (None, {"coalesce_gap": 8}):
+        job = run(make_program(hints), 2)
+        for r, (got, _s) in enumerate(job.values):
+            np.testing.assert_array_equal(
+                got, np.arange(n, dtype=np.uint8) + r * n
+            )
+        # Each rank submitted one merged run, not n per-byte runs.
+        assert job.values[0][1] == 2, job.values[0][1]
+
+
+def test_gap_hint_bridges_holes_in_collective_read():
+    """With coalesce_gap, sparse runs merge into one covering request and
+    the hole bytes are discarded before the caller sees them."""
+
+    def program(ctx):
+        fs = ctx.service("fs")
+        f = File.open(ctx.comm, fs, "sparse.dat", MODE_CREATE | MODE_RDWR,
+                      hints={"coalesce_gap": 1024})
+        whole = np.arange(256, dtype=np.uint8)
+        if ctx.rank == 0:
+            f.write_runs([0], [len(whole)], whole)
+        ctx.comm.barrier()
+        off = np.array([8, 64, 200], dtype=np.int64) + ctx.rank
+        ln = np.array([4, 4, 4], dtype=np.int64)
+        before = fs.runs_submitted
+        ctx.comm.barrier()  # every rank snapshots before any read starts
+        got = f.read_runs_at_all(off, ln)
+        ctx.comm.barrier()  # every rank's runs are counted
+        submitted = fs.runs_submitted - before
+        f.close()
+        return got, submitted, off
+
+    job = run(program, 2)
+    whole = np.arange(256, dtype=np.uint8)
+    for got, _s, off in job.values:
+        np.testing.assert_array_equal(
+            got, np.concatenate([whole[o : o + 4] for o in off])
+        )
+    assert job.values[0][1] == 2  # one bridged run per rank

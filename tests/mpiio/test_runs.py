@@ -1,0 +1,189 @@
+"""Unit and property tests for the run-coalescing layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpiio.runs import (
+    coalesce_positions,
+    coalesce_runs,
+    extract_runs,
+    gather_elements,
+)
+
+
+def arr(*vals):
+    return np.array(vals, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# coalesce_runs
+# ---------------------------------------------------------------------------
+
+def test_empty_runs_coalesce_to_nothing():
+    coff, clen, owner = coalesce_runs(arr(), arr())
+    assert len(coff) == len(clen) == len(owner) == 0
+
+
+def test_single_run_passes_through():
+    coff, clen, owner = coalesce_runs(arr(40), arr(8))
+    assert coff.tolist() == [40] and clen.tolist() == [8]
+    assert owner.tolist() == [0]
+
+
+def test_all_adjacent_runs_become_one():
+    coff, clen, owner = coalesce_runs(arr(0, 8, 16, 24), arr(8, 8, 8, 8))
+    assert coff.tolist() == [0] and clen.tolist() == [32]
+    assert owner.tolist() == [0, 0, 0, 0]
+
+
+def test_all_sparse_runs_stay_separate():
+    coff, clen, owner = coalesce_runs(arr(0, 100, 200), arr(8, 8, 8))
+    assert coff.tolist() == [0, 100, 200]
+    assert clen.tolist() == [8, 8, 8]
+    assert owner.tolist() == [0, 1, 2]
+
+
+def test_overlapping_runs_union():
+    coff, clen, owner = coalesce_runs(arr(0, 4, 30), arr(10, 10, 5))
+    assert coff.tolist() == [0, 30]
+    assert clen.tolist() == [14, 5]
+    assert owner.tolist() == [0, 0, 1]
+
+
+def test_contained_run_does_not_shrink_reach():
+    # A short run inside a long one must not re-open the interval.
+    coff, clen, owner = coalesce_runs(arr(0, 2, 10), arr(20, 2, 4))
+    assert coff.tolist() == [0] and clen.tolist() == [20]
+    assert owner.tolist() == [0, 0, 0]
+
+
+def test_small_gap_bridged_large_gap_not():
+    coff, clen, _ = coalesce_runs(arr(0, 12, 100), arr(8, 8, 8), gap=4)
+    assert coff.tolist() == [0, 100]
+    assert clen.tolist() == [20, 8]  # the 4-byte hole is inside the run
+
+
+def test_huge_gap_merges_everything():
+    coff, clen, owner = coalesce_runs(arr(0, 500, 9000), arr(8, 8, 8),
+                                      gap=1 << 30)
+    assert coff.tolist() == [0] and clen.tolist() == [9008]
+    assert owner.tolist() == [0, 0, 0]
+
+
+def test_zero_gap_merge_of_disjoint_runs_is_lossless():
+    off, ln = arr(0, 8, 40, 48, 56), arr(8, 8, 8, 8, 8)
+    coff, clen, _ = coalesce_runs(off, ln)
+    assert int(clen.sum()) == int(ln.sum())
+
+
+# ---------------------------------------------------------------------------
+# coalesce_positions
+# ---------------------------------------------------------------------------
+
+def test_positions_empty():
+    coff, clen, owner = coalesce_positions(arr(), 8)
+    assert len(coff) == len(owner) == 0
+
+
+def test_positions_single():
+    coff, clen, owner = coalesce_positions(arr(72), 8)
+    assert coff.tolist() == [72] and clen.tolist() == [8]
+
+
+def test_positions_adjacent_elements_merge():
+    coff, clen, owner = coalesce_positions(arr(0, 8, 16, 40, 48), 8)
+    assert coff.tolist() == [0, 40]
+    assert clen.tolist() == [24, 16]
+    assert owner.tolist() == [0, 0, 0, 1, 1]
+
+
+def test_positions_gap_bridging():
+    # Holes of exactly one element (8 bytes) bridge at gap=8, not gap=0.
+    pos = arr(0, 16, 32)
+    coff0, clen0, _ = coalesce_positions(pos, 8, gap=0)
+    assert coff0.tolist() == [0, 16, 32]
+    coff8, clen8, _ = coalesce_positions(pos, 8, gap=8)
+    assert coff8.tolist() == [0] and clen8.tolist() == [40]
+
+
+# ---------------------------------------------------------------------------
+# extraction round-trips
+# ---------------------------------------------------------------------------
+
+def _file_bytes(n=10_000, seed=0):
+    return np.random.default_rng(seed).integers(
+        0, 256, size=n, dtype=np.uint8
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 60), st.integers(0, 25)),
+             min_size=0, max_size=25),
+    st.sampled_from([0, 1, 7, 64, 1 << 20]),
+)
+def test_coalesce_extract_roundtrip_property(spec, gap):
+    """coalesce + read-span + extract returns exactly the requested bytes
+    for any sorted non-overlapping run list and any gap."""
+    data = _file_bytes()
+    offsets, lengths = [], []
+    cursor = 0
+    for hole, ln in spec:
+        cursor += hole
+        offsets.append(cursor)
+        lengths.append(ln)
+        cursor += ln
+    off, ln = arr(*offsets), arr(*lengths)
+    coff, clen, owner = coalesce_runs(off, ln, gap=gap)
+    # Simulate the coalesced read: concatenated coalesced runs.
+    blob = (
+        np.concatenate([data[o : o + l] for o, l in zip(coff, clen)])
+        if len(coff) else np.empty(0, dtype=np.uint8)
+    )
+    got = extract_runs(blob, coff, clen, off, ln, owner)
+    expected = (
+        np.concatenate([data[o : o + l] for o, l in zip(off, ln)])
+        if len(off) else np.empty(0, dtype=np.uint8)
+    )
+    np.testing.assert_array_equal(got, expected)
+    # Coalesced runs are sorted, non-overlapping, and separated by more
+    # than the gap.
+    if len(coff) > 1:
+        assert (coff[1:] > coff[:-1] + clen[:-1] + gap).all()
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(st.integers(0, 500), min_size=0, max_size=40, unique=True),
+    st.sampled_from([1, 4, 8]),
+    st.sampled_from([0, 8, 1 << 20]),
+)
+def test_positions_gather_roundtrip_property(raw_pos, width, gap):
+    """coalesce_positions + gather_elements == per-element direct reads."""
+    data = _file_bytes()
+    pos = np.sort(np.array(raw_pos, dtype=np.int64)) * width
+    coff, clen, owner = coalesce_positions(pos, width, gap=gap)
+    blob = (
+        np.concatenate([data[o : o + l] for o, l in zip(coff, clen)])
+        if len(coff) else np.empty(0, dtype=np.uint8)
+    )
+    got = gather_elements(blob, coff, clen, pos, width, owner)
+    expected = (
+        np.concatenate([data[p : p + width] for p in pos])
+        if len(pos) else np.empty(0, dtype=np.uint8)
+    )
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_gather_elements_with_bridged_holes():
+    data = _file_bytes()
+    pos = arr(0, 24, 32)  # hole of 16 bytes between first and second
+    coff, clen, owner = coalesce_positions(pos, 8, gap=16)
+    assert len(coff) == 1  # everything bridged
+    blob = data[: int(clen[0])]
+    got = gather_elements(blob, coff, clen, pos, 8, owner)
+    np.testing.assert_array_equal(
+        got, np.concatenate([data[0:8], data[24:32], data[32:40]])
+    )

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config import fast_test, origin2000
 from repro.mpiio.hints import Hints
@@ -50,6 +52,49 @@ def test_single_run_single_group():
 
 def test_empty_runs_no_groups():
     assert groups_of([], []) == []
+
+
+def _reference_sieve_groups(offsets, lengths, hints):
+    """The pre-vectorization per-run walk, kept as the grouping oracle."""
+    n = len(offsets)
+    if n == 0:
+        return
+    group_start = 0
+    span_start = int(offsets[0])
+    for i in range(1, n):
+        prev_end = int(offsets[i - 1] + lengths[i - 1])
+        gap = int(offsets[i]) - prev_end
+        span = int(offsets[i] + lengths[i]) - span_start
+        if gap > hints.ds_threshold_gap or span > hints.ds_buffer_size:
+            yield group_start, i
+            group_start = i
+            span_start = int(offsets[i])
+    yield group_start, n
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 400), st.integers(1, 200)),
+             min_size=0, max_size=40),
+    st.integers(0, 300),
+    st.integers(1, 600),
+)
+def test_vectorized_groups_match_reference_property(spec, gap, buf):
+    """The np.diff/searchsorted boundary computation yields exactly the
+    groups of the per-run reference walk, for any runs and any hints."""
+    offsets, lengths = [], []
+    cursor = 0
+    for hole, ln in spec:
+        cursor += hole
+        offsets.append(cursor)
+        lengths.append(ln)
+        cursor += ln
+    off = np.array(offsets, dtype=np.int64)
+    ln = np.array(lengths, dtype=np.int64)
+    h = hints(gap=gap, buf=buf)
+    assert list(sieve_groups(off, ln, h)) == list(
+        _reference_sieve_groups(off, ln, h)
+    )
 
 
 # ---------------------------------------------------------------------------

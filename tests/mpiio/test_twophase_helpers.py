@@ -163,3 +163,54 @@ def test_batches_group_small_runs():
     assert sum(sizes) == 40
     assert all(s <= 25 for s in sizes)
     assert len(batches) == 2
+
+
+def _reference_request_batches(uo, ul, cb_buffer_size):
+    """The pre-vectorization per-run while-loop, kept as the oracle."""
+    batches = []
+    cur_off, cur_len, cur_bytes = [], [], 0
+    for o, l in zip(uo.tolist(), ul.tolist()):
+        while l > 0:
+            room = cb_buffer_size - cur_bytes
+            if room == 0:
+                batches.append((np.array(cur_off, dtype=np.int64),
+                                np.array(cur_len, dtype=np.int64)))
+                cur_off, cur_len, cur_bytes = [], [], 0
+                room = cb_buffer_size
+            take = min(l, room)
+            cur_off.append(o)
+            cur_len.append(take)
+            cur_bytes += take
+            o += take
+            l -= take
+    if cur_off:
+        batches.append((np.array(cur_off, dtype=np.int64),
+                        np.array(cur_len, dtype=np.int64)))
+    return batches
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 100), st.integers(0, 120)),
+             min_size=0, max_size=30),
+    st.integers(1, 257),
+)
+def test_vectorized_batches_match_reference_property(spec, cap):
+    """The cumulative-sum split produces the reference walk's batches
+    exactly — offsets, lengths, and batch boundaries — for any run list
+    (zero-length runs included) and any buffer size."""
+    offsets, lengths = [], []
+    cursor = 0
+    for hole, ln in spec:
+        cursor += hole
+        offsets.append(cursor)
+        lengths.append(ln)
+        cursor += ln
+    uo = np.array(offsets, dtype=np.int64)
+    ul = np.array(lengths, dtype=np.int64)
+    got = _request_batches(uo, ul, cap)
+    want = _reference_request_batches(uo, ul, cap)
+    assert len(got) == len(want)
+    for (go, gl), (wo, wl) in zip(got, want):
+        assert go.tolist() == wo.tolist()
+        assert gl.tolist() == wl.tolist()

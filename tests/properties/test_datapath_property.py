@@ -7,6 +7,11 @@ instance was written canonically, chunked, or chunked and then
 ``reorganize()``d — and a whole-array read of the file must see global
 element order in the canonical and reorganized cases.
 
+The read path's run coalescer is part of the property surface: every
+example also runs under a drawn ``coalesce_gap`` hint (0 / small / huge),
+so per-element, adjacent-merged, and maximally gap-bridged reads must all
+return the same bytes.
+
 The maintenance dimension extends the same property behind the service
 tier: writing chunked, *enqueueing* reorganization and compaction on the
 background workers, draining, and reading must also be byte-identical —
@@ -47,11 +52,12 @@ def partitions(draw):
     return n, maps
 
 
-def run_once(order, level, n, maps, reorganize):
+def run_once(order, level, n, maps, reorganize, io_hints=None):
     nprocs = len(maps)
 
     def program(ctx):
-        sdm = SDM(ctx, "prop", organization=level, storage_order=order)
+        sdm = SDM(ctx, "prop", organization=level, storage_order=order,
+                  io_hints=io_hints)
         result = sdm.make_datalist(["d"])
         sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
         handle = sdm.set_attributes(result)
@@ -79,12 +85,21 @@ def run_once(order, level, n, maps, reorganize):
 
 
 @settings(max_examples=12, deadline=None)
-@given(partitions(), st.sampled_from(list(Organization)))
-def test_read_equivalence_across_storage_orders(partition, level):
+@given(
+    partitions(),
+    st.sampled_from(list(Organization)),
+    st.sampled_from([0, 16, 1 << 30]),
+)
+def test_read_equivalence_across_storage_orders(partition, level, gap):
+    """Byte-identical reads across every storage order — at every
+    coalescing aggressiveness: gap 0 (merge only adjacent runs), a small
+    gap (bridge element-sized holes), and a huge gap (one covering run
+    per read, maximal read-and-discard)."""
     n, maps = partition
+    hints = {"coalesce_gap": gap}
     expected_global = np.arange(n) * 1.5 + 0.25
     results = {
-        variant: run_once(order, level, n, maps, reorganize)
+        variant: run_once(order, level, n, maps, reorganize, io_hints=hints)
         for variant, (order, reorganize) in {
             "canonical": (CANONICAL, False),
             "chunked": (CHUNKED, False),
@@ -95,10 +110,11 @@ def test_read_equivalence_across_storage_orders(partition, level):
         for rank, back in enumerate(backs):
             np.testing.assert_allclose(
                 back, maps[rank] * 1.5 + 0.25,
-                err_msg=f"{variant} read-after-write, rank {rank}",
+                err_msg=f"{variant} read-after-write, rank {rank}, gap {gap}",
             )
         np.testing.assert_allclose(
-            whole, expected_global, err_msg=f"{variant} global read"
+            whole, expected_global,
+            err_msg=f"{variant} global read, gap {gap}",
         )
 
 
