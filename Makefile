@@ -2,13 +2,31 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-metadb test-datapath test-maintenance \
+    lint verify-collectives \
     bench bench-metadb bench-datapath bench-maintenance perfcheck
 
-## tier-1 verify: the metadb subset first (fast signal), then everything else
-test: test-metadb
+## tier-1 verify: static SPMD lint first (cheapest signal), the metadb
+## subset next, then everything else, then the property harnesses again
+## under the runtime collective sanitizer
+test: lint test-metadb
 	$(PYTHON) -m pytest -x -q --ignore=tests/metadb \
 	    --ignore=tests/properties/test_metadb_index_property.py \
 	    --ignore=tests/properties/test_sql_property.py
+	$(MAKE) verify-collectives
+
+## spmdlint: flag collectives reachable on only some ranks' paths
+## (rules + suppression syntax in docs/analysis.md); a new unsuppressed
+## finding fails the build
+lint:
+	$(PYTHON) -m repro.analysis -q
+
+## re-run the datapath/maintenance suites and property harnesses with
+## SPMD_VERIFY=1: every job cross-validates per-rank collective
+## sequences, so a divergence the static pass cannot see fails here
+verify-collectives:
+	$(PYTHON) -m pytest tests/analysis -q
+	$(PYTHON) -m pytest tests/core/test_datapath.py tests/core/test_maintenance.py \
+	    tests/properties/test_datapath_property.py --spmd-verify -q
 
 ## metadb engine/planner unit tests + the scan-equivalence property harness
 test-metadb:

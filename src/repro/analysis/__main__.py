@@ -1,0 +1,87 @@
+"""Command-line entry point: ``python -m repro.analysis [paths...]``.
+
+Exit status 0 when no *new* findings (suppressed and baselined ones are
+reported informationally); 1 otherwise.  ``make lint`` runs this over
+``src/repro`` with the committed ``spmdlint.baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.findings import save_baseline
+from repro.analysis.linter import lint_paths
+from repro.analysis.report import format_finding
+
+DEFAULT_PATHS = ["src/repro"]
+DEFAULT_BASELINE = "spmdlint.baseline"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "spmdlint: flag collectives reachable on only some ranks' "
+            "paths (see docs/analysis.md for the rules)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=DEFAULT_PATHS,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="baseline file of known finding fingerprints "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept all current findings",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print only new findings and the final summary line",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = None if args.no_baseline else args.baseline
+    result = lint_paths(args.paths, baseline_path=baseline_path)
+
+    if not args.quiet:
+        for f in result.suppressed:
+            print(f"suppressed: {format_finding(f)}")
+        for f in result.baselined:
+            print(f"baseline:   {format_finding(f)}")
+    for f in result.findings:
+        print(format_finding(f))
+
+    if args.write_baseline:
+        save_baseline(args.baseline, result.findings + result.baselined)
+        print(
+            f"wrote {args.baseline}: "
+            f"{len(result.findings) + len(result.baselined)} finding(s)"
+        )
+        return 0
+
+    print(
+        f"spmdlint: {result.files} file(s), "
+        f"{len(result.findings)} new finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed"
+    )
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

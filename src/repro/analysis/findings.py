@@ -1,0 +1,127 @@
+"""Findings, inline suppressions, and the committed baseline.
+
+A :class:`Finding` is one rule violation, anchored to the collective call
+(or early exit) that triggered it.  Two escape hatches keep the linter
+usable while the codebase converges:
+
+* **Inline suppression** — ``# spmdlint: ok(<rule>) <reason>`` on the
+  finding's line, on the governing statement's first line, or on the
+  line directly above either.  The reason is mandatory: a suppression
+  without one is itself reported (rule ``bad-suppression``), so every
+  accepted divergence carries its justification in the source.
+* **Baseline** — a committed text file of finding fingerprints (stable
+  across line-number churn).  Findings in the baseline are reported as
+  known; only *new* findings fail the build.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "find_suppressions",
+    "load_baseline",
+    "save_baseline",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*spmdlint:\s*ok\(\s*(?P<rule>[\w-]+)\s*\)\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation in one function."""
+
+    rule: str
+    """Rule slug (``rank-branch``, ``rank-loop``, ``early-exit``,
+    ``comm-mismatch``, ``bad-suppression``)."""
+
+    code: str
+    """Stable code (``SPMD001``...)."""
+
+    path: str
+    """File the finding is in (as given to the linter)."""
+
+    line: int
+    """Line of the offending collective call / return / raise."""
+
+    stmt_line: int
+    """Line of the governing statement (the ``if``/``for``/``while``) —
+    a suppression comment on either line silences the finding."""
+
+    func: str
+    """Enclosing function (``<module>`` for top-level code)."""
+
+    op: str
+    """Collective op involved (empty for bad-suppression)."""
+
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline file."""
+        return f"{self.path}::{self.func}::{self.rule}::{self.op}"
+
+
+@dataclass
+class Suppression:
+    """One inline ``# spmdlint: ok(...)`` comment."""
+
+    rule: str
+    reason: str
+    line: int
+    used: bool = field(default=False)
+
+    @property
+    def valid(self) -> bool:
+        """Suppressions must carry a non-empty justification."""
+        return bool(self.reason.strip())
+
+
+def find_suppressions(source: str) -> Dict[int, Suppression]:
+    """All inline suppressions in a file, keyed by line number."""
+    out: Dict[int, Suppression] = {}
+    for i, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m:
+            out[i] = Suppression(
+                rule=m.group("rule"), reason=m.group("reason").strip(), line=i
+            )
+    return out
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Fingerprint -> allowed count.  A missing file is an empty baseline."""
+    counts: Dict[str, int] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except FileNotFoundError:
+        return counts
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fingerprint, _, n = line.rpartition(" ")
+        if fingerprint and n.isdigit():
+            counts[fingerprint] = counts.get(fingerprint, 0) + int(n)
+        else:
+            counts[line] = counts.get(line, 0) + 1
+    return counts
+
+
+def save_baseline(path: str, findings: List[Finding]) -> None:
+    """Write the baseline for the given (unsuppressed) findings."""
+    counts: Dict[str, int] = {}
+    for f in findings:
+        counts[f.fingerprint] = counts.get(f.fingerprint, 0) + 1
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# spmdlint baseline: known findings, one fingerprint per line\n")
+        fh.write("# (regenerate with: python -m repro.analysis --write-baseline)\n")
+        for fp in sorted(counts):
+            fh.write(f"{fp} {counts[fp]}\n")

@@ -1,0 +1,148 @@
+"""Driving the rules over files: suppressions, baseline, aggregation.
+
+Precedence for each raw finding:
+
+1. An inline ``# spmdlint: ok(<rule>) <reason>`` on the finding's line
+   or its governing statement's line, with a matching rule (or ``all``)
+   and a non-empty reason, *suppresses* it.  A matching suppression with
+   an empty reason does NOT suppress — and is itself reported as
+   ``bad-suppression``.
+2. A fingerprint present in the baseline file makes the finding *known*
+   (reported but not failing).  Baseline entries carry a count, so a
+   second new instance of an already-baselined pattern still fails.
+3. Everything else is a *new* finding: ``lint_paths(...)`` callers (the
+   CLI, ``make lint``) fail the build on any.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.findings import (
+    Finding,
+    find_suppressions,
+    load_baseline,
+)
+from repro.analysis.rules import RULES, check_module
+
+__all__ = ["LintResult", "lint_source", "lint_paths"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of linting one or more files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    """New findings — unsuppressed and not in the baseline; any of these
+    should fail the build."""
+
+    baselined: List[Finding] = field(default_factory=list)
+    """Findings matched (by fingerprint) against the committed baseline."""
+
+    suppressed: List[Finding] = field(default_factory=list)
+    """Findings silenced by a justified inline suppression."""
+
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.baselined.extend(other.baselined)
+        self.suppressed.extend(other.suppressed)
+        self.files += other.files
+
+
+def lint_source(
+    source: str,
+    path: str,
+    baseline: Optional[Dict[str, int]] = None,
+) -> LintResult:
+    """Lint one file's source text."""
+    tree = ast.parse(source, filename=path)
+    raw = check_module(tree, path)
+    sups = find_suppressions(source)
+    result = LintResult(files=1)
+
+    candidates: List[Finding] = []
+    for f in raw:
+        # A suppression may sit on the finding line, on the governing
+        # statement's line, or on the line directly above either
+        # (disable-next style, for lines with no room for a trailer).
+        s = (
+            sups.get(f.line)
+            or sups.get(f.stmt_line)
+            or sups.get(f.line - 1)
+            or sups.get(f.stmt_line - 1)
+        )
+        if s is not None and s.rule in (f.rule, f.code, "all"):
+            s.used = True
+            if s.valid:
+                result.suppressed.append(f)
+                continue
+            # Reasonless suppression: the finding stands (and the
+            # comment itself is flagged below).
+        candidates.append(f)
+
+    for line in sorted(sups):
+        s = sups[line]
+        if not s.valid:
+            candidates.append(
+                Finding(
+                    rule="bad-suppression",
+                    code=RULES["bad-suppression"][0],
+                    path=path,
+                    line=line,
+                    stmt_line=line,
+                    func="<comment>",
+                    op=s.rule,
+                    message=(
+                        f"suppression `ok({s.rule})` has no justification; "
+                        f"write `# spmdlint: ok({s.rule}) <why this is safe>`"
+                    ),
+                )
+            )
+
+    remaining = dict(baseline or {})
+    for f in candidates:
+        if remaining.get(f.fingerprint, 0) > 0:
+            remaining[f.fingerprint] -= 1
+            result.baselined.append(f)
+        else:
+            result.findings.append(f)
+    return result
+
+
+def _iter_py_files(paths: Sequence[str]) -> List[str]:
+    out: List[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__"
+                )
+                for fn in sorted(filenames):
+                    if fn.endswith(".py"):
+                        out.append(os.path.join(dirpath, fn))
+        elif p.endswith(".py"):
+            out.append(p)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str],
+    baseline_path: Optional[str] = None,
+) -> LintResult:
+    """Lint every ``.py`` file under the given files/directories."""
+    baseline = load_baseline(baseline_path) if baseline_path else {}
+    result = LintResult()
+    for path in _iter_py_files(paths):
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        result.extend(lint_source(source, path.replace(os.sep, "/"), baseline))
+    return result

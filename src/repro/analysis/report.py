@@ -1,0 +1,70 @@
+"""Rendering findings — static and runtime — in one house style.
+
+Static findings print as ``path:line: CODE [rule] message``; runtime
+mismatches print the same way, synthesized from the two
+:class:`~repro.simt.trace.CollectiveSignature` records that disagreed,
+so a ``SPMD_VERIFY`` failure reads like a lint finding with both ranks'
+call sites attached.  :func:`format_trace_collectives` is the
+``trace → lint finding`` pretty-printer: it renders a recorded
+collective timeline (e.g. from a failing job's trace) for side-by-side
+comparison of what each rank actually issued.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.findings import Finding
+from repro.simt.trace import CollectiveSignature, Trace
+
+__all__ = [
+    "format_finding",
+    "format_runtime_mismatch",
+    "format_trace_collectives",
+]
+
+
+def format_finding(f: Finding) -> str:
+    """``src/repro/x.py:42: SPMD001 [rank-branch] ... (in func)``"""
+    where = f" (in {f.func})" if f.func and f.func != "<module>" else ""
+    return f"{f.path}:{f.line}: {f.code} [{f.rule}] {f.message}{where}"
+
+
+def format_runtime_mismatch(
+    ref: CollectiveSignature, sig: CollectiveSignature, reason: str
+) -> str:
+    """Render a signature disagreement with both ranks' call sites."""
+    return (
+        f"SPMD-RT [collective-mismatch] {reason} on communicator context "
+        f"{ref.ctx} (collective #{ref.seq}): "
+        f"rank {ref.rank} called {ref.describe()} at {ref.site}; "
+        f"rank {sig.rank} called {sig.describe()} at {sig.site}"
+    )
+
+
+def format_trace_collectives(
+    trace: "Trace | Iterable[CollectiveSignature]",
+) -> str:
+    """Pretty-print a recorded collective timeline, one line per entry.
+
+    Accepts a :class:`~repro.simt.trace.Trace` (uses its ``collective``
+    records) or any iterable of signatures.  Lines are ordered as
+    recorded, so interleavings across ranks are visible::
+
+        rank0  #1 ctx=0 barrier() at driver.py:10 in main
+        rank1  #1 ctx=0 allgather() at driver.py:14 in main
+    """
+    sigs: List[CollectiveSignature]
+    if isinstance(trace, Trace):
+        sigs = trace.collectives()
+    else:
+        sigs = list(trace)
+    if not sigs:
+        return "(no collective records — was SPMD_VERIFY/tracing enabled?)"
+    lines = []
+    for s in sigs:
+        site = f" at {s.site}" if s.site else ""
+        lines.append(
+            f"rank{s.rank}  #{s.seq} ctx={s.ctx} {s.describe()}{site}"
+        )
+    return "\n".join(lines)

@@ -119,6 +119,7 @@ def run_fun3d_sdm(
         sdm.partition_table(part_vector)
         local = sdm.partition_index(part_vector, chunk)
     used_history = chunk is None
+    # spmdlint: ok(rank-branch) a history hit is a shared metadata decision, so import_index returns None on every rank or on none
     if config.register_history and not used_history:
         registration = sdm.index_registry(local)
         if config.wait_history:

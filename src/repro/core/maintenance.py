@@ -416,6 +416,7 @@ class MaintenanceService:
                     f"unknown maintenance job kind {job.kind!r}"
                 )
         finally:
+            # spmdlint: ok(comm-mismatch) _WorkerHost is this rank's facade over the one job-wide maintenance context; every worker's host shares it
             host.close_all()
         if rank == 0:
             self.tables.delete_maintenance(job.jobid, proc=proc)

@@ -56,6 +56,16 @@ class MPICollectiveMismatch(MPIError):
     """Ranks disagreed on the parameters of a collective operation."""
 
 
+class SPMDVerificationError(MPICollectiveMismatch):
+    """The ``SPMD_VERIFY`` runtime sanitizer detected divergence.
+
+    Raised when ranks' collective signatures disagree at a rendezvous
+    site (op kind, root, or reduce-family dtype/count) or when the
+    per-context collective sequences differ at job end.  The message
+    carries both ranks' call sites.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Datatypes
 # ---------------------------------------------------------------------------

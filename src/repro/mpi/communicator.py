@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence, Tuple
 
+from repro.analysis.verifier import call_site, payload_signature
 from repro.errors import MPICollectiveMismatch, MPIInvalidRank
 from repro.mpi.collectives import COMPUTE_FNS, CollectiveSite
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL
@@ -25,6 +26,7 @@ from repro.mpi.status import Status
 from repro.mpi.transport import Transport
 from repro.simt.primitives import SimEvent
 from repro.simt.process import Process
+from repro.simt.trace import CollectiveSignature
 
 __all__ = ["Communicator"]
 
@@ -198,6 +200,24 @@ class Communicator:
     ) -> Any:
         size = self.size
         self._op_seq += 1
+        verifier = self.transport.verifier
+        if verifier is not None:
+            dtype, count = payload_signature(payload)
+            verifier.enter(
+                CollectiveSignature(
+                    op=op,
+                    ctx=str(self.ctx_id),
+                    seq=self._op_seq,
+                    rank=self._rank,
+                    root=root,
+                    dtype=dtype,
+                    count=count,
+                    site=call_site(),
+                ),
+                self.proc.name,
+                size,
+                self.proc.now,
+            )
         if size == 1:
             # Degenerate world: apply semantics directly, zero cost.
             site = CollectiveSite(op, 1)
@@ -205,6 +225,8 @@ class Communicator:
             site.deposit(0, self.proc, payload, self.proc.now)
             results, _ = COMPUTE_FNS[op](site, self.transport.machine, 1)
             self.transport.record_collective(op, site.entries[0].nbytes)
+            if verifier is not None:
+                verifier.leave(self.proc.name)
             return results[0]
         key = (self.ctx_id, self._op_seq)
         site: CollectiveSite = self.transport.site(
@@ -237,7 +259,10 @@ class Communicator:
             for r, entry in site.entries.items():
                 delay = max(completions[r] - now, 0.0)
                 self.proc.sim.schedule_resume(entry.proc, delay=delay, value=results[r])
-        return self.proc.park(reason=f"coll:{op}")
+        result = self.proc.park(reason=f"coll:{op}")
+        if verifier is not None:
+            verifier.leave(self.proc.name)
+        return result
 
     def barrier(self) -> None:
         """Block until every rank reaches the barrier."""

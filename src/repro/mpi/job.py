@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.analysis.verifier import SPMDVerifier, spmd_verify_enabled
 from repro.config import MachineModel, origin2000
 from repro.mpi.communicator import Communicator
 from repro.mpi.phases import PhaseTimer
@@ -115,12 +116,24 @@ def mpirun(
     ------
     repro.errors.SimProcessCrashed
         If any rank raised; the original exception is chained.
+    repro.errors.SPMDVerificationError
+        With ``SPMD_VERIFY=1`` in the environment: if the per-context
+        collective sequences the ranks issued do not match at job end.
+        (Mid-job signature mismatches are raised inside the offending
+        rank and so surface chained under ``SimProcessCrashed``.)
     """
     if nprocs < 1:
         raise ValueError(f"nprocs must be >= 1, got {nprocs}")
     machine = machine if machine is not None else origin2000()
-    sim = Simulator(trace=Trace(enabled=trace))
+    verify = spmd_verify_enabled()
+    # The verifier files its signatures through the trace, so turning
+    # verification on implies recording (the records are what the
+    # trace -> finding pretty-printer and the deadlock report consume).
+    sim = Simulator(trace=Trace(enabled=trace or verify))
     transport = Transport(sim, machine, nprocs)
+    if verify:
+        transport.verifier = SPMDVerifier(nprocs, trace=sim.trace)
+        sim.deadlock_reporters.append(transport.verifier.deadlock_report)
     shared: Dict[str, Any] = services(sim, machine) if services is not None else {}
 
     contexts: List[Optional[RankContext]] = [None] * nprocs
@@ -141,6 +154,8 @@ def mpirun(
 
     procs = [sim.spawn(rank_main, r, name=f"rank{r}") for r in range(nprocs)]
     elapsed = sim.run()
+    if transport.verifier is not None:
+        transport.verifier.final_check()
     return JobResult(
         nprocs=nprocs,
         machine=machine,

@@ -100,6 +100,11 @@ class Transport:
         """Completed collective calls per op name."""
         self.coll_bytes: Dict[str, int] = {}
         """Total payload bytes contributed to collectives, per op name."""
+        self.verifier: Optional[Any] = None
+        """The ``SPMD_VERIFY`` sanitizer (an
+        :class:`repro.analysis.verifier.SPMDVerifier`), or None.  When
+        None — the default — collectives pay exactly one attribute test
+        and nothing is recorded."""
 
     # ------------------------------------------------------------------
     # Point-to-point

@@ -45,6 +45,11 @@ class Simulator:
     def __init__(self, trace: Optional[Trace] = None) -> None:
         self.now: float = 0.0
         self.trace = trace if trace is not None else Trace(enabled=False)
+        self.deadlock_reporters: List[Callable[[], str]] = []
+        """Callbacks consulted when a deadlock is detected; whatever they
+        return is appended to the :class:`SimDeadlockError` message (the
+        ``SPMD_VERIFY`` sanitizer registers its per-rank pending-op
+        report here)."""
         self._queue: List[Tuple[float, int, int, Any, Any]] = []
         self._seq = 0
         self._procs: List[Process] = []
@@ -138,10 +143,20 @@ class Simulator:
             if not self._queue:
                 if live:
                     report = ", ".join(f"{p.name}[{p.wait_reason}]" for p in live)
+                    # Reporters read live state (e.g. the verifier's
+                    # pending-op map) — consult them before _drain kills
+                    # the blocked processes.
+                    extra = ""
+                    for reporter in self.deadlock_reporters:
+                        try:
+                            extra += "\n  " + reporter()
+                        except Exception:  # pragma: no cover - diagnostics
+                            pass
                     self._drain()
                     self._finished = True
                     raise SimDeadlockError(
-                        f"no events pending but {len(live)} process(es) blocked: {report}"
+                        f"no events pending but {len(live)} process(es) "
+                        f"blocked: {report}{extra}"
                     )
                 break
             if not live and all(

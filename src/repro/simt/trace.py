@@ -4,14 +4,65 @@ A :class:`Trace` is a cheap append-only log of ``(time, actor, label, data)``
 records.  It is disabled by default (recording costs one branch); benchmarks
 and debugging sessions enable it to reconstruct timelines — e.g. when each
 rank entered a collective, or when the history-file daemon finished writing.
+
+Collective entries share one record format: a
+:class:`CollectiveSignature` stored as the ``data`` of a record labelled
+:data:`COLLECTIVE`.  The ``SPMD_VERIFY`` runtime sanitizer
+(:mod:`repro.analysis.verifier`) emits and cross-validates these, and
+:func:`repro.analysis.report.format_runtime_mismatch` pretty-prints the
+same records as lint-style findings, so traces, the verifier, and the
+diagnostics all speak one schema.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional
+from typing import Any, Iterator, List, Optional, Tuple
 
-__all__ = ["Trace", "TraceRecord"]
+__all__ = ["COLLECTIVE", "CollectiveSignature", "Trace", "TraceRecord"]
+
+COLLECTIVE = "collective"
+"""Trace label under which :class:`CollectiveSignature` records are filed."""
+
+
+@dataclass(frozen=True)
+class CollectiveSignature:
+    """One rank's entry into one collective call site.
+
+    Two ranks entering the *same* site carry the same ``(ctx, seq)`` key;
+    the SPMD invariant says everything else observable about the call —
+    op kind, root, and for the reduce family dtype/count — must then
+    agree.  ``site`` is the Python call site (``file.py:NN in func``)
+    recorded so mismatch diagnostics can point at both sides' source.
+    """
+
+    op: str
+    ctx: str
+    """Communicator context id, stringified (contexts may be tuples)."""
+    seq: int
+    """Per-context collective sequence number (the rendezvous slot)."""
+    rank: int
+    root: Optional[int] = None
+    dtype: str = ""
+    count: int = -1
+    """Payload element count; -1 when the op carries no payload."""
+    site: str = ""
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """Rendezvous-site identity shared by all participating ranks."""
+        return (self.ctx, self.seq)
+
+    def describe(self) -> str:
+        """``allreduce(dtype=int, count=4)`` — op plus its checked facts."""
+        args = []
+        if self.root is not None:
+            args.append(f"root={self.root}")
+        if self.dtype:
+            args.append(f"dtype={self.dtype}")
+        if self.count >= 0:
+            args.append(f"count={self.count}")
+        return f"{self.op}({', '.join(args)})"
 
 
 @dataclass(frozen=True)
@@ -66,3 +117,7 @@ class Trace:
             return self.records[-1] if self.records else None
         hits = self.by_label(label)
         return hits[-1] if hits else None
+
+    def collectives(self) -> List[CollectiveSignature]:
+        """All collective signatures recorded (``SPMD_VERIFY`` runs)."""
+        return [r.data for r in self.records if r.label == COLLECTIVE]

@@ -1,0 +1,67 @@
+"""The ``python -m repro.analysis`` entry point: exit codes, baseline
+workflow, and directory walking."""
+
+import textwrap
+
+from repro.analysis.__main__ import main
+
+BAD = textwrap.dedent(
+    """
+    def program(ctx):
+        comm = ctx.comm
+        if comm.rank == 0:
+            comm.barrier()
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """
+    def program(ctx):
+        comm = ctx.comm
+        comm.barrier()
+        return comm.allreduce(1)
+    """
+)
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "good.py").write_text(CLEAN)
+    rc = main([str(tmp_path), "--no-baseline"])
+    assert rc == 0
+    assert "0 new finding(s)" in capsys.readouterr().out
+
+
+def test_finding_exits_nonzero_and_prints_location(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(BAD)
+    rc = main([str(tmp_path), "--no-baseline"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "SPMD001" in out and "bad.py:5" in out
+
+
+def test_write_baseline_then_clean_run(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(BAD)
+    baseline = tmp_path / "spmdlint.baseline"
+
+    rc = main([str(tmp_path), "--baseline", str(baseline), "--write-baseline"])
+    assert rc == 0
+    assert baseline.exists()
+    capsys.readouterr()
+
+    # Baselined findings are reported as known but do not fail.
+    rc = main([str(tmp_path), "--baseline", str(baseline)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "baseline:" in out and "1 baselined" in out
+
+    # A *new* finding alongside the baselined one still fails.
+    (tmp_path / "worse.py").write_text(BAD)
+    rc = main([str(tmp_path), "--baseline", str(baseline)])
+    assert rc == 1
+
+
+def test_subdirectories_are_walked(tmp_path):
+    pkg = tmp_path / "pkg" / "sub"
+    pkg.mkdir(parents=True)
+    (pkg / "deep.py").write_text(BAD)
+    assert main([str(tmp_path), "--no-baseline", "-q"]) == 1

@@ -1,0 +1,40 @@
+"""Shared pytest wiring: the ``--spmd-verify`` opt-in.
+
+``pytest --spmd-verify ...`` exports ``SPMD_VERIFY=1`` for the whole
+run, so every simulated MPI job cross-validates its per-rank collective
+sequences (see ``docs/analysis.md``).  ``make verify-collectives`` runs
+the datapath/maintenance harnesses this way.  Individual tests can also
+request the ``spmd_verify`` fixture to force the sanitizer on for just
+one test regardless of the flag.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--spmd-verify",
+        action="store_true",
+        default=False,
+        help="run every simulated MPI job with the SPMD_VERIFY runtime "
+        "collective-sequence sanitizer enabled",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--spmd-verify"):
+        os.environ["SPMD_VERIFY"] = "1"
+
+
+@pytest.fixture
+def spmd_verify(monkeypatch):
+    """Force the runtime collective sanitizer on for this test."""
+    monkeypatch.setenv("SPMD_VERIFY", "1")
+
+
+@pytest.fixture
+def no_spmd_verify(monkeypatch):
+    """Force the sanitizer off (overhead/isolation tests)."""
+    monkeypatch.delenv("SPMD_VERIFY", raising=False)

@@ -55,7 +55,11 @@ def test_mpirun_trace_captures_pfs_activity():
     assert times == sorted(times)
 
 
-def test_mpirun_without_trace_stays_empty():
+def test_mpirun_without_trace_stays_empty(monkeypatch):
+    # SPMD_VERIFY implies recording (signatures ride the trace), so pin
+    # it off: this test is about the default-quiet path.
+    monkeypatch.delenv("SPMD_VERIFY", raising=False)
+
     def services(sim, machine):
         return {"fs": FileSystem(sim, machine)}
 
