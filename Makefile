@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-metadb test-datapath test-maintenance \
+.PHONY: test test-metadb test-datapath test-maintenance test-mvcc \
     lint verify-collectives \
     bench bench-metadb bench-datapath bench-maintenance perfcheck
 
@@ -26,7 +26,13 @@ lint:
 verify-collectives:
 	$(PYTHON) -m pytest tests/analysis -q
 	$(PYTHON) -m pytest tests/core/test_datapath.py tests/core/test_maintenance.py \
-	    tests/properties/test_datapath_property.py --spmd-verify -q
+	    tests/properties/test_datapath_property.py \
+	    tests/properties/test_mvcc_property.py --spmd-verify -q
+
+## MVCC concurrency surface: pinned snapshot reads vs background flips,
+## lease conflicts, epoch/pin/extent leak audits (docs/concurrency.md)
+test-mvcc:
+	$(PYTHON) -m pytest tests/properties/test_mvcc_property.py -q
 
 ## metadb engine/planner unit tests + the scan-equivalence property harness
 test-metadb:

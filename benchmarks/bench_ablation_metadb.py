@@ -44,9 +44,13 @@ from repro.metadb import engine
 SIZES = (100, 1_000, 10_000)
 N_STATEMENTS = 300
 
+# Mirrors the production canonical read: the MVCC open-version sentinel
+# rides the same single statement as a fourth equality conjunct.
+_OPEN_EPOCH = 2**62
+
 _LOOKUP = (
     "SELECT file_name, file_offset, nbytes FROM execution_table "
-    "WHERE runid = ? AND dataset = ? AND timestep = ?"
+    "WHERE runid = ? AND dataset = ? AND timestep = ? AND valid_to = ?"
 )
 
 _EOF_PROBE = (
@@ -63,7 +67,7 @@ _INDEX_SETS = {
 
 
 def _params_for(i):
-    return (i % 50, f"d{i % 4}", i)
+    return (i % 50, f"d{i % 4}", i, _OPEN_EPOCH)
 
 
 def _file_for(i):
@@ -79,13 +83,15 @@ def _build(n_rows, indexes):
     db.execute(
         "CREATE TABLE execution_table ("
         "runid INTEGER, dataset TEXT, timestep INTEGER, "
-        "file_name TEXT, file_offset INTEGER, nbytes INTEGER)"
+        "file_name TEXT, file_offset INTEGER, nbytes INTEGER, "
+        "valid_from INTEGER, valid_to INTEGER)"
     )
     for i in range(n_rows):
-        runid, dataset, timestep = _params_for(i)
+        runid, dataset, timestep, _open = _params_for(i)
         db.execute(
-            "INSERT INTO execution_table VALUES (?, ?, ?, ?, ?, ?)",
-            (runid, dataset, timestep, _file_for(i), i * 100, 100),
+            "INSERT INTO execution_table VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (runid, dataset, timestep, _file_for(i), i * 100, 100,
+             0, _OPEN_EPOCH),
         )
     for columns, kind in _INDEX_SETS[indexes]:
         db.create_index("execution_table", columns, kind)

@@ -102,6 +102,13 @@ CATALOG: Dict[str, CollectiveSpec] = {
     "compact_chunked_file": CollectiveSpec(
         "compact_chunked_file", uniform_result=True
     ),
+    # The flip lease is bcast-fronted: rank 0 runs the insert-then-verify
+    # protocol and every rank symmetrically succeeds or raises
+    # SDMLeaseConflict, so the call site is collective-in-shape and its
+    # (None-or-raise) outcome is uniform.
+    "acquire_file_lease": CollectiveSpec(
+        "acquire_file_lease", uniform_result=True
+    ),
     "register_history_async": CollectiveSpec("register_history_async"),
     "try_load_history": CollectiveSpec("try_load_history"),
     "ring_partition_index": CollectiveSpec("ring_partition_index"),
@@ -132,6 +139,15 @@ CATALOG: Dict[str, CollectiveSpec] = {
     "import_contiguous": CollectiveSpec("sdm.import_contiguous", receivers=_SDMISH),
     "import_irregular": CollectiveSpec("sdm.import_irregular", receivers=_SDMISH),
     "partition_index": CollectiveSpec("sdm.partition_index", receivers=_SDMISH),
+    # SDMCatalog snapshot lifecycle (receiver-guarded: both names are far
+    # too generic bare).  attach pins via a bcast — uniform handle;
+    # release is barrier-backed.
+    "attach": CollectiveSpec(
+        "catalog.attach", uniform_result=True, receivers=("SDMCatalog",)
+    ),
+    "release": CollectiveSpec(
+        "catalog.release", uniform_result=True, receivers=("catalog",)
+    ),
 }
 
 _NUMPY_PREFIXES = ("np.", "numpy.")

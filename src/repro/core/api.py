@@ -85,6 +85,7 @@ class SDM:
         io_hints: Optional[Dict[str, int]] = None,
         storage_order: Union[str, StorageOrder] = "canonical",
         reorganize_mode: str = "sync",
+        snapshot: bool = False,
     ) -> None:
         self.ctx = ctx
         self.comm = ctx.comm
@@ -128,6 +129,27 @@ class SDM:
                 proc=ctx.proc,
             )
         self.runid: int = self.comm.bcast(runid, root=0)
+        self.lease_holder = f"sdm:{application}:r{self.runid}"
+        """Flip-lease identity for this client's metadata publishes
+        (distinct per run, so overlapping flips fail fast instead of
+        silently overwriting each other)."""
+        self._pin_id: Optional[int] = None
+        self._pinned_epoch: Optional[int] = None
+        if snapshot:
+            # Pin the epoch current at initialization: every read resolves
+            # against this snapshot until finalize (or a flip this client
+            # publishes itself advances it), no matter what background
+            # maintenance reorganizes or compacts meanwhile.
+            pin = None
+            if ctx.rank == 0:
+                epoch = self.tables.current_epoch(proc=ctx.proc)
+                pin = (
+                    self.tables.create_pin(
+                        self.lease_holder, epoch, proc=ctx.proc
+                    ),
+                    epoch,
+                )
+            self._pin_id, self._pinned_epoch = self.comm.bcast(pin, root=0)
         self._groups: Dict[int, DataGroup] = {}
         self._next_group = 1
         self._files = FileHandleCache(self.comm, self.fs, hints=self.io_hints)
@@ -447,24 +469,40 @@ class SDM:
         view gathers this rank's elements.  Both storage orders are served
         transparently: canonical instances through one indexed file view,
         chunked instances assembled from their ``chunk_table`` maps.
+
+        Under a ``snapshot=True`` SDM the location resolves against the
+        pinned epoch, so a concurrent background reorganization or
+        compaction can never change what this call returns.  Unpinned
+        reads see the newest published metadata; either way the read is
+        registered with the maintenance read gate (rank 0 of the reading
+        communicator, covering the whole collective) so an in-place
+        compaction slide can never move bytes out from under it.
         """
         attrs = handle.dataset(name)
         view = handle.view(name)
         rid = self.runid if runid is None else runid
-        where, chunks = locate_instance(
-            self.comm, self.tables, rid, name, timestep, proc=self.ctx.proc
-        )
-        if where is None:
-            raise SDMUnknownDataset(
-                f"no execution record for run {rid} dataset {name!r} "
-                f"timestep {timestep}"
+        gate = self.maintenance
+        if gate is not None and self.ctx.rank == 0:
+            gate.begin_read(self.ctx.proc)
+        try:
+            where, chunks, version = locate_instance(
+                self.comm, self.tables, rid, name, timestep,
+                proc=self.ctx.proc, epoch=self._pinned_epoch,
             )
-        fname = where[0]
-        f = self._open_cached(fname, MODE_RDONLY)
-        buf[:] = read_instance(
-            self.comm, f, where, chunks, attrs.data_type, view,
-            cache=self.index_cache,
-        )
+            if where is None:
+                raise SDMUnknownDataset(
+                    f"no execution record for run {rid} dataset {name!r} "
+                    f"timestep {timestep}"
+                )
+            fname = where[0]
+            f = self._open_cached(fname, MODE_RDONLY)
+            buf[:] = read_instance(
+                self.comm, f, where, chunks, attrs.data_type, view,
+                cache=self.index_cache, version=version,
+            )
+        finally:
+            if gate is not None and self.ctx.rank == 0:
+                gate.end_read()
         if self.organization == Organization.LEVEL_1:
             self._close_cached(fname)
         return buf
@@ -515,7 +553,7 @@ class SDM:
         # One cheap metadata probe keeps already-canonical instances (and
         # their file names) out of the worker queue — the same no-op fast
         # path the sync call takes, minus the exchange machinery.
-        where, chunks = locate_instance(
+        where, chunks, _version = locate_instance(
             self.comm, self.tables, rid, name, timestep, proc=self.ctx.proc
         )
         if where is None:
@@ -548,9 +586,13 @@ class SDM:
         collectively now; ``"background"`` (or the constructor default)
         enqueues it behind any earlier maintenance jobs — in particular
         behind background reorganizations of the same file, whose dead
-        regions it then reclaims.  The file must be quiescent while the
-        pass runs; :meth:`drain_maintenance` marks the safe point.
-        Returns ``file_name``.
+        regions it then reclaims.  No quiescence is required of readers:
+        the pass takes the file's flip lease (a concurrent flip of the
+        same file raises :class:`~repro.errors.SDMLeaseConflict`), and
+        either packs in place behind the read gate (no snapshots pinned)
+        or copies live chunks beyond the append cursor and publishes a
+        new epoch, leaving every pinned byte untouched (see
+        ``docs/concurrency.md``).  Returns ``file_name``.
         """
         mode = self.reorganize_mode if mode is None else mode
         if mode == "sync":
@@ -630,11 +672,40 @@ class SDM:
             self.storage_order.drop_file_cache(file_name)
         self.index_cache.drop_file(file_name)
 
+    def advance_snapshot(self, epoch: int) -> None:
+        """Datapath publisher hook: this client just flipped metadata to
+        ``epoch`` — move its own snapshot pin forward so it reads its own
+        writes.  A no-op for unpinned clients.  Called uniformly on every
+        rank (after the flip's epoch broadcast); only rank 0 touches the
+        database."""
+        if self._pin_id is None or epoch <= self._pinned_epoch:
+            return
+        if self.ctx.rank == 0:
+            self.tables.advance_pin(self._pin_id, epoch, proc=self.ctx.proc)
+        self._pinned_epoch = epoch
+
     def finalize(self, handle: Optional[DataGroup] = None) -> None:
-        """Close cached files and end the run (``SDM_finalize``).  Collective."""
+        """Close cached files and end the run (``SDM_finalize``).  Collective.
+
+        A ``snapshot=True`` SDM releases its pin here and opportunistically
+        reaps any row versions it was the last reader holding live (each
+        file under its flip lease, skipped if a concurrent flip holds it)."""
         self._files.close_all()
         if handle is not None:
             handle.finalized = True
+        if self._pin_id is not None:
+            if self.ctx.rank == 0:
+                proc = self.ctx.proc
+                self.tables.release_pin(self._pin_id, proc=proc)
+                holder = f"{self.lease_holder}:reap"
+                for fname in self.tables.files_with_dead_rows(proc=proc):
+                    if self.tables.try_acquire_lease(fname, holder, proc=proc):
+                        try:
+                            self.tables.reap_file(fname, proc=proc)
+                        finally:
+                            self.tables.release_lease(fname, holder, proc=proc)
+            self._pin_id = None
+            self._pinned_epoch = None
         self.comm.barrier()
 
     # ------------------------------------------------------------------

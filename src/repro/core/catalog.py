@@ -22,6 +22,15 @@ Use it from inside a simulated job::
     runs = catalog.runs()
     steps = catalog.timesteps(runid=1, dataset="p")
     data = catalog.read_global(runid=1, dataset="p", timestep=steps[-1])
+    catalog.release()          # drop the snapshot pin when done
+
+A catalog attaches with a **snapshot pin** by default: it reads the
+metadata epoch current at attach time for its whole lifetime, so
+background reorganization and compaction of the producing run's files
+can proceed concurrently without ever changing (or corrupting) what the
+catalog returns — MVCC isolation, no quiescence contract.  Pass
+``snapshot=False`` to always follow the newest published metadata
+instead.  See ``docs/concurrency.md``.
 """
 
 from __future__ import annotations
@@ -35,7 +44,7 @@ from repro.core.datapath import IndexBlockCache, locate_instance, read_instance
 from repro.core.groups import DataGroup, DatasetAttrs, DataView
 from repro.dtypes.primitives import Primitive, BYTE, FLOAT32, FLOAT64, INT32, INT64
 from repro.errors import SDMUnknownDataset
-from repro.metadb.schema import SDMTables
+from repro.metadb.schema import OPEN_EPOCH, SDMTables
 from repro.mpi.job import RankContext
 from repro.mpiio.consts import MODE_RDONLY
 from repro.mpiio.file import File
@@ -82,7 +91,8 @@ class SDMCatalog:
     """Read-only view over a (possibly finished) SDM metadata database."""
 
     def __init__(self, ctx: RankContext, tables: SDMTables, fs,
-                 maintenance=None, io_hints=None) -> None:
+                 maintenance=None, io_hints=None,
+                 snapshot: bool = True) -> None:
         self.ctx = ctx
         self.tables = tables
         self.fs = fs
@@ -93,14 +103,33 @@ class SDMCatalog:
         self.index_cache = IndexBlockCache()
         """Rank-local LRU over chunked index-block fetches, so a viewer
         stepping through timesteps (which share blocks) fetches each map
-        once.  Registered with the maintenance service (when the job has
-        one) so reorganization and compaction invalidate it."""
+        once.  Old-epoch blocks stay valid under their ``(file, offset,
+        version)`` keys; the maintenance registration drops current-epoch
+        entries a flip this job runs has superseded."""
+        self.maintenance = maintenance
         if maintenance is not None:
             maintenance.register_caches(None, self.index_cache)
+        self._pin_id: Optional[int] = None
+        self._pinned_epoch: Optional[int] = None
+        if snapshot:
+            # Pin the epoch current at attach: every browse and read below
+            # resolves against this snapshot until release(), whatever
+            # concurrent maintenance publishes meanwhile.
+            pin = None
+            if ctx.rank == 0:
+                epoch = tables.current_epoch(proc=ctx.proc)
+                pin = (
+                    tables.create_pin("catalog", epoch, proc=ctx.proc),
+                    epoch,
+                )
+            self._pin_id, self._pinned_epoch = ctx.comm.bcast(pin, root=0)
 
     @classmethod
-    def attach(cls, ctx: RankContext, io_hints=None) -> "SDMCatalog":
-        """Attach to the job's shared database and file system services."""
+    def attach(cls, ctx: RankContext, io_hints=None,
+               snapshot: bool = True) -> "SDMCatalog":
+        """Attach to the job's shared database and file system services.
+        Collective; pins the current metadata epoch unless
+        ``snapshot=False``."""
         from repro.metadb.schema import SDMTables as _Tables
 
         tables = _Tables(ctx.service("db"))
@@ -110,7 +139,33 @@ class SDMCatalog:
         # either way).
         tables.declare_indexes()
         return cls(ctx, tables, ctx.service("fs"),
-                   maintenance=ctx.services.get("maint"), io_hints=io_hints)
+                   maintenance=ctx.services.get("maint"), io_hints=io_hints,
+                   snapshot=snapshot)
+
+    def release(self) -> None:
+        """Drop the snapshot pin (collective; idempotent).
+
+        Rank 0 releases the pin and opportunistically reaps row versions
+        this catalog was the last reader holding live — each file under
+        its flip lease, skipped without blocking if a concurrent flip
+        holds it (the flip's own reap will finish the job)."""
+        if self._pin_id is not None:
+            if self.ctx.rank == 0:
+                proc = self.ctx.proc
+                self.tables.release_pin(self._pin_id, proc=proc)
+                for fname in self.tables.files_with_dead_rows(proc=proc):
+                    if self.tables.try_acquire_lease(
+                        fname, "catalog:reap", proc=proc
+                    ):
+                        try:
+                            self.tables.reap_file(fname, proc=proc)
+                        finally:
+                            self.tables.release_lease(
+                                fname, "catalog:reap", proc=proc
+                            )
+            self._pin_id = None
+            self._pinned_epoch = None
+        self.ctx.comm.barrier()
 
     # ------------------------------------------------------------------
     # Browsing
@@ -146,14 +201,28 @@ class SDMCatalog:
         Served as a sorted probe of execution_table's ordered
         ``(runid, dataset, timestep)`` index: the equality prefix binds
         the first two columns and the slice comes back already ordered.
+        Row versions are filtered to the catalog's snapshot (or to the
+        open versions when unpinned), so a concurrent flip never
+        double-lists a timestep.
         """
-        rows = self.tables.db.execute(
-            "SELECT timestep FROM execution_table "
-            "WHERE runid = ? AND dataset = ? ORDER BY timestep",
-            (runid, dataset),
-            proc=self.ctx.proc,
-        )
-        return [int(r[0]) for r in rows]
+        if self._pinned_epoch is None:
+            rows = self.tables.db.execute(
+                "SELECT timestep FROM execution_table "
+                "WHERE runid = ? AND dataset = ? AND valid_to = ? "
+                "ORDER BY timestep",
+                (runid, dataset, OPEN_EPOCH),
+                proc=self.ctx.proc,
+            )
+        else:
+            rows = self.tables.db.execute(
+                "SELECT timestep FROM execution_table "
+                "WHERE runid = ? AND dataset = ? "
+                "AND valid_from <= ? AND valid_to > ? "
+                "ORDER BY timestep",
+                (runid, dataset, self._pinned_epoch, self._pinned_epoch),
+                proc=self.ctx.proc,
+            )
+        return sorted({int(r[0]) for r in rows})
 
     # ------------------------------------------------------------------
     # Reading
@@ -210,19 +279,28 @@ class SDMCatalog:
         """
         rec = self._dataset_record(runid, dataset)
         comm = self.ctx.comm  # communicator-relative: works on subgroups too
-        where, chunks = locate_instance(
-            comm, self.tables, runid, dataset, timestep, proc=self.ctx.proc
-        )
-        if where is None:
-            raise SDMUnknownDataset(
-                f"run {runid} dataset {dataset!r} has no timestep {timestep}"
+        gate = self.maintenance
+        if gate is not None and comm.rank == 0:
+            gate.begin_read(self.ctx.proc)
+        try:
+            where, chunks, version = locate_instance(
+                comm, self.tables, runid, dataset, timestep,
+                proc=self.ctx.proc, epoch=self._pinned_epoch,
             )
-        view = DataView.from_map(np.asarray(map_array, dtype=np.int64))
-        f = File.open(comm, self.fs, where[0], MODE_RDONLY,
-                      hints=self.io_hints)
-        out = read_instance(comm, f, where, chunks, rec.data_type, view,
-                            cache=self.index_cache)
-        f.close()
+            if where is None:
+                raise SDMUnknownDataset(
+                    f"run {runid} dataset {dataset!r} has no timestep "
+                    f"{timestep}"
+                )
+            view = DataView.from_map(np.asarray(map_array, dtype=np.int64))
+            f = File.open(comm, self.fs, where[0], MODE_RDONLY,
+                          hints=self.io_hints)
+            out = read_instance(comm, f, where, chunks, rec.data_type, view,
+                                cache=self.index_cache, version=version)
+            f.close()
+        finally:
+            if gate is not None and comm.rank == 0:
+                gate.end_read()
         return out
 
     def read_global(

@@ -38,9 +38,9 @@ either takes the canonical fast path or runs the chunked read pipeline:
 
 :func:`reorganize` converts a chunked instance into canonical order —
 reading the chunk maps, performing the deferred exchange exactly once,
-and atomically repointing ``execution_table`` while dropping the
-``chunk_table`` rows — so the write-time savings need not be paid back
-on every subsequent read.
+and publishing the repointed ``execution_table`` row as a new epoch
+(closing the chunked row versions) — so the write-time savings need not
+be paid back on every subsequent read.
 
 Layout of one chunked instance in its file (per rank, back to back in rank
 order at the instance's base offset)::
@@ -68,8 +68,8 @@ for as long as the reference lives.
 Overlapping chunks (ghost-inclusive map arrays) resolve to the highest
 writing rank, matching the two-phase exchange's overlap rule.
 
-Maintenance hooks (PR 4)
-------------------------
+Maintenance hooks (PR 4) and concurrency (PR 7)
+-----------------------------------------------
 
 Three additions let the background maintenance layer
 (:mod:`repro.core.maintenance`) keep chunked files healthy off the
@@ -78,19 +78,28 @@ application's critical path:
 * :class:`IndexBlockCache` — a rank-local LRU over :func:`_chunk_index`
   fetches.  Checkpoint loops share index blocks across timesteps
   (reference-not-copy), so a warm cache turns steady-state chunked reads
-  into data-only I/O.  Entries are invalidated by the same
-  append-cursor-retreat rule the write-side reference cache uses, and by
-  compaction (which moves blocks).
+  into data-only I/O.  Entries are keyed by the owning execution row's
+  version (``valid_from``), so a flip's relocated blocks get fresh keys
+  and a pinned snapshot's old keys stay valid for as long as its epoch
+  lives.
 * :func:`execute_reorganize` — the execute half of :func:`reorganize`,
   parameterized by a *host* instead of a full ``SDM`` so a maintenance
-  worker can run the deferred exchange on a background process.  The flip
-  also maintains ``extent_table``: an interior region freed by
-  reorganization is recorded as a dead extent; a topmost region retreats
-  the append cursor and truncates any extents beyond it.
-* :func:`compact_chunked_file` — slides every live chunk of a ``.chunked``
-  file down over its dead extents (two-phase read-then-write, so any
-  overlap is safe), rewrites the chunk maps in one batched statement, and
-  truncates the file to its live size.
+  worker can run the deferred exchange on a background process.
+* :func:`compact_chunked_file` — packs a ``.chunked`` file's live chunks
+  (two-phase read-then-write, so any overlap is safe) and publishes the
+  rewritten chunk maps as a new epoch.
+
+Metadata flips are MVCC publishes (see ``docs/concurrency.md``): the
+writer takes the file's flip lease (:func:`acquire_file_lease` — a
+concurrent flip raises :class:`~repro.errors.SDMLeaseConflict` instead
+of losing an update), allocates a new epoch, inserts successor row
+versions, closes the old ones, and reaps whatever no snapshot pin can
+still see (``SDMTables.reap_file`` — which is also where the PR-4
+``extent_table`` bookkeeping now happens: an interior region whose dead
+rows are reaped becomes a free extent; a topmost one retreats the append
+cursor).  Readers that pinned an epoch keep resolving against their
+snapshot's row versions and byte regions — no quiescence contract is
+needed for reorganization or deferred compaction.
 
 A *host* is anything with the execution context these collectives need —
 ``comm``, ``ctx`` (``.rank``/``.proc``), ``tables``, ``fs``,
@@ -118,7 +127,7 @@ from repro.core.layout import (
 )
 from repro.dtypes.constructors import IndexedBlock
 from repro.dtypes.primitives import Primitive, primitive_by_name
-from repro.errors import SDMStateError, SDMUnknownDataset
+from repro.errors import SDMLeaseConflict, SDMStateError, SDMUnknownDataset
 from repro.metadb.schema import ChunkRecord, SDMTables
 from repro.mpi.communicator import Communicator
 from repro.mpiio import runs
@@ -137,6 +146,8 @@ __all__ = [
     "reorganize",
     "execute_reorganize",
     "compact_chunked_file",
+    "acquire_file_lease",
+    "release_file_lease",
 ]
 
 CHUNK_INDEX_BYTES = 8
@@ -183,36 +194,47 @@ class IndexBlockCache:
     array it inserted) cannot silently corrupt what later reads resolve
     their positions against.
 
-    Entries are keyed by ``(file_name, index_offset)`` and are only valid
-    while the bytes at that offset are what the writer left there; they
-    are dropped
+    Entries are keyed by ``(file_name, index_offset, version)`` where
+    ``version`` is the owning execution row's ``valid_from`` epoch.  A
+    flip that relocates blocks publishes new row versions, so its readers
+    look up fresh keys and can never be served a stale block — while a
+    reader pinned on an old epoch keeps hitting its own still-valid
+    entries.  Checkpoint loops share blocks across timesteps at the same
+    version (fresh appends are all version 0), preserving the warm-read
+    fast path.  Entries are additionally dropped
 
     * when the append cursor retreats to or below the block
-      (:meth:`drop_from`, the write path's endangered-region rule),
-    * when reorganization may reclaim the file (:meth:`drop_file`), and
-    * when compaction moves blocks (:meth:`drop_file`, via the
-      maintenance service's registered caches).
+      (:meth:`drop_from`, the write path's endangered-region rule), and
+    * when reorganization or compaction reclaims the file
+      (:meth:`drop_file`, via the maintenance service's registered
+      caches) — now belt-and-braces for the read path, but still load-
+      bearing for the write side's reference cache.
     """
 
     def __init__(self, capacity: int = 64) -> None:
         if capacity < 1:
             raise SDMStateError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._blocks: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
+        self._blocks: "OrderedDict[Tuple[str, int, int], np.ndarray]" = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._blocks)
 
-    def get(self, file_name: str, offset: int, count: int) -> Optional[np.ndarray]:
-        """The cached gid block at ``(file_name, offset)``, or None.
+    def get(
+        self, file_name: str, offset: int, count: int, version: int = 0
+    ) -> Optional[np.ndarray]:
+        """The cached gid block at ``(file_name, offset, version)``, or
+        None.
 
         The returned array is read-only.  A length mismatch (a different
         block landed at a recycled offset) is treated as a miss; the
         fetch that follows replaces the entry.
         """
-        key = (file_name, offset)
+        key = (file_name, offset, version)
         gids = self._blocks.get(key)
         if gids is None or len(gids) != count:
             self.misses += 1
@@ -221,7 +243,9 @@ class IndexBlockCache:
         self.hits += 1
         return gids
 
-    def put(self, file_name: str, offset: int, gids: np.ndarray) -> np.ndarray:
+    def put(
+        self, file_name: str, offset: int, gids: np.ndarray, version: int = 0
+    ) -> np.ndarray:
         """Remember a fetched block (evicts LRU beyond capacity).
 
         The cache keeps a private read-only copy — later mutation of the
@@ -232,8 +256,9 @@ class IndexBlockCache:
         if gids.flags.writeable:
             gids = gids.copy()
         gids.setflags(write=False)
-        self._blocks[(file_name, offset)] = gids
-        self._blocks.move_to_end((file_name, offset))
+        key = (file_name, offset, version)
+        self._blocks[key] = gids
+        self._blocks.move_to_end(key)
         if len(self._blocks) > self.capacity:
             self._blocks.popitem(last=False)
         return gids
@@ -260,6 +285,13 @@ class FileHandleCache:
     cache coherent across the job — the invariant ``SDM`` always relied
     on, now shared with the maintenance workers so both sync and
     background paths open files the same way (``hints`` included).
+
+    Cached handles are *refcounted*: every :meth:`open` of a key takes a
+    reference and every :meth:`close` of the name drops one, with the
+    underlying collective close deferred until the last reference goes —
+    so one client's eager close (the LEVEL_1 per-read discipline) cannot
+    yank a handle from under another client's in-flight coalesced read.
+    Identical call sequences across ranks keep the counts symmetric.
     """
 
     def __init__(self, comm, fs, hints=None) -> None:
@@ -267,29 +299,37 @@ class FileHandleCache:
         self.fs = fs
         self.hints = hints
         self._files: Dict[Tuple[str, int], File] = {}
+        self._refs: Dict[Tuple[str, int], int] = {}
 
     def open(self, name: str, amode: int) -> File:
-        """Get or collectively open a file."""
+        """Get or collectively open a file (one reference per call)."""
         key = (name, amode)
         f = self._files.get(key)
         if f is None or f.closed:
             f = File.open(self.comm, self.fs, name, amode, hints=self.hints)
             self._files[key] = f
+            self._refs[key] = 0
+        self._refs[key] = self._refs.get(key, 0) + 1
         return f
 
     def close(self, name: str) -> None:
-        """Collectively close every cached handle on one file."""
+        """Drop one reference per cached handle on ``name``, collectively
+        closing each handle whose last reference this was."""
         for key in list(self._files):
             if key[0] == name:
-                f = self._files.pop(key)
-                if not f.closed:
-                    f.close()
+                self._refs[key] = self._refs.get(key, 1) - 1
+                if self._refs[key] <= 0:
+                    f = self._files.pop(key)
+                    del self._refs[key]
+                    if not f.closed:
+                        f.close()
 
     def close_all(self) -> None:
-        """Collectively close everything, in sorted key order (symmetric
-        across ranks)."""
+        """Collectively close everything regardless of references, in
+        sorted key order (symmetric across ranks)."""
         for key in sorted(self._files):
             f = self._files.pop(key)
+            self._refs.pop(key, None)
             if not f.closed:
                 f.close()
 
@@ -528,19 +568,36 @@ def locate_instance(
     dataset: str,
     timestep: int,
     proc=None,
-) -> Tuple[Optional[ExecutionRow], List[ChunkRecord]]:
+    epoch: Optional[int] = None,
+) -> Tuple[Optional[ExecutionRow], List[ChunkRecord], int]:
     """Metadata of one written instance, broadcast from rank 0's lookup:
-    the ``execution_table`` row (None if never written) and its chunk maps
-    (empty for a canonical instance)."""
+    the ``execution_table`` row (None if never written), its chunk maps
+    (empty for a canonical instance), and the matched row's version
+    (``valid_from`` — the index-block cache key component).
+
+    ``epoch=None`` resolves current visibility (open row versions — still
+    one metadata probe for a canonical instance); a pinned reader passes
+    its snapshot epoch.  Chunk maps are always resolved at the matched
+    execution row's own version, which keeps the pair consistent even
+    inside another client's publish window."""
     info = None
     if comm.rank == 0:
-        where = tables.lookup_execution(runid, dataset, timestep, proc=proc)
+        row = tables.lookup_execution_version(
+            runid, dataset, timestep, epoch=epoch, proc=proc
+        )
+        where: Optional[ExecutionRow] = None
         chunks: List[ChunkRecord] = []
-        # Canonical file names never hold chunked instances, so the
-        # canonical read path stays a single metadata probe.
-        if where is not None and is_chunked_name(where[0]):
-            chunks = tables.chunks_for(runid, dataset, timestep, proc=proc)
-        info = (where, chunks)
+        version = 0
+        if row is not None:
+            where = (row[0], row[1], row[2])
+            version = row[3]
+            # Canonical file names never hold chunked instances, so the
+            # canonical read path stays a single metadata probe.
+            if is_chunked_name(where[0]):
+                chunks = tables.chunks_for(
+                    runid, dataset, timestep, proc=proc, at=version
+                )
+        info = (where, chunks, version)
     return comm.bcast(info, root=0)
 
 
@@ -552,13 +609,16 @@ def read_instance(
     dtype: Primitive,
     view: DataView,
     cache: Optional[IndexBlockCache] = None,
+    version: int = 0,
 ) -> np.ndarray:
     """Collectively read this rank's view of one instance (either
     representation); returns the elements in the view's user order.
     ``cache``, when given, serves repeat index-block fetches of chunked
-    instances without touching the file."""
+    instances without touching the file; ``version`` (the located
+    execution row's ``valid_from``) scopes its keys to the snapshot the
+    chunk maps came from."""
     if chunks:
-        return _assemble_chunked(comm, f, chunks, dtype, view, cache)
+        return _assemble_chunked(comm, f, chunks, dtype, view, cache, version)
     _fname, base, _nbytes = where
     set_instance_view(f, base, dtype, view.map_sorted)
     out = np.empty(view.local_count, dtype=dtype.numpy_dtype)
@@ -567,7 +627,8 @@ def read_instance(
 
 
 def _chunk_index(
-    f: File, ch: ChunkRecord, cache: Optional[IndexBlockCache] = None
+    f: File, ch: ChunkRecord, cache: Optional[IndexBlockCache] = None,
+    version: int = 0,
 ) -> np.ndarray:
     """A chunk's sorted gid index block (arithmetic chunks are the
     progression of their gid range and store none).  A cache hit skips the
@@ -576,7 +637,7 @@ def _chunk_index(
         return np.arange(
             ch.gid_min, ch.gid_max + 1, max(ch.gid_step, 1), dtype=np.int64
         )
-    blocks = _chunk_indexes(f, [ch], cache)
+    blocks = _chunk_indexes(f, [ch], cache, version)
     return blocks[(ch.index_offset, ch.num_elements)]
 
 
@@ -584,6 +645,7 @@ def _chunk_indexes(
     f: File,
     chunks: Sequence[ChunkRecord],
     cache: Optional[IndexBlockCache] = None,
+    version: int = 0,
 ) -> Dict[Tuple[int, int], np.ndarray]:
     """Index blocks of several chunks, fetched in one batched request.
 
@@ -604,7 +666,8 @@ def _chunk_indexes(
         if key in out or key in seen:
             continue
         if cache is not None:
-            gids = cache.get(f.name, ch.index_offset, ch.num_elements)
+            gids = cache.get(f.name, ch.index_offset, ch.num_elements,
+                             version)
             if gids is not None:
                 out[key] = gids
                 continue
@@ -622,7 +685,7 @@ def _chunk_indexes(
     for key, part in zip(need, np.split(raw, np.cumsum(lens)[:-1])):
         gids = part.view(np.int64)
         if cache is not None:
-            gids = cache.put(f.name, key[0], gids)
+            gids = cache.put(f.name, key[0], gids, version)
         out[key] = gids
     return out
 
@@ -630,6 +693,7 @@ def _chunk_indexes(
 def _chunk_positions(
     f: File, chunks: Sequence[ChunkRecord], dtype: Primitive,
     wanted: np.ndarray, cache: Optional[IndexBlockCache] = None,
+    version: int = 0,
 ) -> np.ndarray:
     """Absolute file byte position of each wanted global index, resolved
     against the chunk maps (-1 where no chunk holds it).
@@ -653,7 +717,7 @@ def _chunk_positions(
     ]
     if not live:
         return pos
-    blocks = _chunk_indexes(f, live, cache)
+    blocks = _chunk_indexes(f, live, cache, version)
     cand_gid: List[np.ndarray] = []
     cand_pos: List[np.ndarray] = []
     for ch in live:  # ascending rank: later candidates override earlier
@@ -707,6 +771,7 @@ def _assemble_chunked(
     dtype: Primitive,
     view: DataView,
     cache: Optional[IndexBlockCache] = None,
+    version: int = 0,
 ) -> np.ndarray:
     """Gather this rank's wanted elements out of a chunked instance.
 
@@ -718,7 +783,7 @@ def _assemble_chunked(
     bytes a canonical read of an unwritten region would return."""
     esize = dtype.size
     wanted = view.map_sorted
-    pos = _chunk_positions(f, chunks, dtype, wanted, cache)
+    pos = _chunk_positions(f, chunks, dtype, wanted, cache, version)
     present = pos >= 0
     upos = np.unique(pos[present])
     coff, clen, owner = runs.coalesce_positions(
@@ -730,6 +795,57 @@ def _assemble_chunked(
     out = np.zeros(len(wanted), dtype=dtype.numpy_dtype)
     out[present] = elems[np.searchsorted(upos, pos[present])]
     return view.to_user_order(out)
+
+
+# ---------------------------------------------------------------------------
+# Flip leases (one writer per file; concurrent flips fail fast)
+# ---------------------------------------------------------------------------
+
+
+def acquire_file_lease(
+    comm: Communicator,
+    tables: SDMTables,
+    file_name: str,
+    holder: str,
+    proc=None,
+) -> None:
+    """Collectively take the exclusive flip lease on one file.
+
+    Rank 0 runs the insert-then-verify protocol and broadcasts the
+    outcome; on conflict *every* rank raises
+    :class:`~repro.errors.SDMLeaseConflict` symmetrically, so the failed
+    flip unwinds as one collective error instead of a hung job — the
+    fail-fast replacement for the silent lost-update overlap of two
+    concurrent metadata flips.
+    """
+    ok = True
+    if comm.rank == 0:
+        ok = tables.try_acquire_lease(file_name, holder, proc=proc)
+    ok = comm.bcast(ok, root=0)
+    if not ok:
+        raise SDMLeaseConflict(
+            f"{file_name!r} is being flipped by another client "
+            f"(lease requested by {holder!r})"
+        )
+
+
+def release_file_lease(
+    comm: Communicator,
+    tables: SDMTables,
+    file_name: str,
+    holder: str,
+    proc=None,
+) -> None:
+    """Drop the flip lease (rank 0 only; call after the flip's final
+    barrier — no collective inside)."""
+    if comm.rank == 0:
+        tables.release_lease(file_name, holder, proc=proc)
+
+
+def _lease_holder_id(host) -> str:
+    """A host's lease-holder identity (distinct across concurrent
+    clients: the application tag plus the host's own discriminator)."""
+    return getattr(host, "lease_holder", None) or f"sdm:{host.application}"
 
 
 # ---------------------------------------------------------------------------
@@ -767,21 +883,25 @@ def execute_reorganize(
 
     Chunks are dealt round-robin to ranks; each rank reads its chunks
     back contiguously (independent I/O) and one collective write performs
-    the exchange the chunked write skipped.  Rank 0 then repoints the
-    ``execution_table`` row at the canonical file and drops the
-    ``chunk_table`` rows — the two statements that atomically flip the
-    instance's representation for every subsequent reader.  Already
-    canonical instances are a no-op.
+    the exchange the chunked write skipped.  The flip is an MVCC publish
+    under the chunked file's lease: rank 0 allocates a new epoch, closes
+    the chunk-map versions, inserts the repointed ``execution_table``
+    successor (closing the chunked row — count-checked, so a concurrent
+    repoint fails fast), and reaps whatever no snapshot pin can still
+    see.  A reader pinned on an older epoch keeps resolving the chunked
+    representation; an overlapping flip of the same file raises
+    :class:`~repro.errors.SDMLeaseConflict`.  Already canonical
+    instances are a no-op (no lease taken).
 
-    The stale chunked blob is not erased.  If it was the file's topmost
-    region the append cursor retreats and the next chunked write reclaims
-    the space (any extents stranded beyond the new cursor are dropped);
-    an interior region is recorded in ``extent_table`` as a dead extent
-    for :func:`compact_chunked_file` to reclaim.
+    The stale chunked blob is not erased.  Once its rows are reaped, a
+    topmost region retreats the append cursor and the next chunked write
+    reclaims the space; an interior region is recorded in
+    ``extent_table`` as a dead extent for :func:`compact_chunked_file`
+    to reclaim.
     """
     comm = host.comm
     proc = host.ctx.proc
-    where, chunks = locate_instance(
+    where, chunks, version = locate_instance(
         comm, host.tables, runid, dataset, timestep, proc=proc
     )
     if where is None:
@@ -792,6 +912,8 @@ def execute_reorganize(
     old_fname = where[0]
     if not chunks:
         return old_fname
+    holder = _lease_holder_id(host)
+    acquire_file_lease(comm, host.tables, old_fname, holder, proc=proc)
 
     # -- gather phase: read my share of the chunks back, in writer order --
     cache = getattr(host, "index_cache", None)
@@ -801,9 +923,9 @@ def execute_reorganize(
     ]
     src = host._open_cached(old_fname, MODE_RDONLY)
     # One batched request fetches every index block this rank needs ...
-    blocks = _chunk_indexes(src, mine, cache)
+    blocks = _chunk_indexes(src, mine, cache, version)
     gid_parts: List[np.ndarray] = [
-        _chunk_index(src, ch, cache)
+        _chunk_index(src, ch, cache, version)
         if ch.index_offset == ch.data_offset
         else blocks[(ch.index_offset, ch.num_elements)]
         for ch in mine
@@ -850,29 +972,33 @@ def execute_reorganize(
     set_instance_view(dst, base, dtype, gids)
     dst.write_at_all(0, vals)
 
-    # -- flip the metadata: repoint the row, drop the chunk maps ---------
+    # -- publish the flip: new epoch, close old versions, reap -----------
+    epoch = 0
     if comm.rank == 0:
+        epoch = host.tables.publish_epoch(old_fname, proc=proc)
+        host.tables.close_chunks(runid, dataset, timestep, epoch, proc=proc)
         host.tables.update_execution(
-            runid, dataset, timestep, new_fname, base,
-            global_size * dtype.size, proc=proc,
+            runid, dataset, timestep, old_fname, new_fname, base,
+            global_size * dtype.size, epoch, proc=proc,
         )
-        host.tables.delete_chunks(runid, dataset, timestep, proc=proc)
-        # Free-extent bookkeeping for the vacated region.  An instance
-        # below a surviving one is a dead interior extent; a topmost
-        # instance retreats the cursor instead, stranding any extents
-        # recorded beyond it (their bytes are past end-of-data now).
-        old_base, old_nbytes = int(where[1]), int(where[2])
-        new_max = host.tables.max_offset_in_file(old_fname, proc=proc)
-        if new_max > old_base:
-            host.tables.record_extent(
-                old_fname, old_base, old_nbytes, proc=proc
-            )
-        else:
-            host.tables.truncate_extents(old_fname, new_max, proc=proc)
+        # Reap whatever no pin can still see; with nothing pinned this
+        # deletes the closed versions immediately and performs the
+        # free-extent / cursor-retreat bookkeeping for the vacated
+        # region.  Pinned snapshots keep the rows (and bytes) alive.
+        host.tables.reap_file(old_fname, proc=proc)
+    # A publisher with a snapshot pin reads its own writes: advance it
+    # past the epoch just published (uniform host attribute, so the
+    # bcast below is symmetric across ranks).
+    epoch = comm.bcast(epoch, root=0)
+    advance = getattr(host, "advance_snapshot", None)
+    if advance is not None:
+        advance(epoch)
     # The chunked file's append cursor may retreat now; cached index
-    # blocks in it are no longer trustworthy.
+    # blocks in it are no longer trustworthy for the write-side
+    # reference cache (read-side keys are version-scoped already).
     host.invalidate_chunked_caches(old_fname)
     comm.barrier()
+    release_file_lease(comm, host.tables, old_fname, holder, proc=proc)
     if host.organization == Organization.LEVEL_1:
         host._close_cached(old_fname)
         host._close_cached(new_fname)
@@ -884,28 +1010,33 @@ def execute_reorganize(
 # ---------------------------------------------------------------------------
 
 
-def _compaction_plan(host, file_name: str) -> Dict:
+def _compaction_plan(host, file_name: str, start: int = 0) -> Dict:
     """Rank 0's host-side plan for packing one chunked file.
 
-    Walks the file's live instances in base-offset order and lays their
-    chunks back to back from offset 0: ``moves`` are ``(src, nbytes,
-    dst)`` byte copies, ``chunk_updates`` / ``exec_updates`` the metadata
-    rewrites.  Index-block sharing is preserved — the first chunk to
-    reference a block relocates it and later references point at the new
-    offset — and a shared block stranded in a dead region (its writing
-    instance was reorganized away) is materialized from its old bytes, so
-    the packed file is always self-contained.
+    Walks the file's live (open-version) instances in base-offset order
+    and lays their chunks back to back from ``start``: ``moves`` are
+    ``(src, nbytes, dst)`` byte copies, ``new_chunks`` /
+    ``exec_updates`` the successor metadata versions.  Index-block
+    sharing is preserved — the first chunk to reference a block relocates
+    it and later references point at the new offset — and a shared block
+    stranded in a dead region (its writing instance was reorganized away)
+    is materialized from its old bytes, so the packed region is always
+    self-contained.
+
+    ``start=0`` is the quiesced in-place slide; a deferred compaction
+    under live pins passes the current append cursor so every copy lands
+    beyond the bytes any snapshot can still reference.
     """
     tables = host.tables
     proc = host.ctx.proc
     moves: List[Tuple[int, int, int]] = []
-    chunk_updates: List[Tuple[int, int, int, str, int, int]] = []
-    exec_updates: List[Tuple[int, int, int, str, int]] = []
+    new_chunks: List[Tuple[int, str, int, List[ChunkRecord]]] = []
+    exec_updates: List[Tuple[int, int, int, str, int, int]] = []
     block_map: Dict[int, Tuple[int, int]] = {}
     esize_of: Dict[Tuple[int, str], int] = {}
-    cursor = 0
-    for runid, dataset, timestep, _base, _nbytes in tables.executions_in_file(
-        file_name, proc=proc
+    cursor = start
+    for runid, dataset, timestep, _base, _nbytes, vfrom in (
+        tables.open_execution_versions(file_name, proc=proc)
     ):
         key = (runid, dataset)
         esize = esize_of.get(key)
@@ -919,19 +1050,23 @@ def _compaction_plan(host, file_name: str) -> Dict:
             esize = primitive_by_name(type_name).size
             esize_of[key] = esize
         new_base = cursor
-        for ch in tables.chunks_for(runid, dataset, timestep, proc=proc):
+        recs: List[ChunkRecord] = []
+        for ch in tables.chunks_for(runid, dataset, timestep, proc=proc,
+                                    at=vfrom):
             if ch.num_elements == 0:
-                chunk_updates.append(
-                    (cursor, cursor, runid, dataset, timestep, ch.rank)
-                )
+                recs.append(ChunkRecord(
+                    ch.rank, ch.gid_min, ch.gid_max, 0, cursor, cursor,
+                    ch.gid_step,
+                ))
                 continue
             dbytes = ch.num_elements * esize
             if ch.index_offset == ch.data_offset:  # dense: data block only
                 if ch.data_offset != cursor:
                     moves.append((ch.data_offset, dbytes, cursor))
-                chunk_updates.append(
-                    (cursor, cursor, runid, dataset, timestep, ch.rank)
-                )
+                recs.append(ChunkRecord(
+                    ch.rank, ch.gid_min, ch.gid_max, ch.num_elements,
+                    cursor, cursor, ch.gid_step,
+                ))
                 cursor += dbytes
                 continue
             ibytes = ch.num_elements * CHUNK_INDEX_BYTES
@@ -946,48 +1081,95 @@ def _compaction_plan(host, file_name: str) -> Dict:
                 cursor += ibytes
             if ch.data_offset != cursor:
                 moves.append((ch.data_offset, dbytes, cursor))
-            chunk_updates.append(
-                (new_index, cursor, runid, dataset, timestep, ch.rank)
-            )
+            recs.append(ChunkRecord(
+                ch.rank, ch.gid_min, ch.gid_max, ch.num_elements,
+                new_index, cursor, ch.gid_step,
+            ))
             cursor += dbytes
+        new_chunks.append((runid, dataset, timestep, recs))
         exec_updates.append(
-            (new_base, cursor - new_base, runid, dataset, timestep)
+            (new_base, cursor - new_base, runid, dataset, timestep, vfrom)
         )
     return {
         "moves": moves,
-        "chunk_updates": chunk_updates,
+        "new_chunks": new_chunks,
         "exec_updates": exec_updates,
         "new_size": cursor,
     }
 
 
 def compact_chunked_file(host, file_name: str) -> Dict:
-    """Pack a ``.chunked`` file down to its live bytes.  Collective over
+    """Pack a ``.chunked`` file's live chunks.  Collective over
     ``host.comm``; returns ``{"before", "after", "moved_bytes"}``.
 
-    Rank 0 plans the new layout from the metadata and broadcasts it; the
-    byte moves are dealt round-robin to ranks in two barrier-separated
-    phases — every rank *reads* its moves' source bytes before any rank
-    *writes* a destination — so arbitrary overlap between old and new
-    layouts is safe.  Rank 0 then rewrites the chunk maps (one batched
-    statement), rebases the execution rows (one more), clears the file's
-    free extents, and truncates the file.
+    Compaction runs under the file's flip lease and picks one of two
+    plans on rank 0:
 
-    Compaction moves live bytes, so the file must be quiescent: callers
-    (the maintenance queue) order it after any reorganization of the same
-    file, and applications must not read or append the file concurrently
-    — the same discipline a reorganizing run already follows.
+    * **Quiesced in-place slide** — when nothing is pinned and (after an
+      opportunistic reap under the lease) no dead row versions remain,
+      live chunks slide down over the dead extents from offset 0, the
+      free extents are cleared, and the file truncates to its live size.
+      Byte moves are dealt round-robin to ranks in two barrier-separated
+      phases — every rank *reads* its moves' source bytes before any
+      rank *writes* a destination — so arbitrary overlap between old and
+      new layouts is safe.  Because a slide rewrites bytes a concurrent
+      *current* reader could be resolving, a background host additionally
+      drains in-flight reads through its ``read_gate`` for exactly this
+      phase; no quiescence is asked of the application.
+    * **Deferred copy-up** — while snapshots are pinned, live chunks are
+      *copied* beyond the append cursor instead: every pinned byte stays
+      where the pinned metadata says it is, readers on old epochs never
+      notice, and a later quiesced pass (after the last unpin reaps the
+      old versions) finishes the reclamation.
+
+    Either way the rewritten chunk maps and rebased execution rows are
+    published as one new epoch (successors inserted, old versions closed
+    count-checked), and two overlapping compactions of the same file
+    fail fast with :class:`~repro.errors.SDMLeaseConflict`.
     """
     comm = host.comm
     proc = host.ctx.proc
+    holder = _lease_holder_id(host)
+    acquire_file_lease(comm, host.tables, file_name, holder, proc=proc)
+    gate = getattr(host, "read_gate", None)
     plan = None
-    if comm.rank == 0 and host.fs.exists(file_name):
-        plan = _compaction_plan(host, file_name)
-        plan["before"] = host.fs.lookup(file_name).size
-    plan = comm.bcast(plan, root=0)
-    if plan is None:  # unknown file: nothing to compact, nothing to flip
-        return {"before": 0, "after": 0, "moved_bytes": 0}
+    exclusive = False
+    try:
+        if comm.rank == 0 and host.fs.exists(file_name):
+            # Opportunistic reap under the lease: with nothing pinned
+            # this clears any backlog of dead versions so the in-place
+            # slide's extent map is complete.
+            host.tables.reap_file(file_name, proc=proc)
+            quiesced = (
+                host.tables.pin_count(proc=proc) == 0
+                and not host.tables.dead_executions_in_file(
+                    file_name, proc=proc)
+            )
+            start = 0 if quiesced else host.tables.max_offset_in_file(
+                file_name, proc=proc)
+            plan = _compaction_plan(host, file_name, start=start)
+            plan["quiesced"] = quiesced
+            plan["before"] = host.fs.lookup(file_name).size
+            if quiesced and gate is not None:
+                # Block new reads and drain in-flight ones before any
+                # rank's bcast receipt lets it overwrite live bytes.
+                gate.acquire_exclusive(proc)
+                exclusive = True
+        plan = comm.bcast(plan, root=0)
+        if plan is None:  # unknown file: nothing to compact, nothing to flip
+            return {"before": 0, "after": 0, "moved_bytes": 0}
+        return _compact_with_plan(host, file_name, plan)
+    finally:
+        if exclusive:
+            gate.release_exclusive()
+        release_file_lease(comm, host.tables, file_name, holder, proc=proc)
 
+
+def _compact_with_plan(host, file_name: str, plan: Dict) -> Dict:
+    """Execute a broadcast compaction plan: move bytes, publish the new
+    epoch, reap/truncate per the plan's quiesced flag."""
+    comm = host.comm
+    proc = host.ctx.proc
     moves = plan["moves"]
     if moves:
         f = host._open_cached(file_name, MODE_RDWR)
@@ -1018,18 +1200,42 @@ def compact_chunked_file(host, file_name: str) -> Dict:
                          np.concatenate([parts[i] for i in order]))
         comm.barrier()  # every block is in place before the metadata flip
 
+    epoch = 0
     if comm.rank == 0:
-        if plan["chunk_updates"]:
-            host.tables.update_chunk_locations(
-                plan["chunk_updates"], proc=proc
+        # Publish: allocate the epoch, insert every successor version
+        # (chunk maps first, then the rebased execution rows — a reader
+        # landing on a new execution row must already find its chunks),
+        # then close the old versions count-checked.
+        epoch = host.tables.publish_epoch(file_name, proc=proc)
+        for runid, dataset, timestep, recs in plan["new_chunks"]:
+            host.tables.record_chunks(
+                runid, dataset, timestep, recs, proc=proc, valid_from=epoch,
             )
-        if plan["exec_updates"]:
-            host.tables.update_execution_offsets(
-                plan["exec_updates"], proc=proc
+        host.tables.update_execution_offsets(
+            plan["exec_updates"], file_name, epoch, proc=proc
+        )
+        for runid, dataset, timestep, _recs in plan["new_chunks"]:
+            host.tables.close_chunks(
+                runid, dataset, timestep, epoch, proc=proc
             )
-        host.tables.clear_extents(file_name, proc=proc)
-        host.fs.truncate(proc, file_name, plan["new_size"])
-    # Blocks moved: every cached index block of this file is stale.
+        if plan["quiesced"]:
+            # Nothing pinned: the closed versions reap immediately, the
+            # extent map zeroes, and the file truncates to live bytes.
+            host.tables.reap_file(file_name, proc=proc,
+                                  record_extents=False)
+            host.tables.clear_extents(file_name, proc=proc)
+            host.fs.truncate(proc, file_name, plan["new_size"])
+        else:
+            # Deferred: pinned snapshots still reference the old bytes.
+            # Reap what the floor allows; the rest waits for the last
+            # unpin (extent bookkeeping happens at that reap).
+            host.tables.reap_file(file_name, proc=proc)
+    # A publisher with a snapshot pin reads its own writes.
+    epoch = comm.bcast(epoch, root=0)
+    advance = getattr(host, "advance_snapshot", None)
+    if advance is not None:
+        advance(epoch)
+    # Write-side reference cache: blocks of the *current* version moved.
     host.invalidate_chunked_caches(file_name)
     comm.barrier()  # job complete: bytes and metadata consistent everywhere
     if host.organization == Organization.LEVEL_1:

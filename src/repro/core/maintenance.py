@@ -19,8 +19,24 @@ kinds:
   representation is current at any instant;
 * **compact** — pack a ``.chunked`` file down over its ``extent_table``
   dead regions (:func:`repro.core.datapath.compact_chunked_file`);
+* **reap** — garbage-collect a file's superseded row versions once the
+  snapshot pins that held them drain (``SDMTables.reap_file``);
 * **local** — a rank-private callable with no collectives (the history
   writer of :mod:`repro.core.history`, now a thin client of this layer).
+
+Workers take the same per-file flip leases the synchronous calls do
+(they run :func:`~repro.core.datapath.execute_reorganize` /
+:func:`~repro.core.datapath.compact_chunked_file`, which acquire them),
+so a background flip racing a foreground one is a fail-fast
+``SDMLeaseConflict``, never a lost update.
+
+The service also carries the job's **read gate**: hosts register
+in-flight reads (``begin_read``/``end_read``, rank-0-scoped per
+collective read) and the *quiesced in-place* compaction path — the only
+operation that rewrites bytes a current reader may be resolving — takes
+``acquire_exclusive`` for exactly its slide-and-flip phase.  Deferred
+(pinned-snapshot) compaction copies beyond the cursor and needs no
+exclusion at all; see ``docs/concurrency.md``.
 
 Queue lifecycle
 ---------------
@@ -63,8 +79,10 @@ from repro.core.datapath import (
     ChunkedOrder,
     FileHandleCache,
     IndexBlockCache,
+    acquire_file_lease,
     compact_chunked_file,
     execute_reorganize,
+    release_file_lease,
 )
 from repro.core.layout import Organization
 from repro.dtypes.primitives import primitive_by_name
@@ -78,13 +96,16 @@ from repro.simt.primitives import Signal, SimEvent
 from repro.simt.process import Process
 from repro.simt.simulator import Simulator
 
-__all__ = ["MaintenanceService", "REORGANIZE", "COMPACT"]
+__all__ = ["MaintenanceService", "REORGANIZE", "COMPACT", "REAP"]
 
 REORGANIZE = "reorganize"
 """Job kind: run the deferred chunked→canonical exchange."""
 
 COMPACT = "compact"
 """Job kind: pack a chunked file down over its dead extents."""
+
+REAP = "reap"
+"""Job kind: garbage-collect a file's drained superseded row versions."""
 
 _EAGER = "eager"
 _DEFERRED = "deferred"
@@ -134,6 +155,11 @@ class _WorkerHost:
         self.application = job.application
         self.organization = Organization(job.organization)
         self.index_cache: Optional[IndexBlockCache] = None
+        # Per-job flip-lease identity (distinct from every SDM client and
+        # from other jobs, so overlapping flips fail fast) and the job-wide
+        # read gate quiesced in-place compaction excludes against.
+        self.lease_holder = f"maint:{job.jobid}"
+        self.read_gate = service
         # Jobs carry no MPI-IO hints (the enqueuer's SDM may be gone by
         # execution time); workers open with the defaults.
         self._files = FileHandleCache(self.comm, service.fs)
@@ -196,6 +222,10 @@ class MaintenanceService:
         self._next_jobid: Optional[int] = None
         self._write_caches: List[ChunkedOrder] = []
         self._read_caches: List[IndexBlockCache] = []
+        # Read gate: in-flight collective reads vs in-place compaction.
+        self._reads_in_flight = 0
+        self._compacting = False
+        self._gate = Signal(sim, name="maint-read-gate")
         # Counters for benchmarks and tests.
         self.n_enqueued = 0
         self.n_adopted = 0
@@ -259,6 +289,46 @@ class MaintenanceService:
             cache.drop_file_cache(file_name)
         for cache in self._read_caches:
             cache.drop_file(file_name)
+
+    # ------------------------------------------------------------------
+    # Read gate
+    # ------------------------------------------------------------------
+    #
+    # MVCC snapshots make metadata flips invisible to in-flight readers,
+    # but the *quiesced* compaction path moves live bytes in place — the
+    # one operation where a reader that already resolved its chunk list
+    # could race the slide.  The gate is rank-0-scoped: collective reads
+    # end with a terminal alltoallv, so rank 0's return happens-after
+    # every rank's file I/O, and one admission per collective read (on
+    # the reading communicator's rank 0) covers the whole operation.
+
+    def begin_read(self, proc: Process) -> None:
+        """Admit one collective read (call on the reading comm's rank 0,
+        *before* the locate broadcast).  Blocks while an in-place
+        compaction holds the gate."""
+        while self._compacting:
+            self._gate.wait(proc)
+        self._reads_in_flight += 1
+
+    def end_read(self) -> None:
+        """Retire one collective read (rank 0, after the data lands)."""
+        self._reads_in_flight -= 1
+        self._gate.fire()
+
+    def acquire_exclusive(self, proc: Process) -> None:
+        """Close the gate for an in-place slide: block new reads, then
+        wait for the in-flight ones to drain (worker rank 0 only, before
+        the compaction plan broadcast)."""
+        while self._compacting:
+            self._gate.wait(proc)
+        self._compacting = True
+        while self._reads_in_flight:
+            self._gate.wait(proc)
+
+    def release_exclusive(self) -> None:
+        """Reopen the gate (worker rank 0, after the flip's barrier)."""
+        self._compacting = False
+        self._gate.fire()
 
     # ------------------------------------------------------------------
     # Enqueueing
@@ -410,6 +480,21 @@ class MaintenanceService:
                 if rank == 0:
                     self.bytes_reclaimed += max(
                         stats["before"] - stats["after"], 0
+                    )
+            elif job.kind == REAP:
+                acquire_file_lease(
+                    host.comm, self.tables, job.file_name,
+                    host.lease_holder, proc=proc,
+                )
+                try:
+                    if rank == 0:
+                        self.tables.reap_file(job.file_name, proc=proc)
+                finally:
+                    # spmdlint: ok(comm-mismatch) _WorkerHost is this rank's facade over the one job-wide maintenance context; every worker's host shares it
+                    host.comm.barrier()
+                    release_file_lease(
+                        host.comm, self.tables, job.file_name,
+                        host.lease_holder, proc=proc,
                     )
             else:
                 raise SDMStateError(

@@ -154,6 +154,15 @@ class SDMStateError(SDMError):
     """SDM API call sequence violated (e.g. write before set_attributes)."""
 
 
+class SDMLeaseConflict(SDMStateError):
+    """Two writers tried to flip the same file's metadata concurrently.
+
+    Raised fail-fast by ``acquire_file_lease`` when a reorganize or
+    compaction finds another client's lease on the file, instead of
+    letting the second flip silently overwrite the first (lost update).
+    """
+
+
 class SDMUnknownDataset(SDMError):
     """A dataset name was not found in the active datalist/importlist."""
 

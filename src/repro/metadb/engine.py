@@ -216,6 +216,50 @@ class Database:
                 proc.hold(cost)
         return rows
 
+    def execute_count(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        proc: Optional[Process] = None,
+    ) -> int:
+        """Run one statement and return the matched-row count.
+
+        UPDATE/DELETE statements report how many rows the WHERE clause
+        actually touched, which callers flipping versioned metadata must
+        verify — a zero-row update means the target row was concurrently
+        repointed, not that the flip succeeded.
+        """
+        stmt = self.prepare(sql)
+        _, touched = self._dispatch(stmt, list(params))
+        self.n_statements += 1
+        if proc is not None and self._server is not None:
+            cost = self.machine.database.statement_time(rows=touched)
+            with self._server.request(proc):
+                proc.hold(cost)
+        return touched
+
+    def execute_many_count(
+        self,
+        sql: str,
+        param_rows: Sequence[Sequence[Any]],
+        proc: Optional[Process] = None,
+    ) -> int:
+        """``execute_many`` but returning the total matched-row count
+        (billed identically: one batched statement)."""
+        stmt = self.prepare(sql)
+        if isinstance(stmt, Insert):
+            raise ValueError("execute_many_count is for UPDATE/DELETE batches")
+        touched = 0
+        for params in param_rows:
+            _, t = self._dispatch(stmt, list(params))
+            touched += t
+        self.n_statements += 1
+        if proc is not None and self._server is not None:
+            cost = self.machine.database.statement_time(rows=touched)
+            with self._server.request(proc):
+                proc.hold(cost)
+        return touched
+
     def execute_many(
         self,
         sql: str,

@@ -60,6 +60,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.errors import SDMStateError
 from repro.metadb.engine import Database
 from repro.simt.process import Process
 
@@ -71,7 +72,14 @@ __all__ = [
     "HistoryRecord",
     "HistoryRankRecord",
     "MaintenanceRecord",
+    "OPEN_EPOCH",
 ]
+
+#: ``valid_to`` sentinel of a row that is current (not superseded).  An
+#: equality conjunct on this value resolves current visibility in the
+#: same single statement the unversioned schema used, so the hot read
+#: path never consults epoch_table.
+OPEN_EPOCH = 2 ** 62
 
 SDM_SCHEMA: Tuple[str, ...] = (
     """CREATE TABLE IF NOT EXISTS run_table (
@@ -83,14 +91,23 @@ SDM_SCHEMA: Tuple[str, ...] = (
         runid INTEGER, dataset TEXT, basic_pattern TEXT,
         data_type TEXT, storage_order TEXT, global_size INTEGER
     )""",
+    # execution_table and chunk_table rows are *versioned*: a row is
+    # visible at epoch E iff valid_from <= E < valid_to.  Open (current)
+    # rows carry valid_to = OPEN_EPOCH; a metadata flip closes the old
+    # version (valid_to = new epoch) and inserts the successor
+    # (valid_from = new epoch).  Fresh appends insert valid_from = 0 so
+    # they are visible to every pinned snapshot — MVCC isolates flips,
+    # not ordinary writes.
     """CREATE TABLE IF NOT EXISTS execution_table (
         runid INTEGER, dataset TEXT, timestep INTEGER,
-        file_name TEXT, file_offset INTEGER, nbytes INTEGER
+        file_name TEXT, file_offset INTEGER, nbytes INTEGER,
+        valid_from INTEGER, valid_to INTEGER
     )""",
     """CREATE TABLE IF NOT EXISTS chunk_table (
         runid INTEGER, dataset TEXT, timestep INTEGER, rank INTEGER,
         gid_min INTEGER, gid_max INTEGER, num_elements INTEGER,
-        gid_step INTEGER, index_offset INTEGER, data_offset INTEGER
+        gid_step INTEGER, index_offset INTEGER, data_offset INTEGER,
+        valid_from INTEGER, valid_to INTEGER
     )""",
     """CREATE TABLE IF NOT EXISTS import_table (
         runid INTEGER, imported_name TEXT, file_name TEXT,
@@ -113,6 +130,24 @@ SDM_SCHEMA: Tuple[str, ...] = (
     )""",
     """CREATE TABLE IF NOT EXISTS extent_table (
         file_name TEXT, file_offset INTEGER, nbytes INTEGER
+    )""",
+    # Append-only publish log: one row per published epoch of a file.
+    # The global epoch counter is MAX(epoch) across all files; a file's
+    # current epoch is MAX(epoch) for its rows.  Fully-reaped history is
+    # pruned down to the newest row per file.
+    """CREATE TABLE IF NOT EXISTS epoch_table (
+        file_name TEXT, epoch INTEGER
+    )""",
+    # Short exclusive per-file lease taken by metadata flips (reorganize,
+    # compact).  A second writer finding a row here fails fast with
+    # SDMLeaseConflict instead of silently losing an update.
+    """CREATE TABLE IF NOT EXISTS lease_table (
+        file_name TEXT, holder TEXT
+    )""",
+    # Reader snapshots: a pin holds every epoch >= its value alive.  The
+    # reaper's floor is MIN(epoch) over this table.
+    """CREATE TABLE IF NOT EXISTS pin_table (
+        pin_id INTEGER, client TEXT, epoch INTEGER
     )""",
 )
 
@@ -146,6 +181,14 @@ SDM_INDEXES: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
     # twin serves clear_extents / free-byte narrowing.
     ("extent_table", ("file_name", "file_offset"), "ordered"),
     ("extent_table", ("file_name",), "hash"),
+    # Global epoch allocation probes MAX(epoch); per-file current-epoch
+    # and history pruning narrow on (file_name, epoch).
+    ("epoch_table", ("epoch",), "ordered"),
+    ("epoch_table", ("file_name", "epoch"), "ordered"),
+    ("lease_table", ("file_name",), "hash"),
+    # Pin release probes pin_id; the reap floor probes MIN(epoch).
+    ("pin_table", ("pin_id",), "ordered"),
+    ("pin_table", ("epoch",), "ordered"),
 )
 """(table, column tuple, kind) declarations for SDM's hot lookups."""
 
@@ -225,7 +268,7 @@ class SDMTables:
         self.db = db
 
     def create_all(self, proc: Optional[Process] = None) -> None:
-        """Create the nine tables and their secondary indexes (idempotent)."""
+        """Create the twelve tables and their secondary indexes (idempotent)."""
         for ddl in SDM_SCHEMA:
             self.db.execute(ddl, proc=proc)
         self.declare_indexes()
@@ -322,11 +365,18 @@ class SDMTables:
         file_offset: int,
         nbytes: int,
         proc: Optional[Process] = None,
+        valid_from: int = 0,
     ) -> None:
-        """Record where one (dataset, timestep) landed."""
+        """Record where one (dataset, timestep) landed.
+
+        Fresh appends keep the default ``valid_from=0``: a new instance
+        is immediately visible to every snapshot, however early it was
+        pinned.  Metadata flips pass their published epoch.
+        """
         self.db.execute(
-            "INSERT INTO execution_table VALUES (?, ?, ?, ?, ?, ?)",
-            (runid, dataset, timestep, file_name, file_offset, nbytes),
+            "INSERT INTO execution_table VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (runid, dataset, timestep, file_name, file_offset, nbytes,
+             valid_from, OPEN_EPOCH),
             proc=proc,
         )
 
@@ -337,14 +387,58 @@ class SDMTables:
         timestep: int,
         proc: Optional[Process] = None,
     ) -> Optional[Tuple[str, int, int]]:
-        """(file_name, file_offset, nbytes) of a written dataset instance."""
-        rows = self.db.execute(
-            "SELECT file_name, file_offset, nbytes FROM execution_table "
-            "WHERE runid = ? AND dataset = ? AND timestep = ?",
-            (runid, dataset, timestep),
-            proc=proc,
-        )
-        return (rows[0][0], int(rows[0][1]), int(rows[0][2])) if rows else None
+        """(file_name, file_offset, nbytes) of a written dataset instance,
+        at *current* visibility — still a single composite-hash probe (the
+        OPEN_EPOCH equality rides along as a verified conjunct).  Inside a
+        flip's publish window two open versions can coexist; the newest
+        ``valid_from`` wins."""
+        row = self._lookup_row(runid, dataset, timestep, None, proc)
+        return (row[0], int(row[1]), int(row[2])) if row else None
+
+    def lookup_execution_version(
+        self,
+        runid: int,
+        dataset: str,
+        timestep: int,
+        epoch: Optional[int] = None,
+        proc: Optional[Process] = None,
+    ) -> Optional[Tuple[str, int, int, int]]:
+        """Like :meth:`lookup_execution` but resolved against a pinned
+        epoch (``epoch=None``: current visibility) and additionally
+        returning the matched version's ``valid_from`` — the reference
+        epoch chunk maps and index-block cache keys resolve against."""
+        row = self._lookup_row(runid, dataset, timestep, epoch, proc)
+        if row is None:
+            return None
+        return (row[0], int(row[1]), int(row[2]), int(row[3]))
+
+    def _lookup_row(
+        self,
+        runid: int,
+        dataset: str,
+        timestep: int,
+        epoch: Optional[int],
+        proc: Optional[Process],
+    ) -> Optional[Tuple]:
+        if epoch is None:
+            rows = self.db.execute(
+                "SELECT file_name, file_offset, nbytes, valid_from "
+                "FROM execution_table WHERE runid = ? AND dataset = ? "
+                "AND timestep = ? AND valid_to = ?",
+                (runid, dataset, timestep, OPEN_EPOCH),
+                proc=proc,
+            )
+        else:
+            rows = self.db.execute(
+                "SELECT file_name, file_offset, nbytes, valid_from "
+                "FROM execution_table WHERE runid = ? AND dataset = ? "
+                "AND timestep = ? AND valid_from <= ? AND valid_to > ?",
+                (runid, dataset, timestep, epoch, epoch),
+                proc=proc,
+            )
+        if not rows:
+            return None
+        return max(rows, key=lambda r: int(r[3]))
 
     def max_offset_in_file(
         self, file_name: str, proc: Optional[Process] = None
@@ -363,36 +457,112 @@ class SDMTables:
     def executions_in_file(
         self, file_name: str, proc: Optional[Process] = None
     ) -> List[Tuple[int, str, int, int, int]]:
-        """Every instance living in one file, by ascending base offset
-        (a sorted probe of the ``(file_name, file_offset)`` ordered
+        """Every *current* instance living in one file, by ascending base
+        offset (a sorted probe of the ``(file_name, file_offset)`` ordered
         index): ``(runid, dataset, timestep, file_offset, nbytes)``."""
         rows = self.db.execute(
             "SELECT runid, dataset, timestep, file_offset, nbytes "
-            "FROM execution_table WHERE file_name = ? ORDER BY file_offset",
-            (file_name,),
+            "FROM execution_table WHERE file_name = ? AND valid_to = ? "
+            "ORDER BY file_offset",
+            (file_name, OPEN_EPOCH),
             proc=proc,
         )
         return [
             (int(r), d, int(t), int(o), int(n)) for r, d, t, o, n in rows
         ]
 
+    def open_execution_versions(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> List[Tuple[int, str, int, int, int, int]]:
+        """:meth:`executions_in_file` plus each open row's ``valid_from``
+        — what a compaction plan needs to close exactly the versions it
+        supersedes: ``(runid, dataset, timestep, file_offset, nbytes,
+        valid_from)``."""
+        rows = self.db.execute(
+            "SELECT runid, dataset, timestep, file_offset, nbytes, "
+            "valid_from FROM execution_table "
+            "WHERE file_name = ? AND valid_to = ? ORDER BY file_offset",
+            (file_name, OPEN_EPOCH),
+            proc=proc,
+        )
+        return [
+            (int(r), d, int(t), int(o), int(n), int(vf))
+            for r, d, t, o, n, vf in rows
+        ]
+
+    def dead_executions_in_file(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> List[Tuple[int, str, int, int, int, int, int]]:
+        """Superseded versions still occupying bytes of one file:
+        ``(runid, dataset, timestep, file_offset, nbytes, valid_from,
+        valid_to)``, ascending base offset.  The reaper's work list."""
+        rows = self.db.execute(
+            "SELECT runid, dataset, timestep, file_offset, nbytes, "
+            "valid_from, valid_to FROM execution_table "
+            "WHERE file_name = ? AND valid_to < ? ORDER BY file_offset",
+            (file_name, OPEN_EPOCH),
+            proc=proc,
+        )
+        return [
+            (int(r), d, int(t), int(o), int(n), int(vf), int(vt))
+            for r, d, t, o, n, vf, vt in rows
+        ]
+
+    def files_with_dead_rows(
+        self, proc: Optional[Process] = None
+    ) -> List[str]:
+        """Files holding superseded row versions (reap candidates)."""
+        rows = self.db.execute(
+            "SELECT file_name FROM execution_table WHERE valid_to < ?",
+            (OPEN_EPOCH,),
+            proc=proc,
+        )
+        seen: List[str] = []
+        for (f,) in rows:
+            if f not in seen:
+                seen.append(f)
+        return seen
+
     def update_execution(
         self,
         runid: int,
         dataset: str,
         timestep: int,
+        old_file_name: str,
         file_name: str,
         file_offset: int,
         nbytes: int,
+        epoch: int,
         proc: Optional[Process] = None,
     ) -> None:
-        """Repoint an execution record (reorganization moved the instance)."""
+        """Repoint an execution record (reorganization moved the instance)
+        by publishing a new version at ``epoch`` and closing the old one.
+
+        The successor is inserted *first* so a concurrent current reader
+        always sees at least one open version; the close then targets the
+        old row by its (distinct) file name.  A zero-row close means the
+        instance was concurrently repointed from under us — raised as
+        :class:`SDMStateError` instead of silently dropping the flip.
+        """
         self.db.execute(
-            "UPDATE execution_table SET file_name = ?, file_offset = ?, "
-            "nbytes = ? WHERE runid = ? AND dataset = ? AND timestep = ?",
-            (file_name, file_offset, nbytes, runid, dataset, timestep),
+            "INSERT INTO execution_table VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (runid, dataset, timestep, file_name, file_offset, nbytes,
+             epoch, OPEN_EPOCH),
             proc=proc,
         )
+        touched = self.db.execute_count(
+            "UPDATE execution_table SET valid_to = ? WHERE runid = ? "
+            "AND dataset = ? AND timestep = ? AND file_name = ? "
+            "AND valid_to = ?",
+            (epoch, runid, dataset, timestep, old_file_name, OPEN_EPOCH),
+            proc=proc,
+        )
+        if touched != 1:
+            raise SDMStateError(
+                f"update_execution matched {touched} rows for "
+                f"({runid}, {dataset!r}, {timestep}) in {old_file_name!r}; "
+                "the instance was concurrently repointed"
+            )
 
     # -- chunk_table ---------------------------------------------------------
 
@@ -403,15 +573,18 @@ class SDMTables:
         timestep: int,
         chunks: Sequence[ChunkRecord],
         proc: Optional[Process] = None,
+        valid_from: int = 0,
     ) -> None:
         """Record every rank's chunk of a chunked dataset instance (one
         batched INSERT — this sits on the per-timestep write path)."""
         self.db.execute_many(
-            "INSERT INTO chunk_table VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            "INSERT INTO chunk_table VALUES "
+            "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             [
                 (
                     runid, dataset, timestep, c.rank, c.gid_min, c.gid_max,
                     c.num_elements, c.gid_step, c.index_offset, c.data_offset,
+                    valid_from, OPEN_EPOCH,
                 )
                 for c in chunks
             ],
@@ -424,73 +597,127 @@ class SDMTables:
         dataset: str,
         timestep: int,
         proc: Optional[Process] = None,
+        at: Optional[int] = None,
     ) -> List[ChunkRecord]:
         """Chunk maps of a dataset instance, by ascending writer rank
         (empty for canonical instances).  Served as a sorted probe of the
-        ordered ``(runid, dataset, timestep, rank)`` index."""
-        rows = self.db.execute(
-            "SELECT rank, gid_min, gid_max, num_elements, index_offset, "
-            "data_offset, gid_step FROM chunk_table "
-            "WHERE runid = ? AND dataset = ? AND timestep = ? ORDER BY rank",
-            (runid, dataset, timestep),
-            proc=proc,
-        )
+        ordered ``(runid, dataset, timestep, rank)`` index.
+
+        ``at=None`` resolves current visibility (open rows); a pinned or
+        publish-window reader passes the reference epoch — the matched
+        execution row's ``valid_from``.  Either way, when a publish window
+        briefly exposes two complete version sets, the newest
+        ``valid_from`` set wins (a flip always rewrites the full set, so
+        the winner is complete)."""
+        if at is None:
+            rows = self.db.execute(
+                "SELECT rank, gid_min, gid_max, num_elements, index_offset, "
+                "data_offset, gid_step, valid_from FROM chunk_table "
+                "WHERE runid = ? AND dataset = ? AND timestep = ? "
+                "AND valid_to = ? ORDER BY rank",
+                (runid, dataset, timestep, OPEN_EPOCH),
+                proc=proc,
+            )
+        else:
+            rows = self.db.execute(
+                "SELECT rank, gid_min, gid_max, num_elements, index_offset, "
+                "data_offset, gid_step, valid_from FROM chunk_table "
+                "WHERE runid = ? AND dataset = ? AND timestep = ? "
+                "AND valid_from <= ? AND valid_to > ? ORDER BY rank",
+                (runid, dataset, timestep, at, at),
+                proc=proc,
+            )
+        if not rows:
+            return []
+        newest = max(int(r[7]) for r in rows)
         return [
             ChunkRecord(int(r), int(lo), int(hi), int(n), int(io), int(do),
                         int(step))
-            for r, lo, hi, n, io, do, step in rows
+            for r, lo, hi, n, io, do, step, vf in rows
+            if int(vf) == newest
         ]
 
-    def delete_chunks(
+    def close_chunks(
         self,
         runid: int,
         dataset: str,
         timestep: int,
+        epoch: int,
         proc: Optional[Process] = None,
     ) -> None:
-        """Forget an instance's chunk maps (it became canonical)."""
+        """Close an instance's open chunk maps at ``epoch`` (it became
+        canonical, or a compaction rewrote them).  Pinned snapshots keep
+        reading the closed version until it is reaped.  The
+        ``valid_from < epoch`` conjunct spares successor rows the same
+        publish just inserted at ``epoch``."""
         self.db.execute(
-            "DELETE FROM chunk_table "
-            "WHERE runid = ? AND dataset = ? AND timestep = ?",
-            (runid, dataset, timestep),
+            "UPDATE chunk_table SET valid_to = ? "
+            "WHERE runid = ? AND dataset = ? AND timestep = ? "
+            "AND valid_to = ? AND valid_from < ?",
+            (epoch, runid, dataset, timestep, OPEN_EPOCH, epoch),
             proc=proc,
         )
 
-    def update_chunk_locations(
+    def delete_chunk_version(
         self,
-        updates: Sequence[Tuple[int, int, int, str, int, int]],
+        runid: int,
+        dataset: str,
+        timestep: int,
+        valid_to: int,
         proc: Optional[Process] = None,
     ) -> None:
-        """Rewrite chunk-map offsets after compaction moved the blocks.
-
-        ``updates`` rows are ``(index_offset, data_offset, runid, dataset,
-        timestep, rank)``; the whole rewrite is one batched statement so a
-        compaction pass bills a single server trip however many chunks it
-        slid down.
-        """
-        self.db.execute_many(
-            "UPDATE chunk_table SET index_offset = ?, data_offset = ? "
-            "WHERE runid = ? AND dataset = ? AND timestep = ? AND rank = ?",
-            updates,
+        """Reap one superseded chunk-map version (closed at ``valid_to``)."""
+        self.db.execute(
+            "DELETE FROM chunk_table "
+            "WHERE runid = ? AND dataset = ? AND timestep = ? "
+            "AND valid_to = ?",
+            (runid, dataset, timestep, valid_to),
             proc=proc,
         )
 
     def update_execution_offsets(
         self,
-        updates: Sequence[Tuple[int, int, int, str, int]],
+        updates: Sequence[Tuple[int, int, int, str, int, int]],
+        file_name: str,
+        epoch: int,
         proc: Optional[Process] = None,
     ) -> None:
-        """Rebase instances a compaction pass moved (one batched UPDATE).
+        """Rebase instances a compaction pass moved, publishing the moves
+        as new row versions at ``epoch``.
 
         ``updates`` rows are ``(file_offset, nbytes, runid, dataset,
-        timestep)``.
+        timestep, old_valid_from)``.  Successors are inserted first (one
+        batched INSERT), then every old version is closed in one batched
+        UPDATE whose matched-row count must equal the move count — a
+        short count means a concurrent flip repointed a row under us and
+        raises :class:`SDMStateError` instead of losing the update.
         """
+        if not updates:
+            return
         self.db.execute_many(
-            "UPDATE execution_table SET file_offset = ?, nbytes = ? "
-            "WHERE runid = ? AND dataset = ? AND timestep = ?",
-            updates,
+            "INSERT INTO execution_table VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                (r, d, t, file_name, off, nbytes, epoch, OPEN_EPOCH)
+                for off, nbytes, r, d, t, _vf in updates
+            ],
             proc=proc,
         )
+        touched = self.db.execute_many_count(
+            "UPDATE execution_table SET valid_to = ? WHERE runid = ? "
+            "AND dataset = ? AND timestep = ? AND file_name = ? "
+            "AND valid_from = ? AND valid_to = ?",
+            [
+                (epoch, r, d, t, file_name, vf, OPEN_EPOCH)
+                for _off, _nbytes, r, d, t, vf in updates
+            ],
+            proc=proc,
+        )
+        if touched != len(updates):
+            raise SDMStateError(
+                f"update_execution_offsets matched {touched} of "
+                f"{len(updates)} rows in {file_name!r}; a concurrent flip "
+                "repointed an instance under this compaction"
+            )
 
     # -- extent_table --------------------------------------------------------
 
@@ -554,6 +781,226 @@ class SDMTables:
             (file_name,),
             proc=proc,
         )
+
+    # -- epoch_table / lease_table / pin_table -------------------------------
+
+    def current_epoch(self, proc: Optional[Process] = None) -> int:
+        """Newest published epoch across all files (0 before any flip).
+        This is what a reader pins at attach."""
+        rows = self.db.execute(
+            "SELECT MAX(epoch) FROM epoch_table", proc=proc
+        )
+        return 0 if rows[0][0] is None else int(rows[0][0])
+
+    def publish_epoch(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> int:
+        """Allocate the next epoch and log it against ``file_name``.
+
+        The counter is global (MAX+1) but no retry loop is needed: two
+        concurrent flips can only share a number when they target
+        *different* files (same-file flips are serialized by the lease),
+        and distinct files' version chains are disjoint, so a shared
+        epoch number is harmless.
+        """
+        epoch = self.current_epoch(proc) + 1
+        self.db.execute(
+            "INSERT INTO epoch_table VALUES (?, ?)",
+            (file_name, epoch),
+            proc=proc,
+        )
+        return epoch
+
+    def file_epoch(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> int:
+        """Newest epoch published against one file (0 if never flipped)."""
+        rows = self.db.execute(
+            "SELECT MAX(epoch) FROM epoch_table WHERE file_name = ?",
+            (file_name,),
+            proc=proc,
+        )
+        return 0 if rows[0][0] is None else int(rows[0][0])
+
+    def epochs_for_file(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> List[int]:
+        """Published epochs of one file, ascending (leak-audit helper)."""
+        rows = self.db.execute(
+            "SELECT epoch FROM epoch_table WHERE file_name = ? "
+            "ORDER BY epoch",
+            (file_name,),
+            proc=proc,
+        )
+        return [int(e) for (e,) in rows]
+
+    def prune_epochs(
+        self, file_name: str, below: int, proc: Optional[Process] = None
+    ) -> None:
+        """Forget a file's epoch history older than ``below`` (every row
+        version of those epochs has been reaped)."""
+        self.db.execute(
+            "DELETE FROM epoch_table WHERE file_name = ? AND epoch < ?",
+            (file_name, below),
+            proc=proc,
+        )
+
+    def lease_holder(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> Optional[str]:
+        """Current lease holder of a file, or None."""
+        rows = self.db.execute(
+            "SELECT holder FROM lease_table WHERE file_name = ?",
+            (file_name,),
+            proc=proc,
+        )
+        return rows[0][0] if rows else None
+
+    def try_acquire_lease(
+        self, file_name: str, holder: str, proc: Optional[Process] = None
+    ) -> bool:
+        """Attempt to take the exclusive flip lease on one file.
+
+        Insert-then-verify: a pre-check rejects an existing lease, the
+        optimistic insert is then re-counted, and on a photo-finish race
+        (two holders inserted) *both* withdraw — symmetric fail-fast is
+        the contract; the callers retry or surface SDMLeaseConflict.
+        """
+        rows = self.db.execute(
+            "SELECT holder FROM lease_table WHERE file_name = ?",
+            (file_name,),
+            proc=proc,
+        )
+        if rows:
+            return False
+        self.db.execute(
+            "INSERT INTO lease_table VALUES (?, ?)",
+            (file_name, holder),
+            proc=proc,
+        )
+        rows = self.db.execute(
+            "SELECT holder FROM lease_table WHERE file_name = ?",
+            (file_name,),
+            proc=proc,
+        )
+        if len(rows) > 1:
+            self.release_lease(file_name, holder, proc)
+            return False
+        return True
+
+    def release_lease(
+        self, file_name: str, holder: str, proc: Optional[Process] = None
+    ) -> None:
+        """Drop one holder's lease on a file."""
+        self.db.execute(
+            "DELETE FROM lease_table WHERE file_name = ? AND holder = ?",
+            (file_name, holder),
+            proc=proc,
+        )
+
+    def lease_count(self, proc: Optional[Process] = None) -> int:
+        """Outstanding leases (leak-audit helper)."""
+        rows = self.db.execute(
+            "SELECT COUNT(*) FROM lease_table", proc=proc
+        )
+        return int(rows[0][0])
+
+    def create_pin(
+        self, client: str, epoch: int, proc: Optional[Process] = None
+    ) -> int:
+        """Pin a snapshot: row versions live at ``epoch`` stay readable
+        (and unreaped) until :meth:`release_pin`.  Returns the pin id."""
+        rows = self.db.execute(
+            "SELECT MAX(pin_id) FROM pin_table", proc=proc
+        )
+        pin_id = 1 if rows[0][0] is None else int(rows[0][0]) + 1
+        self.db.execute(
+            "INSERT INTO pin_table VALUES (?, ?, ?)",
+            (pin_id, client, epoch),
+            proc=proc,
+        )
+        return pin_id
+
+    def release_pin(
+        self, pin_id: int, proc: Optional[Process] = None
+    ) -> None:
+        """Release a snapshot pin (the caller should then reap)."""
+        self.db.execute(
+            "DELETE FROM pin_table WHERE pin_id = ?",
+            (pin_id,),
+            proc=proc,
+        )
+
+    def advance_pin(
+        self, pin_id: int, epoch: int, proc: Optional[Process] = None
+    ) -> None:
+        """Move a pin forward (a publisher reads its own writes)."""
+        self.db.execute(
+            "UPDATE pin_table SET epoch = ? WHERE pin_id = ?",
+            (epoch, pin_id),
+            proc=proc,
+        )
+
+    def min_pinned_epoch(
+        self, proc: Optional[Process] = None
+    ) -> Optional[int]:
+        """The reap floor: oldest pinned epoch, or None when unpinned."""
+        rows = self.db.execute(
+            "SELECT MIN(epoch) FROM pin_table", proc=proc
+        )
+        return None if rows[0][0] is None else int(rows[0][0])
+
+    def pin_count(self, proc: Optional[Process] = None) -> int:
+        """Outstanding pins (quiesced-compaction precondition)."""
+        rows = self.db.execute(
+            "SELECT COUNT(*) FROM pin_table", proc=proc
+        )
+        return int(rows[0][0])
+
+    def reap_file(
+        self,
+        file_name: str,
+        proc: Optional[Process] = None,
+        record_extents: bool = True,
+    ) -> bool:
+        """Garbage-collect superseded row versions of one file whose
+        epochs no pin can still see, then account the freed bytes.
+
+        For each reaped version below the surviving end-of-data the dead
+        region becomes a free extent (compaction's work list); regions at
+        or beyond it simply retreat the append cursor, and any extents
+        stranded past the new cursor are forgotten — exactly the
+        unversioned reorganize bookkeeping, which this reproduces
+        verbatim when nothing is pinned.  Returns True when no dead
+        versions remain (full reap: epoch history is pruned to the newest
+        entry)."""
+        floor = self.min_pinned_epoch(proc)
+        dead = self.dead_executions_in_file(file_name, proc)
+        if floor is None:
+            reapable = dead
+        else:
+            reapable = [row for row in dead if row[6] <= floor]
+        if reapable:
+            for r, d, t, _off, _n, vf, vt in reapable:
+                self.db.execute(
+                    "DELETE FROM execution_table WHERE runid = ? "
+                    "AND dataset = ? AND timestep = ? AND file_name = ? "
+                    "AND valid_to = ?",
+                    (r, d, t, file_name, vt),
+                    proc=proc,
+                )
+                self.delete_chunk_version(r, d, t, vt, proc)
+            new_end = self.max_offset_in_file(file_name, proc)
+            if record_extents:
+                for _r, _d, _t, off, nbytes, _vf, _vt in reapable:
+                    if off < new_end:
+                        self.record_extent(file_name, off, nbytes, proc)
+            self.truncate_extents(file_name, new_end, proc)
+        fully_reaped = len(reapable) == len(dead)
+        if fully_reaped:
+            self.prune_epochs(file_name, self.file_epoch(file_name, proc),
+                              proc)
+        return fully_reaped
 
     # -- maintenance_table ---------------------------------------------------
 

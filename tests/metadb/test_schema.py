@@ -28,6 +28,9 @@ def test_create_all_is_idempotent(tables):
         "index_history_table",
         "maintenance_table",
         "extent_table",
+        "epoch_table",
+        "lease_table",
+        "pin_table",
     }
 
 
