@@ -24,7 +24,17 @@ the critical path:
 
 Reads must return byte-identical arrays either way — the bench asserts it
 — chunked writes must win from 4 ranks up, and the cold chunked read must
-stay within 1.3x of canonical at 4 and 8 ranks.
+stay within 1.3x of canonical from 4 ranks up.
+
+Two satellite cases pin the other datapath claims:
+
+* **index case** (fully indexed permutation maps, 4-32 ranks) — a cold
+  collective read must fetch each chunk index block exactly once, so the
+  job-wide ``index_bytes_read`` delta stays within ``1.1x`` of the index
+  size (per-rank resolution would read ``P`` copies);
+* **churn case** (sliding-window write/reorganize) — first-fit extent
+  reuse must hold the shared chunked file at ``(W+1)/W`` of its live
+  bytes in steady state instead of growing without bound.
 
 Set ``DATAPATH_BENCH_JSON=<path>`` (the Makefile's ``bench-datapath``
 target points it at ``BENCH_datapath.json``) to emit the matrix as JSON
@@ -43,13 +53,38 @@ from repro.config import origin2000
 from repro.core import SDM, Organization, sdm_services
 from repro.core.layout import CANONICAL, CHUNKED
 from repro.dtypes import DOUBLE
+from repro.metadb.schema import SDMTables
 from repro.mpi import mpirun
 
-RANK_COUNTS = (2, 4, 8)
+RANK_COUNTS = (2, 4, 8, 16, 32)
 GLOBAL_ELEMENTS = 1_000_000
 """8 MB of doubles per instance — the scale of the paper's FUN3D datasets
 (21–105 MB), large enough that bandwidth, not request latency, decides."""
 TIMESTEPS = 5
+
+INDEX_RANKS = (4, 8, 16, 32)
+INDEX_ELEMENTS = 256_000
+"""Permutation-split instance for the index-traffic case: every chunk is
+indexed, so the index is exactly ``INDEX_ELEMENTS * 8`` bytes."""
+
+CHURN_RANKS = 8
+CHURN_ELEMENTS = 200_000
+CHURN_WINDOW = 5
+CHURN_TIMESTEPS = 15
+"""Sliding-window churn: keep the last ``CHURN_WINDOW`` timesteps
+chunked, reorganize (and thereby reap) everything older."""
+
+
+def permutation_maps(nprocs, n, seed):
+    """Equal-count random partition of ``range(n)``: every rank's map is
+    a sorted random subset, so every chunk carries a real index block."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    share = n // nprocs
+    return [
+        np.sort(perm[r * share:(r + 1) * share]).astype(np.int64)
+        for r in range(nprocs)
+    ]
 
 
 def run_case(nprocs, order, reorganize):
@@ -85,7 +120,8 @@ def run_case(nprocs, order, reorganize):
         # "before" before any rank's read touches the counters, and the
         # one after the read closes the window.
         fs = ctx.service("fs")
-        before = (fs.runs_submitted, fs.runs_serviced, fs.n_requests)
+        before = (fs.runs_submitted, fs.runs_serviced, fs.n_requests,
+                  fs.index_bytes_read, fs.data_bytes_read)
         ctx.comm.barrier()
         with ctx.phase("read"):
             sdm.read(handle, "d", TIMESTEPS - 1, back)
@@ -94,6 +130,8 @@ def run_case(nprocs, order, reorganize):
             "read_runs_submitted": fs.runs_submitted - before[0],
             "read_runs_serviced": fs.runs_serviced - before[1],
             "read_requests": fs.n_requests - before[2],
+            "read_index_bytes": fs.index_bytes_read - before[3],
+            "read_data_bytes": fs.data_bytes_read - before[4],
         }
         sdm.finalize(handle)
         return back, counters
@@ -109,6 +147,112 @@ def run_case(nprocs, order, reorganize):
         "read": job.phase_max("read"),
         **job.values[0][1],
     }, merged
+
+
+def run_index_case(nprocs):
+    """Cold collective read of a fully indexed instance: how many index
+    bytes does resolution pull off disk, job-wide?  Returns the cell."""
+    maps = permutation_maps(nprocs, INDEX_ELEMENTS, seed=1234)
+
+    def program(ctx):
+        sdm = SDM(
+            ctx, "benchidx", organization=Organization.LEVEL_2,
+            storage_order=CHUNKED,
+        )
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(
+            result, data_type=DOUBLE, global_size=INDEX_ELEMENTS
+        )
+        handle = sdm.set_attributes(result)
+        mine = maps[ctx.rank]
+        sdm.data_view(handle, "d", mine)
+        fname = sdm.write(handle, "d", 0, mine * 1.0)
+        # Make the read genuinely cold: drop every warm index-block copy
+        # the write left behind, then barrier-delimit the measurement so
+        # the job-wide counter window contains exactly this read.
+        sdm.invalidate_chunked_caches(fname)
+        fs = ctx.service("fs")
+        before = fs.index_bytes_read
+        ctx.comm.barrier()
+        back = np.empty(len(mine))
+        with ctx.phase("read"):
+            sdm.read(handle, "d", 0, back)
+        ctx.comm.barrier()
+        delta = fs.index_bytes_read - before
+        sdm.finalize(handle)
+        return back, delta
+
+    job = mpirun(program, nprocs, machine=origin2000(),
+                 services=sdm_services())
+    for rank, (back, _d) in enumerate(job.values):
+        np.testing.assert_allclose(back, maps[rank] * 1.0)
+    index_bytes = INDEX_ELEMENTS * 8
+    cold_bytes = job.values[0][1]
+    return {
+        "index_bytes_total": index_bytes,
+        "index_bytes_cold_read": int(cold_bytes),
+        "index_bytes_ratio": cold_bytes / index_bytes,
+        "read": job.phase_max("read"),
+    }
+
+
+def run_churn_case(nprocs):
+    """Sliding-window churn on one shared chunked file: write timestep
+    ``t``, reorganize (flip + reap) timestep ``t - W``.  With first-fit
+    extent reuse the file plateaus at ``W + 1`` instance regions; without
+    it every write appends and the file grows ~3x the live bytes by the
+    end.  Returns the cell."""
+    maps = [
+        permutation_maps(nprocs, CHURN_ELEMENTS, seed=100 + t)
+        for t in range(CHURN_TIMESTEPS)
+    ]
+
+    def program(ctx):
+        sdm = SDM(
+            ctx, "benchchurn", organization=Organization.LEVEL_2,
+            storage_order=CHUNKED,
+        )
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(
+            result, data_type=DOUBLE, global_size=CHURN_ELEMENTS
+        )
+        handle = sdm.set_attributes(result)
+        for t in range(CHURN_TIMESTEPS):
+            mine = maps[t][ctx.rank]
+            sdm.data_view(handle, "d", mine)
+            with ctx.phase("churn-write"):
+                sdm.write(handle, "d", t, mine * 1.0 + t)
+            if t >= CHURN_WINDOW:
+                with ctx.phase("churn-reorganize"):
+                    sdm.reorganize(handle, "d", t - CHURN_WINDOW)
+        # The newest in-window instance must read back through whatever
+        # recycled extents it landed in.
+        t = CHURN_TIMESTEPS - 1
+        mine = maps[t][ctx.rank]
+        sdm.data_view(handle, "d", mine)
+        back = np.empty(len(mine))
+        sdm.read(handle, "d", t, back)
+        sdm.finalize(handle)
+        return back
+
+    job = mpirun(program, nprocs, machine=origin2000(),
+                 services=sdm_services())
+    t = CHURN_TIMESTEPS - 1
+    for rank, back in enumerate(job.values):
+        np.testing.assert_allclose(back, maps[t][rank] * 1.0 + t)
+    tables = SDMTables(job.services["db"])
+    fname = "benchchurn/d.chunked.dat"
+    file_size = job.services["fs"].lookup(fname).size
+    live_bytes = sum(
+        nbytes for *_rest, nbytes in tables.executions_in_file(fname)
+    )
+    return {
+        "file_size": int(file_size),
+        "live_bytes": int(live_bytes),
+        "file_growth_ratio": file_size / live_bytes,
+        "write": job.phase_max("churn-write"),
+        "reorganize": job.phase_max("churn-reorganize"),
+    }
 
 
 def run_matrix():
@@ -135,6 +279,10 @@ def run_matrix():
             "read_runs_canonical": canonical["read_runs_submitted"],
             "read_requests_chunked": chunked["read_requests"],
             "read_requests_canonical": canonical["read_requests"],
+            "read_index_bytes_chunked": chunked["read_index_bytes"],
+            "read_data_bytes_chunked": chunked["read_data_bytes"],
+            "read_index_bytes_canonical": canonical["read_index_bytes"],
+            "read_data_bytes_canonical": canonical["read_data_bytes"],
         }
         for config, value in (
             (f"write-canonical/{nprocs}p", canonical["write"]),
@@ -160,10 +308,30 @@ def run_matrix():
             "ablation-datapath", f"read-runs-canonical/{nprocs}p",
             "runs-submitted", float(canonical["read_runs_submitted"]), "runs",
         )
-    return table, cells
+        table.add(
+            "ablation-datapath", f"read-index-bytes-chunked/{nprocs}p",
+            "bytes", float(chunked["read_index_bytes"]), "B",
+        )
+        table.add(
+            "ablation-datapath", f"read-data-bytes-chunked/{nprocs}p",
+            "bytes", float(chunked["read_data_bytes"]), "B",
+        )
+    index_cells = {}
+    for nprocs in INDEX_RANKS:
+        index_cells[nprocs] = run_index_case(nprocs)
+        table.add(
+            "ablation-datapath", f"index-bytes-ratio/{nprocs}p",
+            "ratio", index_cells[nprocs]["index_bytes_ratio"], "x",
+        )
+    churn = run_churn_case(CHURN_RANKS)
+    table.add(
+        "ablation-datapath", f"file-growth-ratio/{CHURN_RANKS}p",
+        "ratio", churn["file_growth_ratio"], "x",
+    )
+    return table, cells, index_cells, churn
 
 
-def _emit_json(table, cells):
+def _emit_json(table, cells, index_cells, churn):
     """Write the matrix to $DATAPATH_BENCH_JSON for cross-PR tracking."""
     path = os.environ.get("DATAPATH_BENCH_JSON")
     if not path:
@@ -178,6 +346,11 @@ def _emit_json(table, cells):
             str(n): {k: round(v, 6) for k, v in by_key.items()}
             for n, by_key in cells.items()
         },
+        "index_cells": {
+            str(n): {k: round(v, 6) for k, v in by_key.items()}
+            for n, by_key in index_cells.items()
+        },
+        "churn": {k: round(v, 6) for k, v in churn.items()},
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2)
@@ -186,9 +359,11 @@ def _emit_json(table, cells):
 
 @pytest.mark.benchmark(group="ablation-datapath")
 def test_chunked_writes_beat_canonical(benchmark, report):
-    table, cells = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    table, cells, index_cells, churn = benchmark.pedantic(
+        run_matrix, rounds=1, iterations=1
+    )
     report(table)
-    _emit_json(table, cells)
+    _emit_json(table, cells, index_cells, churn)
     # The exchange-free write path must win from 4 ranks up (the
     # acceptance bar).  At 2 ranks the once-per-view index blocks can
     # offset the small exchange, so no claim is made there.
@@ -209,6 +384,15 @@ def test_chunked_writes_beat_canonical(benchmark, report):
             # The read-gap acceptance bar (enforced against the committed
             # JSON by `make perfcheck`).
             assert cells[nprocs]["read_gap"] <= 1.3, cells[nprocs]
+    # Collective resolution: a cold read pulls each index block off disk
+    # exactly once job-wide — per-rank resolution would read P copies.
+    for nprocs in INDEX_RANKS:
+        assert index_cells[nprocs]["index_bytes_ratio"] <= 1.1, (
+            index_cells[nprocs]
+        )
+    # First-fit reuse: the churned file plateaus near (W+1)/W of its live
+    # bytes instead of growing ~(T/W)x under append-only placement.
+    assert churn["file_growth_ratio"] <= 1.25, churn
     benchmark.extra_info["write_speedup_4p"] = round(
         cells[4]["write_speedup"], 2
     )
@@ -217,3 +401,10 @@ def test_chunked_writes_beat_canonical(benchmark, report):
     )
     benchmark.extra_info["read_gap_4p"] = round(cells[4]["read_gap"], 2)
     benchmark.extra_info["read_gap_8p"] = round(cells[8]["read_gap"], 2)
+    benchmark.extra_info["read_gap_32p"] = round(cells[32]["read_gap"], 2)
+    benchmark.extra_info["index_bytes_ratio_32p"] = round(
+        index_cells[32]["index_bytes_ratio"], 3
+    )
+    benchmark.extra_info["file_growth_ratio"] = round(
+        churn["file_growth_ratio"], 3
+    )

@@ -1,17 +1,22 @@
-"""Guard the committed datapath benchmark against read-path regressions.
+"""Guard the committed datapath benchmark against datapath regressions.
 
 ``make perfcheck`` (also run at the end of ``make bench``) loads
 ``BENCH_datapath.json`` — the matrix ``make bench-datapath`` regenerates
-and commits — and fails if either invariant of the run-coalescing read
-path has regressed:
+and commits — and fails if any invariant of the datapath has regressed:
 
 * **read gap** — the cold chunked read must stay within ``READ_GAP_MAX``
-  (default 1.3x) of the canonical read at 4 and 8 ranks.  Before the
+  (default 1.3x) of the canonical read at 4-32 ranks.  Before the
   coalescer this ratio sat at 3.5-5.6x.
 * **run count** — the collective read of a chunked instance must submit
   O(chunks) byte runs, not O(elements): the recorded
   ``read_runs_chunked`` must stay under ``READ_RUNS_MAX`` (default
   10,000 — the workload reads 1,000,000 elements).
+* **index bytes** — collective index resolution must keep a cold read's
+  job-wide index traffic within ``INDEX_BYTES_MAX`` (default 1.1x) of
+  the index size at 4-32 ranks; per-rank resolution reads P copies.
+* **file growth** — first-fit extent reuse must hold the churned
+  chunked file within ``FILE_GROWTH_MAX`` (default 1.25x) of its live
+  bytes; append-only placement grows it ~(T/W)x.
 
 Thresholds are overridable through the environment for experiments::
 
@@ -23,12 +28,14 @@ import os
 import sys
 
 DEFAULT_JSON = "BENCH_datapath.json"
-GAP_RANKS = (4, 8)
+GAP_RANKS = (4, 8, 16, 32)
 
 
 def check(path: str) -> int:
     gap_max = float(os.environ.get("READ_GAP_MAX", "1.3"))
     runs_max = int(os.environ.get("READ_RUNS_MAX", "10000"))
+    index_max = float(os.environ.get("INDEX_BYTES_MAX", "1.1"))
+    growth_max = float(os.environ.get("FILE_GROWTH_MAX", "1.25"))
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -65,11 +72,43 @@ def check(path: str) -> int:
                 f"read-runs-chunked/{nprocs}p = {int(runs)} exceeds "
                 f"{runs_max} (run coalescing regressed to per-element?)"
             )
+    index_cells = doc.get("index_cells", {})
+    for nprocs in GAP_RANKS:
+        cell = index_cells.get(str(nprocs))
+        if cell is None:
+            failures.append(f"no index cell for {nprocs}p in {path} "
+                            "(regenerate with make bench-datapath)")
+            continue
+        ratio = cell["index_bytes_ratio"]
+        status = "ok" if ratio <= index_max else "FAIL"
+        print(f"perfcheck: index-bytes-ratio/{nprocs}p = {ratio:.3f}x "
+              f"(max {index_max:.2f}x) {status}")
+        if ratio > index_max:
+            failures.append(
+                f"index-bytes-ratio/{nprocs}p = {ratio:.3f}x exceeds "
+                f"{index_max:.2f}x (collective resolution regressed to "
+                "per-rank index fetches?)"
+            )
+    churn = doc.get("churn")
+    if churn is None:
+        failures.append(f"no churn cell in {path} "
+                        "(regenerate with make bench-datapath)")
+    else:
+        ratio = churn["file_growth_ratio"]
+        status = "ok" if ratio <= growth_max else "FAIL"
+        print(f"perfcheck: file-growth-ratio = {ratio:.3f}x "
+              f"(max {growth_max:.2f}x) {status}")
+        if ratio > growth_max:
+            failures.append(
+                f"file-growth-ratio = {ratio:.3f}x exceeds "
+                f"{growth_max:.2f}x (first-fit extent reuse regressed to "
+                "append-only placement?)"
+            )
     if failures:
         for f in failures:
             print(f"perfcheck: FAIL: {f}", file=sys.stderr)
         return 1
-    print("perfcheck: all datapath read-path guards hold")
+    print("perfcheck: all datapath guards hold")
     return 0
 
 

@@ -672,6 +672,19 @@ class SDM:
             self.storage_order.drop_file_cache(file_name)
         self.index_cache.drop_file(file_name)
 
+    def invalidate_chunked_range(self, file_name: str, lo: int, hi: int) -> None:
+        """Datapath host hook: a first-fit write this rank ran is recycling
+        ``[lo, hi)`` of a dead extent — drop every registered cache's
+        entries overlapping it (fresh rows publish at version 0, so a
+        block cached at a recycled offset by *any* client of the job
+        would otherwise collide with the new instance's keys)."""
+        if self.maintenance is not None:
+            self.maintenance.invalidate_chunked_range(file_name, lo, hi)
+            return
+        if isinstance(self.storage_order, ChunkedOrder):
+            self.storage_order.drop_range_cache(file_name, lo, hi)
+        self.index_cache.drop_range(file_name, lo, hi)
+
     def advance_snapshot(self, epoch: int) -> None:
         """Datapath publisher hook: this client just flipped metadata to
         ``epoch`` — move its own snapshot pin forward so it reads its own

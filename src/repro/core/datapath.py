@@ -141,6 +141,7 @@ __all__ = [
     "FileHandleCache",
     "IndexBlockCache",
     "resolve_storage_order",
+    "resolve_chunk_positions",
     "locate_instance",
     "read_instance",
     "reorganize",
@@ -243,6 +244,16 @@ class IndexBlockCache:
         self.hits += 1
         return gids
 
+    def contains(
+        self, file_name: str, offset: int, count: int, version: int = 0
+    ) -> bool:
+        """Non-counting peek: would :meth:`get` hit?  Does not touch the
+        hit/miss counters or the LRU order — the collective resolution
+        gate asks this before deciding whether any rank needs the block
+        exchange at all."""
+        gids = self._blocks.get((file_name, offset, version))
+        return gids is not None and len(gids) == count
+
     def put(
         self, file_name: str, offset: int, gids: np.ndarray, version: int = 0
     ) -> np.ndarray:
@@ -274,6 +285,19 @@ class IndexBlockCache:
         for k in [
             k for k, g in self._blocks.items()
             if k[0] == file_name and k[1] + len(g) * CHUNK_INDEX_BYTES > base
+        ]:
+            del self._blocks[k]
+
+    def drop_range(self, file_name: str, lo: int, hi: int) -> None:
+        """Forget blocks overlapping the byte range ``[lo, hi)`` — a
+        first-fit write is landing inside a previously-dead region, so a
+        block cached at a recycled ``(file, offset, version)`` key could
+        otherwise survive with stale bytes (fresh appends all publish at
+        version 0, so the version axis alone cannot disambiguate)."""
+        for k in [
+            k for k, g in self._blocks.items()
+            if k[0] == file_name and k[1] < hi
+            and k[1] + len(g) * CHUNK_INDEX_BYTES > lo
         ]:
             del self._blocks[k]
 
@@ -433,6 +457,16 @@ class ChunkedOrder(StorageOrder):
         for k in [k for k in self._index_cache if k[0] == fname]:
             del self._index_cache[k]
 
+    def drop_range_cache(self, fname: str, lo: int, hi: int) -> None:
+        """Forget cached index blocks overlapping ``[lo, hi)`` — a
+        first-fit write is about to overwrite that previously-dead region,
+        so a cached block inside it must never be shared again."""
+        for k in [
+            k for k, (_g, off, end) in self._index_cache.items()
+            if k[0] == fname and off < hi and end > lo
+        ]:
+            del self._index_cache[k]
+
     def _shared_index(self, key, gids, base) -> Optional[int]:
         """Offset of a reusable earlier index block, or None.
 
@@ -471,16 +505,60 @@ class ChunkedOrder(StorageOrder):
 
         fname = self.file_name(sdm, handle, name, timestep)
         base = _next_append_base(sdm, fname)
-        self._drop_endangered(fname, base)
-        # The read-side block cache obeys the same retreat rule: bytes
-        # from ``base`` up may be rewritten by this or any later append.
         read_cache = getattr(sdm, "index_cache", None)
-        if read_cache is not None:
-            read_cache.drop_from(fname, base)
+        # First-fit extent reuse: place the instance into a free extent
+        # (reap's dead-region bookkeeping) instead of growing the file,
+        # when one fits.  Sized for the worst case — every non-arithmetic
+        # rank writing its own index block — because whether a rank can
+        # share an earlier block is only knowable after placement, and a
+        # reuse write disables sharing anyway (below).  Placement is part
+        # of the normal write: rows still publish at valid_from=0 under
+        # no lease, and reap records extents only below the min-pin floor,
+        # so the region is invisible to every snapshot by construction.
+        reused = False
+        total_need = 0
+        if sdm.organization != Organization.LEVEL_1:
+            local_need = count * dtype.size
+            if count and not arithmetic:
+                local_need += count * CHUNK_INDEX_BYTES
+            total_need = sdm.comm.allreduce(local_need)
+            place = None
+            if total_need and sdm.ctx.rank == 0:
+                place = sdm.tables.allocate_extent(
+                    fname, total_need, proc=sdm.ctx.proc
+                )
+            place = sdm.comm.bcast(place, root=0)
+            if place is not None:
+                base, reused = place, True
+        if reused:
+            # A write landing *inside* a previously-dead region: cached
+            # blocks overlapping it are stale the moment the bytes land —
+            # fresh rows publish at version 0, so the MVCC cache key alone
+            # cannot tell recycled bytes from old ones.  The invalidation
+            # goes through the maintenance registry when present: a pinned
+            # catalog that read the old version (and whose release-time
+            # reap recorded this very extent) holds the same recycled
+            # keys in its own cache.
+            invalidate = getattr(sdm, "invalidate_chunked_range", None)
+            if invalidate is not None:
+                invalidate(fname, base, base + total_need)
+            else:
+                self.drop_range_cache(fname, base, base + total_need)
+                if read_cache is not None:
+                    read_cache.drop_range(fname, base, base + total_need)
+        else:
+            self._drop_endangered(fname, base)
+            # The read-side block cache obeys the same retreat rule: bytes
+            # from ``base`` up may be rewritten by this or a later append.
+            if read_cache is not None:
+                read_cache.drop_from(fname, base)
         # Under level 1 every instance gets its own file, so an index
         # block can never be shared — don't grow the cache with map
-        # copies that cannot hit.
-        sharable = sdm.organization != Organization.LEVEL_1
+        # copies that cannot hit.  A reuse write neither consumes nor
+        # publishes shared blocks: sharing's safety argument (the
+        # referencing row holds the append cursor above the block) only
+        # holds when every referencing row was appended at the cursor.
+        sharable = sdm.organization != Organization.LEVEL_1 and not reused
         key = (fname, handle.group_id, name)
         shared = (
             self._shared_index(key, gids, base)
@@ -646,32 +724,56 @@ def _chunk_indexes(
     chunks: Sequence[ChunkRecord],
     cache: Optional[IndexBlockCache] = None,
     version: int = 0,
+    preloaded: Optional[Dict[Tuple[int, int], np.ndarray]] = None,
 ) -> Dict[Tuple[int, int], np.ndarray]:
     """Index blocks of several chunks, fetched in one batched request.
 
     Returns ``{(index_offset, num_elements): gids}`` for every chunk that
-    stores a real block (arithmetic chunks are skipped).  Cache hits are
-    resolved first; every miss lands in a single ``read_runs`` call whose
-    runs are zero-gap coalesced — adjacent blocks (back-to-back writer
-    ranks) become one streaming transfer instead of a serial chain of
-    per-chunk requests.
+    stores a real block (arithmetic chunks are skipped).  Blocks already
+    in ``preloaded`` (the collective resolution's dealt blocks) and cache
+    hits are resolved first; every remaining miss lands in a single
+    batched :func:`_fetch_index_blocks` read.
     """
     out: Dict[Tuple[int, int], np.ndarray] = {}
-    need: List[Tuple[int, int]] = []
-    seen: set = set()
+    rest: List[Tuple[int, int]] = []
     for ch in chunks:
         if ch.index_offset == ch.data_offset:
             continue
         key = (ch.index_offset, ch.num_elements)
-        if key in out or key in seen:
+        if key in out:
+            continue
+        if preloaded is not None and key in preloaded:
+            out[key] = preloaded[key]
+            continue
+        rest.append(key)
+    out.update(_fetch_index_blocks(f, rest, cache, version))
+    return out
+
+
+def _fetch_index_blocks(
+    f: File,
+    keys: Sequence[Tuple[int, int]],
+    cache: Optional[IndexBlockCache] = None,
+    version: int = 0,
+) -> Dict[Tuple[int, int], np.ndarray]:
+    """Index blocks by ``(index_offset, num_elements)`` key.
+
+    Cache hits are resolved first; every miss lands in a single
+    ``read_runs`` call (tagged ``kind="index"`` for the traffic split)
+    whose runs are zero-gap coalesced — adjacent blocks (back-to-back
+    writer ranks) become one streaming transfer instead of a serial
+    chain of per-chunk requests.
+    """
+    out: Dict[Tuple[int, int], np.ndarray] = {}
+    need: List[Tuple[int, int]] = []
+    for key in keys:
+        if key in out or key in need:
             continue
         if cache is not None:
-            gids = cache.get(f.name, ch.index_offset, ch.num_elements,
-                             version)
+            gids = cache.get(f.name, key[0], key[1], version)
             if gids is not None:
                 out[key] = gids
                 continue
-        seen.add(key)
         need.append(key)
     if not need:
         return out
@@ -680,7 +782,7 @@ def _chunk_indexes(
     lens = np.array([n * CHUNK_INDEX_BYTES for _, n in need], dtype=np.int64)
     coff, clen, owner = runs.coalesce_runs(offs, lens)
     blob = np.empty(int(clen.sum()), dtype=np.uint8)
-    f.read_runs(coff, clen, blob)
+    f.read_runs(coff, clen, blob, kind="index")
     raw = runs.extract_runs(blob, coff, clen, offs, lens, owner)
     for key, part in zip(need, np.split(raw, np.cumsum(lens)[:-1])):
         gids = part.view(np.int64)
@@ -694,6 +796,7 @@ def _chunk_positions(
     f: File, chunks: Sequence[ChunkRecord], dtype: Primitive,
     wanted: np.ndarray, cache: Optional[IndexBlockCache] = None,
     version: int = 0,
+    preloaded: Optional[Dict[Tuple[int, int], np.ndarray]] = None,
 ) -> np.ndarray:
     """Absolute file byte position of each wanted global index, resolved
     against the chunk maps (-1 where no chunk holds it).
@@ -717,7 +820,7 @@ def _chunk_positions(
     ]
     if not live:
         return pos
-    blocks = _chunk_indexes(f, live, cache, version)
+    blocks = _chunk_indexes(f, live, cache, version, preloaded)
     cand_gid: List[np.ndarray] = []
     cand_pos: List[np.ndarray] = []
     for ch in live:  # ascending rank: later candidates override earlier
@@ -764,6 +867,112 @@ def _chunk_positions(
     return pos
 
 
+def resolve_chunk_positions(
+    comm: Communicator,
+    f: File,
+    chunks: Sequence[ChunkRecord],
+    dtype: Primitive,
+    wanted: np.ndarray,
+    cache: Optional[IndexBlockCache] = None,
+    version: int = 0,
+) -> np.ndarray:
+    """Collective position resolution: :func:`_chunk_positions` with the
+    index blocks dealt across ranks instead of fetched P times.
+
+    On a cold read of a non-arithmetic instance every rank used to fetch
+    every overlapping index block itself, so cold index traffic scaled
+    with rank count.  Here the instance's indexed blocks are *dealt* over
+    the ranks by a deterministic block→rank map (sorted block keys,
+    position modulo ``comm.size`` — pure uniform chunk metadata, so every
+    rank derives the same owners), each rank routes the block keys its
+    cache cannot serve to their owners, every owner fetches its requested
+    blocks exactly once (one batched ``kind="index"`` read), and the
+    blocks travel back over the same :meth:`alltoallv` transport the
+    two-phase exchange uses.  Received blocks land in the requester's
+    :class:`IndexBlockCache`, so the warm path is *exactly* the old one:
+    subsequent reads resolve locally with no exchange at all — an
+    allreduce of the ranks' miss counts skips the dealing round entirely
+    when every rank is warm (its result is uniform, so the collective
+    structure stays SPMD).
+
+    Must be called by every rank of ``comm`` (a rank with an empty
+    ``wanted`` participates with empty requests).  The returned positions
+    are byte-identical to a purely local :func:`_chunk_positions` — the
+    dealt blocks are the same bytes the local path would have fetched.
+    """
+    indexed = sorted({
+        (ch.index_offset, ch.num_elements)
+        for ch in chunks
+        if ch.num_elements and ch.index_offset != ch.data_offset
+    })
+    if comm.size == 1 or not indexed:
+        return _chunk_positions(f, chunks, dtype, wanted, cache, version)
+    # Blocks this rank's own resolution will touch (overlapping its
+    # wanted range) that its cache cannot serve.
+    missing: List[Tuple[int, int]] = []
+    if len(wanted):
+        lo, hi = int(wanted[0]), int(wanted[-1])
+        for ch in chunks:
+            if (
+                ch.num_elements and ch.index_offset != ch.data_offset
+                and ch.gid_max >= lo and ch.gid_min <= hi
+            ):
+                key = (ch.index_offset, ch.num_elements)
+                if key in missing:
+                    continue
+                if cache is not None and cache.contains(
+                    f.name, key[0], key[1], version
+                ):
+                    continue
+                missing.append(key)
+    preloaded = None
+    if comm.allreduce(len(missing)) > 0:
+        preloaded = _deal_index_blocks(
+            comm, f, indexed, sorted(missing), cache, version
+        )
+    return _chunk_positions(f, chunks, dtype, wanted, cache, version,
+                            preloaded)
+
+
+def _deal_index_blocks(
+    comm: Communicator,
+    f: File,
+    all_keys: Sequence[Tuple[int, int]],
+    missing: Sequence[Tuple[int, int]],
+    cache: Optional[IndexBlockCache],
+    version: int,
+) -> Dict[Tuple[int, int], np.ndarray]:
+    """The exchange half of :func:`resolve_chunk_positions`: route each
+    missing block key to its owner rank, owners fetch their requested
+    blocks once, and the blocks come back keyed for local resolution."""
+    owner = {key: i % comm.size for i, key in enumerate(all_keys)}
+    sends: List[Optional[List[Tuple[int, int]]]] = [None] * comm.size
+    for key in missing:
+        dest = owner[key]
+        if sends[dest] is None:
+            sends[dest] = []
+        sends[dest].append(key)
+    recv = comm.alltoallv(sends)
+    requested = sorted({
+        tuple(key) for req in recv if req for key in req
+    })
+    blocks = _fetch_index_blocks(f, requested, cache, version)
+    replies = [
+        [blocks[tuple(key)] for key in req] if req else None
+        for req in recv
+    ]
+    back = comm.alltoallv(replies)
+    got: Dict[Tuple[int, int], np.ndarray] = {}
+    for dest, req in enumerate(sends):
+        if not req:
+            continue
+        for key, gids in zip(req, back[dest]):
+            if cache is not None:
+                gids = cache.put(f.name, key[0], gids, version)
+            got[key] = gids
+    return got
+
+
 def _assemble_chunked(
     comm: Communicator,
     f: File,
@@ -783,7 +992,8 @@ def _assemble_chunked(
     bytes a canonical read of an unwritten region would return."""
     esize = dtype.size
     wanted = view.map_sorted
-    pos = _chunk_positions(f, chunks, dtype, wanted, cache, version)
+    pos = resolve_chunk_positions(comm, f, chunks, dtype, wanted, cache,
+                                  version)
     present = pos >= 0
     upos = np.unique(pos[present])
     coff, clen, owner = runs.coalesce_positions(

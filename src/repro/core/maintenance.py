@@ -180,6 +180,11 @@ class _WorkerHost:
         application-registered cache entry for it."""
         self._service.invalidate_chunked_caches(file_name)
 
+    def invalidate_chunked_range(self, file_name: str, lo: int, hi: int) -> None:
+        """A first-fit write recycled ``[lo, hi)`` of this file: drop every
+        application-registered cache entry overlapping it."""
+        self._service.invalidate_chunked_range(file_name, lo, hi)
+
 
 class MaintenanceService:
     """Per-job background maintenance: queues, workers, persistent state.
@@ -289,6 +294,18 @@ class MaintenanceService:
             cache.drop_file_cache(file_name)
         for cache in self._read_caches:
             cache.drop_file(file_name)
+
+    def invalidate_chunked_range(self, file_name: str, lo: int, hi: int) -> None:
+        """Drop every registered cache's entries overlapping ``[lo, hi)``
+        of one file — a first-fit write is recycling a dead extent there,
+        and fresh rows publish at version 0, so a block another client
+        cached at a recycled ``(file, offset, 0)`` key (e.g. a pinned
+        catalog that read the old version before its release-time reap
+        recorded the extent) would otherwise survive with stale bytes."""
+        for cache in self._write_caches:
+            cache.drop_range_cache(file_name, lo, hi)
+        for cache in self._read_caches:
+            cache.drop_range(file_name, lo, hi)
 
     # ------------------------------------------------------------------
     # Read gate

@@ -782,6 +782,83 @@ class SDMTables:
             proc=proc,
         )
 
+    def _protected_index_ranges(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> List[Tuple[int, int]]:
+        """Byte ranges of index blocks any surviving chunk-map version of
+        this file may still resolve against.
+
+        A reaped instance's region can strand a *shared* index block that
+        later instances' chunk rows reference (``index_offset`` pointing
+        backward), so an extent is not automatically clobber-safe.  Data
+        bytes never have this problem — a row's data offsets lie inside
+        its own execution region, and reap only frees regions no pin can
+        see — but index references cross region boundaries.  Conservative
+        by design: every chunk row of every instance recorded in the file
+        (open or closed-but-unreaped) contributes its range.
+        """
+        keys = self.db.execute(
+            "SELECT runid, dataset, timestep FROM execution_table "
+            "WHERE file_name = ?",
+            (file_name,),
+            proc=proc,
+        )
+        ranges: List[Tuple[int, int]] = []
+        for runid, dataset, timestep in dict.fromkeys(keys):
+            rows = self.db.execute(
+                "SELECT num_elements, index_offset, data_offset "
+                "FROM chunk_table WHERE runid = ? AND dataset = ? "
+                "AND timestep = ?",
+                (runid, dataset, timestep),
+                proc=proc,
+            )
+            for n, io, do in rows:
+                if int(n) and int(io) != int(do):  # arithmetic: no block
+                    ranges.append((int(io), int(io) + int(n) * 8))
+        return ranges
+
+    def allocate_extent(
+        self,
+        file_name: str,
+        need: int,
+        min_fill: float = 0.5,
+        proc: Optional[Process] = None,
+    ) -> Optional[int]:
+        """First-fit placement of ``need`` bytes into a free extent.
+
+        Returns the base offset of the allocated region (the extent row
+        is consumed; any remainder is re-recorded as a smaller extent), or
+        None when no extent qualifies and the caller should append at the
+        cursor.  An extent qualifies when it is large enough, the write
+        would fill at least ``min_fill`` of it (skipping an allocation
+        that strands a large splinter), and the allocated prefix does not
+        overlap an index block a surviving chunk-map version still
+        references (:meth:`_protected_index_ranges`).
+
+        Safety against pins comes for free: :meth:`reap_file` records an
+        extent only for versions below the min-pinned floor, so extent
+        bytes are never visible to any snapshot.
+        """
+        if need <= 0:
+            return None
+        protected = self._protected_index_ranges(file_name, proc)
+        for off, nbytes in self.extents_for(file_name, proc):
+            if nbytes < need or need < min_fill * nbytes:
+                continue
+            end = off + need
+            if any(lo < end and hi > off for lo, hi in protected):
+                continue
+            self.db.execute(
+                "DELETE FROM extent_table "
+                "WHERE file_name = ? AND file_offset = ?",
+                (file_name, off),
+                proc=proc,
+            )
+            if nbytes > need:
+                self.record_extent(file_name, end, nbytes - need, proc)
+            return off
+        return None
+
     # -- epoch_table / lease_table / pin_table -------------------------------
 
     def current_epoch(self, proc: Optional[Process] = None) -> int:

@@ -309,8 +309,11 @@ class File:
             self.fs, self.comm.proc, self._handle, off, ln, raw
         )
 
-    def read_runs(self, offsets, lengths, buf) -> np.ndarray:
-        """Independent read of explicit byte runs into ``buf``."""
+    def read_runs(self, offsets, lengths, buf, kind: str = "data") -> np.ndarray:
+        """Independent read of explicit byte runs into ``buf``.
+
+        ``kind="index"`` tags the traffic as chunked index-block bytes in
+        the file system's counters."""
         self._check_live()
         off, ln = check_runs(offsets, lengths)
         raw = _as_bytes(buf)
@@ -320,7 +323,7 @@ class File:
             )
         if len(off):
             raw[:] = sieving.independent_read(
-                self.fs, self.comm.proc, self._handle, off, ln
+                self.fs, self.comm.proc, self._handle, off, ln, kind=kind
             )
         return buf
 

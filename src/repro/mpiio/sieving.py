@@ -72,8 +72,12 @@ def independent_read(
     handle: PFSHandle,
     offsets: np.ndarray,
     lengths: np.ndarray,
+    kind: str = "data",
 ) -> np.ndarray:
-    """Sieved independent read; returns the gathered bytes in run order."""
+    """Sieved independent read; returns the gathered bytes in run order.
+
+    ``kind`` feeds the file system's index/data traffic split.
+    """
     hints = Hints.from_machine(fs.machine)
     fs.runs_submitted += len(offsets)
     total = int(lengths.sum())
@@ -87,10 +91,10 @@ def independent_read(
         grp_bytes = int(grp_len.sum())
         if span_len == grp_bytes:
             # Solid group: read exactly.
-            data = fs.read(proc, handle, [span_start], [span_len])
+            data = fs.read(proc, handle, [span_start], [span_len], kind=kind)
             out[out_pos : out_pos + grp_bytes] = data
         else:
-            cover = fs.read(proc, handle, [span_start], [span_len])
+            cover = fs.read(proc, handle, [span_start], [span_len], kind=kind)
             proc.hold(fs.machine.compute.copy_time(grp_bytes))
             out[out_pos : out_pos + grp_bytes] = extract_runs(
                 cover,

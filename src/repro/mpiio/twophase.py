@@ -10,7 +10,10 @@ phases instead of thousands of tiny independent requests:
    with one ``alltoallv``.
 2. **Access** — each aggregator coalesces the segments it received into
    maximal contiguous *union runs* and accesses the file system in at most
-   ``cb_buffer_size``-byte requests, each a streaming transfer.
+   ``cb_buffer_size``-byte requests, each a streaming transfer.  Requests
+   are scheduled striping-aware (:mod:`repro.pfs.scheduler`): every batch
+   targets a single controller, and aggregators stagger their starting
+   controller by rank so a collective drives all controllers concurrently.
 
 Writes resolve overlapping segments deterministically: segments are applied
 in source-rank order, so the highest writing rank wins byte-wise (matters
@@ -33,6 +36,7 @@ from repro.mpi.ops import MAX, MIN
 from repro.mpiio.hints import Hints
 from repro.pfs.file import PFSHandle
 from repro.pfs.filesystem import FileSystem
+from repro.pfs.scheduler import controller_batches
 from repro.simt.process import Process
 
 __all__ = [
@@ -158,39 +162,6 @@ def _gather_segments(
     )
 
 
-def _request_batches(
-    uo: np.ndarray, ul: np.ndarray, cb_buffer_size: int
-) -> List[Tuple[np.ndarray, np.ndarray]]:
-    """Split union runs into file requests of at most cb_buffer_size bytes.
-
-    Batches are full to capacity: boundaries sit at multiples of
-    ``cb_buffer_size`` in the cumulative byte space of the runs, splitting
-    any run that crosses one.  Computed as one cumulative-sum/searchsorted
-    pass — no per-byte walk.
-    """
-    keep = ul > 0
-    uo, ul = uo[keep], ul[keep]
-    if len(uo) == 0:
-        return []
-    cum = np.cumsum(ul, dtype=np.int64)
-    total = int(cum[-1])
-    run_start = cum - ul  # byte position (in run space) each run begins at
-    cuts = np.arange(
-        cb_buffer_size, total, cb_buffer_size, dtype=np.int64
-    )
-    piece_start = np.union1d(run_start, cuts)
-    piece_len = np.diff(np.concatenate((piece_start, [total])))
-    run_idx = np.searchsorted(cum, piece_start, side="right")
-    piece_off = uo[run_idx] + (piece_start - run_start[run_idx])
-    splits = np.searchsorted(piece_start, cuts)
-    bounds = np.concatenate(([0], splits, [len(piece_start)]))
-    return [
-        (piece_off[a:b], piece_len[a:b])
-        for a, b in zip(bounds[:-1], bounds[1:])
-        if b > a
-    ]
-
-
 def _local_extent(offsets: np.ndarray, lengths: np.ndarray) -> Tuple[int, int]:
     if len(offsets) == 0:
         return _NO_OFFSET, -1
@@ -241,13 +212,20 @@ def collective_write(
             idx = _segment_scatter_indices(seg_off, seg_len, uo, ucum[:-1])
             scratch[idx] = seg_data  # src-rank order: highest rank wins overlaps
             proc.hold(fs.machine.compute.copy_time(len(seg_data)))
-            # Batches walk the union space sequentially, so a running
-            # cursor slices the scratch range each one covers.
-            upos = 0
-            for b_off, b_len in _request_batches(uo, ul, hints.cb_buffer_size):
-                nb = int(b_len.sum())
-                fs.write(proc, handle, b_off, b_len, scratch[upos : upos + nb])
-                upos += nb
+            # Striping-aware access: single-controller batches, staggered
+            # by rank so concurrent aggregators start on disjoint
+            # controller queues.  Batches are arbitrary sub-runs of the
+            # union, so each slices its scratch bytes by scatter index
+            # instead of a sequential cursor.
+            layout = handle.file.layout
+            for ctl, b_off, b_len in controller_batches(
+                layout, uo, ul, hints.cb_buffer_size,
+                start=comm.rank % layout.n_controllers,
+            ):
+                bidx = _segment_scatter_indices(b_off, b_len, uo, ucum[:-1])
+                fs.write(
+                    proc, handle, b_off, b_len, scratch[bidx], controller=ctl
+                )
     comm.barrier()
     return int(lengths.sum())
 
@@ -290,11 +268,15 @@ def collective_read(
                 (np.zeros(1, dtype=np.int64), np.cumsum(ul, dtype=np.int64))
             )
             scratch = np.empty(int(ul.sum()), dtype=np.uint8)
-            upos = 0
-            for b_off, b_len in _request_batches(uo, ul, hints.cb_buffer_size):
-                nb = int(b_len.sum())
-                scratch[upos : upos + nb] = fs.read(proc, handle, b_off, b_len)
-                upos += nb
+            layout = handle.file.layout
+            for ctl, b_off, b_len in controller_batches(
+                layout, uo, ul, hints.cb_buffer_size,
+                start=comm.rank % layout.n_controllers,
+            ):
+                bidx = _segment_scatter_indices(b_off, b_len, uo, ucum[:-1])
+                scratch[bidx] = fs.read(
+                    proc, handle, b_off, b_len, controller=ctl
+                )
             idx = _segment_scatter_indices(seg_off, seg_len, uo, ucum[:-1])
             gathered = scratch[idx]  # all requested bytes, src-rank order
             proc.hold(fs.machine.compute.copy_time(len(gathered)))

@@ -7,10 +7,13 @@ calling :class:`~repro.simt.Process` so it can charge virtual time:
 * **metadata ops** (create, open, stat, unlink) hold the metadata server
   (a capacity-limited FIFO resource) for a fixed cost — 64 ranks opening the
   same file queue up, which is exactly the level-1 penalty of the paper;
-* **data ops** (:meth:`read` / :meth:`write`) acquire one of
-  ``n_controllers`` stream slots for ``request_overhead + runs·run_overhead
-  + bytes/stream_bandwidth`` — so aggregate bandwidth saturates at
-  ``n_controllers`` concurrent streams.
+* **data ops** (:meth:`read` / :meth:`write`) stream through the
+  per-controller queues for a total of ``request_overhead +
+  runs·run_overhead + bytes/stream_bandwidth``: a scheduled request
+  (explicit ``controller=``) holds its one controller for the whole
+  service, an unscheduled one walks its stripe pieces controller by
+  controller — so one stream never exceeds stream bandwidth while
+  aggregate bandwidth saturates at ``n_controllers`` concurrent streams.
 
 Data is real: writes land in the file's :class:`ByteStore`, reads come back
 out, run lists included.
@@ -25,6 +28,7 @@ import numpy as np
 from repro.config import MachineModel
 from repro.errors import FileExists, FileNotFound, PFSError
 from repro.pfs.file import RD, RDWR, WR, FileStat, PFSFile, PFSHandle
+from repro.pfs.scheduler import split_runs_by_stripe
 from repro.pfs.striping import StripeLayout
 from repro.simt.primitives import Resource
 from repro.simt.process import Process
@@ -43,9 +47,15 @@ class FileSystem:
         self.sim = sim
         self.machine = machine
         self._files: Dict[str, PFSFile] = {}
-        self.controllers = Resource(
-            sim, capacity=machine.storage.n_controllers, name="pfs-controllers"
-        )
+        # One stream slot per I/O controller: a request queues at the
+        # controller serving its first byte, so requests landing on
+        # distinct controllers proceed concurrently while same-controller
+        # requests serialize — the contention the striping-aware run
+        # scheduler (repro.pfs.scheduler) exists to spread.
+        self.controllers = [
+            Resource(sim, capacity=1, name=f"pfs-ctl{i}")
+            for i in range(machine.storage.n_controllers)
+        ]
         self.metadata_server = Resource(
             sim, capacity=_METADATA_SERVER_WAYS, name="pfs-mds"
         )
@@ -53,6 +63,12 @@ class FileSystem:
         # Aggregate counters for benchmark reporting.
         self.bytes_written = 0
         self.bytes_read = 0
+        self.index_bytes_read = 0
+        """Bytes read with ``kind="index"`` — chunked index-block fetches.
+        The collective-resolution claim (cold index traffic 1x the index
+        size, not P x) is asserted directly against this counter."""
+        self.data_bytes_read = 0
+        """Bytes read with the default ``kind="data"``."""
         self.n_requests = 0
         self.n_opens = 0
         self.runs_submitted = 0
@@ -164,21 +180,77 @@ class FileSystem:
     # Data path
     # ------------------------------------------------------------------
 
-    def write(self, proc: Process, handle: PFSHandle, offsets, lengths, data) -> int:
+    def _serve(
+        self, proc: Process, handle: PFSHandle, offsets, lengths,
+        nbytes: int, controller: Optional[int], *, write: bool,
+    ) -> tuple:
+        """Charge one request's controller time; returns ``(ctl, nctl)``.
+
+        A *scheduled* request (the striping-aware scheduler emits
+        single-controller batches) queues at its chosen controller for
+        the full stream time.  An *unscheduled* request is walked stripe
+        piece by stripe piece: the fixed per-request overhead is charged
+        client-side, then the stream holds each controller its bytes
+        land on, in file order, for exactly that visit's transfer time.
+        A lone stream therefore still totals ``request_overhead +
+        runs·run_overhead + nbytes/bandwidth`` — one stream never
+        exceeds stream bandwidth — but concurrent streams pipeline
+        through the controller array (while one is on controller *c*,
+        another streams on *c+1*) instead of serializing behind
+        whichever queue owns their first byte.  Without the walk, every
+        rank of an independent-I/O phase would queue at controller 0 —
+        aligned region starts all map there — and aggregate bandwidth
+        would collapse to a single stream's.
+        """
+        storage = self.machine.storage
+        if controller is not None:
+            ctl = controller % len(self.controllers)
+            service = storage.stream_time(nbytes, write=write, runs=len(offsets))
+            with self.controllers[ctl].request(proc):
+                proc.hold(service)
+            return ctl, 1
+        proc.hold(storage.stream_time(0, write=write, runs=len(offsets)))
+        _, plen, pctl = split_runs_by_stripe(
+            handle.file.layout, offsets, lengths
+        )
+        if len(pctl) == 0:
+            return 0, 0
+        bw = (
+            storage.stream_write_bandwidth if write
+            else storage.stream_read_bandwidth
+        )
+        # One hold per controller *visit* (consecutive pieces on the same
+        # controller collapse), so the walk length is the stripe count,
+        # not the run count.
+        new = np.empty(len(pctl), dtype=bool)
+        new[0] = True
+        np.not_equal(pctl[1:], pctl[:-1], out=new[1:])
+        starts = np.flatnonzero(new)
+        visit_bytes = np.add.reduceat(plen, starts)
+        visit_ctl = pctl[starts]
+        for ctl, vbytes in zip(visit_ctl.tolist(), visit_bytes.tolist()):
+            with self.controllers[ctl].request(proc):
+                proc.hold(float(vbytes) / bw)
+        return int(visit_ctl[0]), len(np.unique(visit_ctl))
+
+    def write(
+        self, proc: Process, handle: PFSHandle, offsets, lengths, data,
+        *, controller: Optional[int] = None,
+    ) -> int:
         """One write request over a run list; returns bytes written.
 
-        Holds a controller stream for the modelled service time, then lands
-        the real bytes.  ``data`` is contiguous and must match the run total.
+        Holds one controller stream for the modelled service time, then
+        lands the real bytes.  ``data`` is contiguous and must match the
+        run total.  The request queues at the controller serving its first
+        byte unless the caller (the striping-aware scheduler) picked one.
         """
         handle.check_writable()
         offsets = np.atleast_1d(np.asarray(offsets, dtype=np.int64))
         lengths = np.atleast_1d(np.asarray(lengths, dtype=np.int64))
         nbytes = int(lengths.sum())
-        service = self.machine.storage.stream_time(
-            nbytes, write=True, runs=len(offsets)
+        ctl, nctl = self._serve(
+            proc, handle, offsets, lengths, nbytes, controller, write=True
         )
-        with self.controllers.request(proc):
-            proc.hold(service)
         handle.file.store.writev(offsets, lengths, data)
         handle.file.mtime = self.sim.now
         self.bytes_written += nbytes
@@ -186,27 +258,38 @@ class FileSystem:
         self.runs_serviced += len(offsets)
         self.sim.trace.record(
             self.sim.now, proc.name, "pfs.write",
-            {"file": handle.file.name, "bytes": nbytes, "runs": len(offsets)},
+            {"file": handle.file.name, "bytes": nbytes, "runs": len(offsets),
+             "ctl": ctl, "nctl": nctl},
         )
         return nbytes
 
-    def read(self, proc: Process, handle: PFSHandle, offsets, lengths) -> np.ndarray:
-        """One read request over a run list; returns the gathered bytes."""
+    def read(
+        self, proc: Process, handle: PFSHandle, offsets, lengths,
+        *, controller: Optional[int] = None, kind: str = "data",
+    ) -> np.ndarray:
+        """One read request over a run list; returns the gathered bytes.
+
+        ``kind`` splits the traffic counters: ``"index"`` for chunked
+        index-block fetches, ``"data"`` (default) for everything else.
+        """
         handle.check_readable()
         offsets = np.atleast_1d(np.asarray(offsets, dtype=np.int64))
         lengths = np.atleast_1d(np.asarray(lengths, dtype=np.int64))
         nbytes = int(lengths.sum())
-        service = self.machine.storage.stream_time(
-            nbytes, write=False, runs=len(offsets)
+        ctl, nctl = self._serve(
+            proc, handle, offsets, lengths, nbytes, controller, write=False
         )
-        with self.controllers.request(proc):
-            proc.hold(service)
         self.bytes_read += nbytes
+        if kind == "index":
+            self.index_bytes_read += nbytes
+        else:
+            self.data_bytes_read += nbytes
         self.n_requests += 1
         self.runs_serviced += len(offsets)
         self.sim.trace.record(
             self.sim.now, proc.name, "pfs.read",
-            {"file": handle.file.name, "bytes": nbytes, "runs": len(offsets)},
+            {"file": handle.file.name, "bytes": nbytes, "runs": len(offsets),
+             "ctl": ctl, "nctl": nctl},
         )
         return handle.file.store.readv(offsets, lengths)
 

@@ -620,3 +620,133 @@ def test_unknown_storage_order_rejected():
     with pytest.raises(SimProcessCrashed) as ei:
         mpirun(program, 2, machine=fast_test(), services=sdm_services())
     assert isinstance(ei.value.__cause__, SDMStateError)
+
+
+# ---------------------------------------------------------------------------
+# First-fit extent reuse
+# ---------------------------------------------------------------------------
+
+def test_index_block_cache_drop_range():
+    """Range eviction semantics: any byte overlap with [lo, hi) evicts,
+    touching neither counters nor disjoint entries."""
+    from repro.core.datapath import IndexBlockCache
+
+    cache = IndexBlockCache()
+    cache.put("f", 0, np.arange(4, dtype=np.int64))      # bytes [0, 32)
+    cache.put("f", 32, np.arange(4, dtype=np.int64))     # bytes [32, 64)
+    cache.put("f", 64, np.arange(2, dtype=np.int64))     # bytes [64, 80)
+    cache.put("g", 0, np.arange(4, dtype=np.int64))      # other file
+    cache.drop_range("f", 30, 64)  # clips the first, covers the second
+    assert not cache.contains("f", 0, 4)
+    assert not cache.contains("f", 32, 4)
+    assert cache.contains("f", 64, 2)  # [64, 80) starts at hi: untouched
+    assert cache.contains("g", 0, 4)
+    # Eviction is no-count bookkeeping: the probes above used contains().
+    assert cache.hits == 0 and cache.misses == 0
+
+
+def equal_count_maps(seed, nprocs=NPROCS, n=GLOBAL):
+    """Rank maps with identical per-rank counts (a permutation split
+    evenly), so two instances written with different seeds land their
+    chunks at identical offsets when one recycles the other's extent."""
+    rng = np.random.default_rng(seed)
+    maps = [m.astype(np.int64) for m in np.split(rng.permutation(n), nprocs)]
+    for m in maps:  # the scenarios below need real index blocks
+        s = np.sort(m)
+        assert not (np.diff(s) == np.diff(s)[0]).all(), "arithmetic map"
+    return maps
+
+
+def test_first_fit_write_reuses_dead_extent_without_growing_file():
+    """A chunked write whose bytes fit a reaped extent lands inside it
+    (first-fit) instead of appending — the file stops growing under
+    churn — and every representation still reads back exactly."""
+    maps_a = equal_count_maps(seed=5)
+    maps_b = equal_count_maps(seed=7)
+    maps_c = equal_count_maps(seed=11)
+
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
+                  storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=GLOBAL)
+        handle = sdm.set_attributes(result)
+        sdm.data_view(handle, "d", maps_a[ctx.rank])
+        sdm.write(handle, "d", 0, maps_a[ctx.rank] * 1.0)
+        sdm.data_view(handle, "d", maps_b[ctx.rank])
+        sdm.write(handle, "d", 1, maps_b[ctx.rank] * 2.0)
+        # Flipping t0 reaps its (interior) region into a dead extent ...
+        sdm.reorganize(handle, "d", 0)
+        # ... which the equal-sized t2 must recycle rather than append to.
+        sdm.data_view(handle, "d", maps_c[ctx.rank])
+        sdm.write(handle, "d", 2, maps_c[ctx.rank] * 3.0)
+        backs = []
+        for t, maps in ((0, maps_a), (1, maps_b), (2, maps_c)):
+            sdm.data_view(handle, "d", maps[ctx.rank])
+            back = np.empty(len(maps[ctx.rank]))
+            sdm.read(handle, "d", t, back)
+            backs.append(back)
+        sdm.finalize(handle)
+        return backs
+
+    job = mpirun(program, NPROCS, machine=fast_test(), services=sdm_services())
+    tables = SDMTables(job.services["db"])
+    fname = "dp/d.chunked.dat"
+    # t2 sits exactly where t0's region was; the extent is fully consumed
+    # and the file did not grow past the two original instances.
+    assert tables.lookup_execution(1, "d", 2)[:2] == (fname, 0)
+    assert tables.free_bytes_in(fname) == 0
+    t1_row = tables.lookup_execution(1, "d", 1)
+    assert job.services["fs"].lookup(fname).size == t1_row[1] + t1_row[2]
+    for rank, backs in enumerate(job.values):
+        for t, maps in ((0, maps_a), (1, maps_b), (2, maps_c)):
+            np.testing.assert_allclose(
+                backs[t], maps[rank] * (t + 1.0),
+                err_msg=f"t{t} read-back, rank {rank}",
+            )
+
+
+def test_first_fit_reuse_evicts_stale_cached_blocks_across_clients():
+    """Regression: fresh rows publish at version 0, so a first-fit write
+    recycling an extent re-creates ``(file, offset, 0)`` cache keys that
+    a *pinned* reader may still hold from the dead instance — it read the
+    old version after the flip, and its own release-time reap is what
+    recorded the extent.  The reuse write must evict every registered
+    cache's blocks in the recycled range, not just the writer's."""
+    maps_a = equal_count_maps(seed=5)
+    maps_b = equal_count_maps(seed=7)
+    maps_c = equal_count_maps(seed=11)
+
+    def program(ctx):
+        sdm = SDM(ctx, "dp", organization=Organization.LEVEL_2,
+                  storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=GLOBAL)
+        handle = sdm.set_attributes(result)
+        sdm.data_view(handle, "d", maps_a[ctx.rank])
+        sdm.write(handle, "d", 0, maps_a[ctx.rank] * 1.0)
+        sdm.data_view(handle, "d", maps_b[ctx.rank])
+        sdm.write(handle, "d", 1, maps_b[ctx.rank] * 2.0)
+        catalog = SDMCatalog.attach(ctx)     # pins the pre-flip epoch
+        sdm.reorganize(handle, "d", 0)       # the pin defers t0's reap
+        lo = GLOBAL * ctx.rank // ctx.size
+        hi = GLOBAL * (ctx.rank + 1) // ctx.size
+        share = np.arange(lo, hi, dtype=np.int64)
+        # The pinned read resolves the *old* chunked t0: it caches t0's
+        # index blocks under version-0 keys in the soon-dead region.
+        old = catalog.read_slice(1, "d", 0, share)
+        catalog.release()                    # reap records the dead extent
+        sdm.data_view(handle, "d", maps_c[ctx.rank])
+        sdm.write(handle, "d", 2, maps_c[ctx.rank] * 3.0)  # recycles it
+        # Same offsets, same counts, same version axis: without the
+        # range eviction this read resolves t2 against t0's stale blocks.
+        fresh = catalog.read_slice(1, "d", 2, share)
+        sdm.finalize(handle)
+        return share, old, fresh
+
+    job = mpirun(program, NPROCS, machine=fast_test(), services=sdm_services())
+    tables = SDMTables(job.services["db"])
+    assert tables.lookup_execution(1, "d", 2)[1] == 0  # reuse really happened
+    for share, old, fresh in job.values:
+        np.testing.assert_allclose(old, share * 1.0)
+        np.testing.assert_allclose(fresh, share * 3.0)

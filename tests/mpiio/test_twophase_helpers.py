@@ -6,11 +6,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.mpiio.twophase import (
-    _request_batches,
     file_domain_bounds,
     split_runs_by_bounds,
     union_runs,
 )
+from repro.pfs.scheduler import size_batches
 
 
 # ---------------------------------------------------------------------------
@@ -142,13 +142,13 @@ def test_union_runs_property(spec):
 
 
 # ---------------------------------------------------------------------------
-# _request_batches
+# size_batches (repro.pfs.scheduler)
 # ---------------------------------------------------------------------------
 
 def test_batches_split_large_runs():
     uo = np.array([0], dtype=np.int64)
     ul = np.array([100], dtype=np.int64)
-    batches = _request_batches(uo, ul, cb_buffer_size=30)
+    batches = size_batches(uo, ul, max_bytes=30)
     sizes = [int(l.sum()) for _, l in batches]
     assert sizes == [30, 30, 30, 10]
     assert batches[0][0].tolist() == [0]
@@ -158,14 +158,14 @@ def test_batches_split_large_runs():
 def test_batches_group_small_runs():
     uo = np.array([0, 100, 200, 300], dtype=np.int64)
     ul = np.array([10, 10, 10, 10], dtype=np.int64)
-    batches = _request_batches(uo, ul, cb_buffer_size=25)
+    batches = size_batches(uo, ul, max_bytes=25)
     sizes = [int(l.sum()) for _, l in batches]
     assert sum(sizes) == 40
     assert all(s <= 25 for s in sizes)
     assert len(batches) == 2
 
 
-def _reference_request_batches(uo, ul, cb_buffer_size):
+def _reference_size_batches(uo, ul, cb_buffer_size):
     """The pre-vectorization per-run while-loop, kept as the oracle."""
     batches = []
     cur_off, cur_len, cur_bytes = [], [], 0
@@ -208,8 +208,8 @@ def test_vectorized_batches_match_reference_property(spec, cap):
         cursor += ln
     uo = np.array(offsets, dtype=np.int64)
     ul = np.array(lengths, dtype=np.int64)
-    got = _request_batches(uo, ul, cap)
-    want = _reference_request_batches(uo, ul, cap)
+    got = size_batches(uo, ul, cap)
+    want = _reference_size_batches(uo, ul, cap)
     assert len(got) == len(want)
     for (go, gl), (wo, wl) in zip(got, want):
         assert go.tolist() == wo.tolist()

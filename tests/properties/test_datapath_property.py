@@ -189,3 +189,109 @@ def test_background_maintenance_preserves_reads_and_zeroes_extents(
     for fname in free:
         assert free[fname] == 0, (fname, free)
         assert sizes[fname] == live[fname], (fname, sizes, live)
+
+
+# ---------------------------------------------------------------------------
+# Collective index resolution
+# ---------------------------------------------------------------------------
+
+@st.composite
+def chunk_mixes(draw):
+    """(global size, per-rank maps) with a drawn mix of chunk kinds:
+    contiguous blocks and strided progressions (arithmetic chunks, no
+    index block on disk) and random subsets (indexed chunks) — the three
+    on-disk shapes collective resolution must agree with local
+    resolution on."""
+    nprocs = draw(st.integers(1, 8))
+    n = draw(st.integers(8, 48))
+    seed = draw(st.integers(0, 2**20))
+    kinds = draw(st.lists(
+        st.sampled_from(["block", "stride", "irregular"]),
+        min_size=nprocs, max_size=nprocs,
+    ))
+    rng = np.random.default_rng(seed)
+    maps = []
+    for kind in kinds:
+        count = int(rng.integers(2, max(3, n // 2)))
+        if kind == "block":
+            start = int(rng.integers(0, n - count + 1))
+            m = np.arange(start, start + count)
+        elif kind == "stride":
+            step = int(rng.integers(2, 4))
+            count = min(count, 1 + (n - 1) // step)
+            start = int(rng.integers(0, n - step * (count - 1)))
+            m = start + step * np.arange(count)
+        else:
+            m = rng.choice(n, size=count, replace=False)
+        maps.append(np.asarray(m, dtype=np.int64))
+    return n, maps
+
+
+@settings(max_examples=10, deadline=None)
+@given(chunk_mixes(), st.sampled_from(list(Organization)))
+def test_collective_resolution_matches_local_resolution(mix, level):
+    """``resolve_chunk_positions`` (index blocks dealt across ranks and
+    shipped over alltoallv) must return byte-identical positions to a
+    purely local ``_chunk_positions`` — for every rank count 1-8, every
+    organization level, arithmetic/indexed/mixed chunks, and wanted sets
+    including foreign shares and empty participants — cold, and again
+    warm from the cache the collective round just filled."""
+    from repro.core.datapath import (
+        IndexBlockCache, _chunk_positions, locate_instance,
+        resolve_chunk_positions,
+    )
+    from repro.mpiio.consts import MODE_RDONLY
+    from repro.mpiio.file import File
+
+    n, maps = mix
+    nprocs = len(maps)
+
+    def program(ctx):
+        sdm = SDM(ctx, "prop", organization=level, storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
+        handle = sdm.set_attributes(result)
+        mine = maps[ctx.rank]
+        sdm.data_view(handle, "d", mine)
+        sdm.write(handle, "d", 0, mine * 2.0 + 0.5)
+        where, chunks, version = locate_instance(
+            ctx.comm, sdm.tables, sdm.runid, "d", 0, proc=ctx.proc
+        )
+        f = File.open(ctx.comm, ctx.service("fs"), where[0], MODE_RDONLY)
+        lo = n * ctx.rank // ctx.size
+        hi = n * (ctx.rank + 1) // ctx.size
+        wanteds = [
+            np.sort(mine),                        # this rank's own elements
+            np.arange(lo, hi, dtype=np.int64),    # a foreign share
+            # Odd ranks sit a round out entirely: collective resolution
+            # must tolerate empty-wanted participants.
+            np.sort(mine) if ctx.rank % 2 == 0
+            else np.empty(0, dtype=np.int64),
+        ]
+        out = []
+        cache = IndexBlockCache()
+        for wanted in wanteds:
+            local = _chunk_positions(f, chunks, DOUBLE, wanted, None, version)
+            cold = resolve_chunk_positions(
+                ctx.comm, f, chunks, DOUBLE, wanted, cache, version
+            )
+            warm = resolve_chunk_positions(
+                ctx.comm, f, chunks, DOUBLE, wanted, cache, version
+            )
+            out.append((local, cold, warm))
+        f.close()
+        sdm.finalize(handle)
+        return out
+
+    job = mpirun(program, nprocs, machine=fast_test(),
+                 services=sdm_services())
+    for rank, variants in enumerate(job.values):
+        for v, (local, cold, warm) in enumerate(variants):
+            np.testing.assert_array_equal(
+                cold, local,
+                err_msg=f"cold collective vs local, rank {rank} variant {v}",
+            )
+            np.testing.assert_array_equal(
+                warm, local,
+                err_msg=f"warm collective vs local, rank {rank} variant {v}",
+            )

@@ -240,3 +240,131 @@ def test_zero_row_updates_raise(tmp_path):
         tables.update_execution_offsets(
             [(0, 8, 1, "d", 0, 77)], "a.chunked", epoch=1
         )
+
+
+# ---------------------------------------------------------------------------
+# First-fit extent reuse under churn
+# ---------------------------------------------------------------------------
+
+@st.composite
+def churn_workloads(draw):
+    """A write/flip/release/write churn: some timesteps flipped to
+    canonical while a catalog pin holds their chunked rows alive, the
+    release-time reap turning them into dead extents, then more writes
+    that may recycle those extents first-fit.  ``shared=True`` keeps one
+    view for every timestep, so flipped regions strand index blocks still
+    referenced by surviving timesteps — the bytes first-fit must never
+    hand out."""
+    nprocs = draw(st.integers(1, 4))
+    n = draw(st.integers(max(4, nprocs * 2), 24))
+    seed = draw(st.integers(0, 2**20))
+    t_first = draw(st.integers(2, 4))
+    flips = draw(st.lists(st.booleans(), min_size=t_first, max_size=t_first))
+    shared = draw(st.booleans())
+    t_more = draw(st.integers(1, 3))
+    rng = np.random.default_rng(seed)
+
+    def make_maps(r):
+        perm = r.permutation(n)
+        cuts = np.sort(
+            r.choice(np.arange(1, n), nprocs - 1, replace=False)
+        ) if nprocs > 1 else np.array([], dtype=int)
+        return [p.astype(np.int64) for p in np.split(perm, cuts)]
+
+    total = t_first + t_more
+    if shared:
+        maps = [make_maps(rng)] * total
+    else:
+        maps = [make_maps(rng) for _ in range(total)]
+    return n, maps, flips, t_first
+
+
+@settings(max_examples=8, deadline=None)
+@given(churn_workloads(), st.sampled_from(list(Organization)))
+def test_first_fit_reuse_never_overlaps_live_or_pinned_bytes(
+    workload, level
+):
+    """Safety of extent recycling: across random churn every read — the
+    pinned catalog's, the writer's, and the catalog's post-release reads
+    at current visibility — stays byte-exact, and no two execution-row
+    versions visible at a common epoch ever occupy overlapping bytes of
+    one file (a first-fit placement over live or pinned bytes would
+    violate one of the two)."""
+    from repro.core.catalog import SDMCatalog
+
+    n, maps, flips, t_first = workload
+    nprocs = len(maps[0])
+    total = len(maps)
+
+    def program(ctx):
+        sdm = SDM(ctx, "prop", organization=level, storage_order=CHUNKED)
+        result = sdm.make_datalist(["d"])
+        sdm.associate_attributes(result, data_type=DOUBLE, global_size=n)
+        handle = sdm.set_attributes(result)
+        for t in range(t_first):
+            m = maps[t][ctx.rank]
+            sdm.data_view(handle, "d", m)
+            sdm.write(handle, "d", t, m * 1.5 + t)
+        catalog = SDMCatalog.attach(ctx)     # pins the pre-flip epoch
+        for t, flip in enumerate(flips):
+            if flip:
+                sdm.reorganize(handle, "d", t)  # pin defers the reap
+        lo = n * ctx.rank // ctx.size
+        hi = n * (ctx.rank + 1) // ctx.size
+        share = np.arange(lo, hi, dtype=np.int64)
+        pinned = [
+            catalog.read_slice(1, "d", t, share) for t in range(t_first)
+        ]
+        catalog.release()  # reap: flipped regions become dead extents
+        for t in range(t_first, total):
+            m = maps[t][ctx.rank]
+            sdm.data_view(handle, "d", m)
+            sdm.write(handle, "d", t, m * 1.5 + t)  # may recycle extents
+        mine = []
+        for t in range(total):
+            m = maps[t][ctx.rank]
+            sdm.data_view(handle, "d", m)
+            back = np.empty(len(m))
+            sdm.read(handle, "d", t, back)
+            mine.append(back.copy())
+        current = [
+            catalog.read_slice(1, "d", t, share) for t in range(total)
+        ]
+        sdm.finalize(handle)
+        return share, pinned, mine, current
+
+    job = mpirun(program, nprocs, machine=fast_test(),
+                 services=sdm_services())
+    for rank, (share, pinned, mine, current) in enumerate(job.values):
+        for t in range(total):
+            if t < t_first:
+                np.testing.assert_array_equal(
+                    pinned[t], share * 1.5 + t,
+                    err_msg=f"pinned read t{t}, rank {rank}",
+                )
+            np.testing.assert_array_equal(
+                mine[t], maps[t][rank] * 1.5 + t,
+                err_msg=f"writer read t{t}, rank {rank}",
+            )
+            np.testing.assert_array_equal(
+                current[t], share * 1.5 + t,
+                err_msg=f"current-epoch read t{t}, rank {rank}",
+            )
+    # No two row versions visible at a common epoch occupy overlapping
+    # bytes of one file — live rows, pinned-epoch rows, recycled rows.
+    tables = SDMTables(job.services["db"])
+    rows = tables.db.execute(
+        "SELECT file_name, file_offset, nbytes, valid_from, valid_to "
+        "FROM execution_table"
+    )
+    by_file = {}
+    for fname, off, nbytes, vf, vt in rows:
+        by_file.setdefault(fname, []).append(
+            (int(off), int(off) + int(nbytes), int(vf), int(vt))
+        )
+    for fname, regions in by_file.items():
+        for i, (lo1, hi1, vf1, vt1) in enumerate(regions):
+            for lo2, hi2, vf2, vt2 in regions[i + 1:]:
+                covisible = max(vf1, vf2) < min(vt1, vt2)
+                disjoint = hi1 <= lo2 or hi2 <= lo1
+                assert not covisible or disjoint, (fname, regions)
