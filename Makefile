@@ -2,8 +2,9 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-metadb test-datapath test-maintenance test-mvcc \
-    lint verify-collectives \
-    bench bench-metadb bench-datapath bench-maintenance perfcheck
+    test-policy lint verify-collectives \
+    bench bench-metadb bench-datapath bench-maintenance bench-policy \
+    perfcheck
 
 ## tier-1 verify: static SPMD lint first (cheapest signal), the metadb
 ## subset next, then everything else, then the property harnesses again
@@ -48,6 +49,13 @@ test-datapath:
 test-maintenance:
 	$(PYTHON) -m pytest tests/core/test_maintenance.py tests/properties/test_datapath_property.py -q
 
+## self-tuning policy tier: planner calibration, adaptive coalesce_gap
+## derivation, maintenance triggers (promotion, autocompaction, worker
+## throttling) + the adaptive read-equivalence dimension of the datapath
+## property harness
+test-policy:
+	$(PYTHON) -m pytest tests/core/test_policy.py tests/properties/test_datapath_property.py -q
+
 ## metadata query-path ablation (scan vs hash vs ordered vs composite,
 ## parse vs statement cache); emits BENCH_metadb.json for cross-PR tracking
 bench-metadb:
@@ -60,11 +68,20 @@ bench-datapath:
 	DATAPATH_BENCH_JSON=BENCH_datapath.json $(PYTHON) -m pytest benchmarks/bench_ablation_datapath.py --benchmark-only -q
 	$(PYTHON) benchmarks/perfcheck_datapath.py BENCH_datapath.json
 
-## guard the committed BENCH_datapath.json: fails if the cold chunked read
-## exceeds READ_GAP_MAX (1.3x) of canonical at 4/8 ranks, or the chunked
-## read's submitted run count regresses toward O(elements)
+## policy-tier ablation (adaptive planner/gap/maintenance vs a grid of
+## static settings per knob); emits BENCH_policy.json
+bench-policy:
+	POLICY_BENCH_JSON=BENCH_policy.json $(PYTHON) -m pytest benchmarks/bench_ablation_policy.py --benchmark-only -q
+	$(PYTHON) benchmarks/perfcheck_policy.py BENCH_policy.json
+
+## guard the committed BENCH JSONs: fails if the cold chunked read
+## exceeds READ_GAP_MAX (1.3x) of canonical at 4/8 ranks, the chunked
+## read's submitted run count regresses toward O(elements), or an
+## adaptive policy falls below ADAPTIVE_WIN_MIN (1.0x) of its best
+## static setting
 perfcheck:
 	$(PYTHON) benchmarks/perfcheck_datapath.py BENCH_datapath.json
+	$(PYTHON) benchmarks/perfcheck_policy.py BENCH_policy.json
 
 ## maintenance ablation (sync vs background reorganize critical path,
 ## cold vs warm chunked-read index cache, compaction file sizes); emits
@@ -79,8 +96,9 @@ bench-maintenance:
 ## `pytest benchmarks/` collects nothing.
 TRACKED_BENCHES := benchmarks/bench_ablation_metadb.py \
     benchmarks/bench_ablation_datapath.py \
-    benchmarks/bench_ablation_maintenance.py
-bench: bench-metadb bench-datapath bench-maintenance
+    benchmarks/bench_ablation_maintenance.py \
+    benchmarks/bench_ablation_policy.py
+bench: bench-metadb bench-datapath bench-maintenance bench-policy
 	$(PYTHON) -m pytest --benchmark-only -q \
 	    $(filter-out $(TRACKED_BENCHES),$(wildcard benchmarks/bench_*.py))
-	$(PYTHON) benchmarks/perfcheck_datapath.py BENCH_datapath.json
+	$(MAKE) perfcheck

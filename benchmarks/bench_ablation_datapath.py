@@ -36,6 +36,9 @@ Two satellite cases pin the other datapath claims:
   reuse must hold the shared chunked file at ``(W+1)/W`` of its live
   bytes in steady state instead of growing without bound.
 
+Every cell pins ``policy="static"`` so the self-tuning tier (benched on
+its own in ``bench_ablation_policy.py``) cannot drift these baselines.
+
 Set ``DATAPATH_BENCH_JSON=<path>`` (the Makefile's ``bench-datapath``
 target points it at ``BENCH_datapath.json``) to emit the matrix as JSON
 for cross-PR tracking.
@@ -95,7 +98,7 @@ def run_case(nprocs, order, reorganize):
     def program(ctx):
         sdm = SDM(
             ctx, "bench", organization=Organization.LEVEL_2,
-            storage_order=order,
+            storage_order=order, policy="static",
         )
         result = sdm.make_datalist(["d"])
         sdm.associate_attributes(
@@ -120,18 +123,18 @@ def run_case(nprocs, order, reorganize):
         # "before" before any rank's read touches the counters, and the
         # one after the read closes the window.
         fs = ctx.service("fs")
-        before = (fs.runs_submitted, fs.runs_serviced, fs.n_requests,
-                  fs.index_bytes_read, fs.data_bytes_read)
+        before = fs.stats()
         ctx.comm.barrier()
         with ctx.phase("read"):
             sdm.read(handle, "d", TIMESTEPS - 1, back)
         ctx.comm.barrier()
+        after = fs.stats()
         counters = {
-            "read_runs_submitted": fs.runs_submitted - before[0],
-            "read_runs_serviced": fs.runs_serviced - before[1],
-            "read_requests": fs.n_requests - before[2],
-            "read_index_bytes": fs.index_bytes_read - before[3],
-            "read_data_bytes": fs.data_bytes_read - before[4],
+            "read_runs_submitted": after["runs_submitted"] - before["runs_submitted"],
+            "read_runs_serviced": after["runs_serviced"] - before["runs_serviced"],
+            "read_requests": after["n_requests"] - before["n_requests"],
+            "read_index_bytes": after["index_bytes_read"] - before["index_bytes_read"],
+            "read_data_bytes": after["data_bytes_read"] - before["data_bytes_read"],
         }
         sdm.finalize(handle)
         return back, counters
@@ -157,7 +160,7 @@ def run_index_case(nprocs):
     def program(ctx):
         sdm = SDM(
             ctx, "benchidx", organization=Organization.LEVEL_2,
-            storage_order=CHUNKED,
+            storage_order=CHUNKED, policy="static",
         )
         result = sdm.make_datalist(["d"])
         sdm.associate_attributes(
@@ -172,13 +175,13 @@ def run_index_case(nprocs):
         # the job-wide counter window contains exactly this read.
         sdm.invalidate_chunked_caches(fname)
         fs = ctx.service("fs")
-        before = fs.index_bytes_read
+        before = fs.stats()
         ctx.comm.barrier()
         back = np.empty(len(mine))
         with ctx.phase("read"):
             sdm.read(handle, "d", 0, back)
         ctx.comm.barrier()
-        delta = fs.index_bytes_read - before
+        delta = fs.stats()["index_bytes_read"] - before["index_bytes_read"]
         sdm.finalize(handle)
         return back, delta
 
@@ -210,7 +213,7 @@ def run_churn_case(nprocs):
     def program(ctx):
         sdm = SDM(
             ctx, "benchchurn", organization=Organization.LEVEL_2,
-            storage_order=CHUNKED,
+            storage_order=CHUNKED, policy="static",
         )
         result = sdm.make_datalist(["d"])
         sdm.associate_attributes(

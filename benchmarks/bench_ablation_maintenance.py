@@ -21,6 +21,9 @@ origin2000 machine model:
   slides the live chunks down and truncates the file to exactly its
   live bytes, with recorded free bytes at zero.
 
+Every cell pins ``policy="static"`` so the self-tuning tier (benched on
+its own in ``bench_ablation_policy.py``) cannot drift these baselines.
+
 Set ``MAINTENANCE_BENCH_JSON=<path>`` (the Makefile's
 ``bench-maintenance`` target points it at ``BENCH_maintenance.json``) to
 emit the matrix as JSON for cross-PR tracking.
@@ -76,7 +79,7 @@ def run_reorganize_case(nprocs, mode):
 
     def program(ctx):
         sdm = SDM(ctx, "bench", organization=Organization.LEVEL_2,
-                  storage_order=CHUNKED)
+                  storage_order=CHUNKED, policy="static")
         handle = _setup(sdm, GLOBAL_ELEMENTS)
         mine = _round_robin(ctx, GLOBAL_ELEMENTS)
         sdm.data_view(handle, "d", mine)
@@ -123,7 +126,7 @@ def run_read_case(nprocs, order):
 
     def program(ctx):
         sdm = SDM(ctx, "bench", organization=Organization.LEVEL_2,
-                  storage_order=order)
+                  storage_order=order, policy="static")
         handle = _setup(sdm, GLOBAL_ELEMENTS)
         mine = _irregular(ctx, GLOBAL_ELEMENTS)
         sdm.data_view(handle, "d", mine)
@@ -159,7 +162,7 @@ def run_compaction_case(nprocs):
 
     def program(ctx):
         sdm = SDM(ctx, "bench", organization=Organization.LEVEL_2,
-                  storage_order=CHUNKED)
+                  storage_order=CHUNKED, policy="static")
         handle = _setup(sdm, GLOBAL_ELEMENTS)
         mine = _round_robin(ctx, GLOBAL_ELEMENTS)
         sdm.data_view(handle, "d", mine)

@@ -1,0 +1,74 @@
+"""Guard the committed policy benchmark against self-tuning regressions.
+
+``make perfcheck`` (also run at the end of ``make bench``) loads
+``BENCH_policy.json`` — the matrix ``make bench-policy`` regenerates and
+commits — and fails if the policy tier has stopped paying for itself:
+
+* **adaptive win** — on each case (planner / gap / maintenance) the
+  adaptive policy's recorded ``win_vs_best_static`` must stay at least
+  ``ADAPTIVE_WIN_MIN`` (default 1.0x): self-tuning may never lose to
+  the best hand-picked static setting of the knob it replaces.
+* **default win** — at least one case's ``win_vs_default`` must exceed
+  ``ADAPTIVE_DEFAULT_WIN_MIN`` (default 1.05x): the tier must beat the
+  shipped defaults somewhere, or it is dead weight.
+
+Thresholds are overridable through the environment for experiments::
+
+    ADAPTIVE_WIN_MIN=0.95 python benchmarks/perfcheck_policy.py
+"""
+
+import json
+import os
+import sys
+
+DEFAULT_JSON = "BENCH_policy.json"
+CASES = ("planner", "gap", "maintenance")
+
+
+def check(path: str) -> int:
+    win_min = float(os.environ.get("ADAPTIVE_WIN_MIN", "1.0"))
+    default_min = float(os.environ.get("ADAPTIVE_DEFAULT_WIN_MIN", "1.05"))
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"perfcheck: cannot load {path}: {exc}", file=sys.stderr)
+        return 2
+    cases = doc.get("cases", {})
+    failures = []
+    best_default_win = 0.0
+    for name in CASES:
+        case = cases.get(name)
+        if case is None:
+            failures.append(f"no {name} case in {path} "
+                            "(regenerate with make bench-policy)")
+            continue
+        win = case["win_vs_best_static"]
+        status = "ok" if win >= win_min else "FAIL"
+        print(f"perfcheck: adaptive-win/{name} = {win:.3f}x "
+              f"(min {win_min:.2f}x) {status}")
+        if win < win_min:
+            failures.append(
+                f"adaptive-win/{name} = {win:.3f}x below {win_min:.2f}x "
+                "(the adaptive policy lost to a static setting)"
+            )
+        best_default_win = max(best_default_win, case["win_vs_default"])
+    status = "ok" if best_default_win > default_min else "FAIL"
+    print(f"perfcheck: adaptive-win-vs-default (best case) = "
+          f"{best_default_win:.3f}x (min >{default_min:.2f}x) {status}")
+    if best_default_win <= default_min:
+        failures.append(
+            f"best win_vs_default = {best_default_win:.3f}x does not exceed "
+            f"{default_min:.2f}x (self-tuning no longer beats the shipped "
+            "defaults anywhere)"
+        )
+    if failures:
+        for f in failures:
+            print(f"perfcheck: FAIL: {f}", file=sys.stderr)
+        return 1
+    print("perfcheck: all policy guards hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else DEFAULT_JSON))

@@ -70,6 +70,15 @@ class Fun3dRunConfig:
     disk before continuing — read-your-writes on the registered history
     instead of busy-checking ``HistoryRegistration.done``."""
 
+    io_hints: Optional[Dict[str, int]] = None
+    """MPI-IO hints the run's SDM passes on every file open (validated
+    against the accepted-hint list at construction)."""
+
+    policy: Optional[str] = None
+    """``SDM(policy=...)`` spec: None/"static" keeps every hand-picked
+    constant, "adaptive" closes the three self-tuning loops
+    (:mod:`repro.core.policy`)."""
+
     mesh_file: str = "uns3d.msh"
 
 
@@ -100,8 +109,10 @@ def run_fun3d_sdm(
     sdm = SDM(
         ctx, "fun3d", organization=config.organization,
         problem_size=mesh.n_edges, num_timesteps=config.timesteps,
+        io_hints=config.io_hints,
         storage_order=config.storage_order,
         reorganize_mode=config.reorganize_mode,
+        policy=config.policy,
     )
 
     # ------------------------------------------------------- Figure 3 ----

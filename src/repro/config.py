@@ -184,7 +184,14 @@ class CollectiveIOModel:
     *source* rank before a request is issued: holes up to this size are
     read and discarded to save a request (the data-sieving trade, applied
     before the runs ever reach the exchange phase).  0 merges only
-    exactly-adjacent runs — always beneficial, never wasteful."""
+    exactly-adjacent runs — always beneficial, never wasteful.  The
+    sentinel -1 (``repro.mpiio.runs.ADAPTIVE_GAP``) derives the gap per
+    read from that read's own hole distribution."""
+
+    coalesce_waste: float = 0.25
+    """Adaptive-gap budget: largest fraction of a read's payload that
+    bridged (read-and-discarded) hole bytes may occupy.  Only consulted
+    when ``coalesce_gap`` is the adaptive sentinel."""
 
 
 @dataclass

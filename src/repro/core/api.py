@@ -58,15 +58,23 @@ from repro.core.history import (
     register_history_async,
     try_load_history,
 )
-from repro.core.layout import CHUNKED, Organization, checkpoint_file_name
+from repro.core.layout import (
+    CHUNKED,
+    Organization,
+    checkpoint_file_name,
+    is_chunked_name,
+)
+from repro.core.policy import PolicyConfig
 from repro.core.ring import EdgeChunk, LocalPartition, owned_nodes_of, ring_partition_index
 from repro.dtypes.constructors import IndexedBlock
 from repro.dtypes.primitives import DOUBLE, INT, Primitive
-from repro.errors import SDMStateError, SDMUnknownDataset
+from repro.errors import SDMLeaseConflict, SDMStateError, SDMUnknownDataset
 from repro.metadb.schema import SDMTables
 from repro.mpi.job import RankContext
 from repro.mpiio.consts import MODE_RDONLY
 from repro.mpiio.file import File
+from repro.mpiio.hints import validate_hints
+from repro.mpiio.runs import ADAPTIVE_GAP
 
 __all__ = ["SDM"]
 
@@ -86,6 +94,7 @@ class SDM:
         storage_order: Union[str, StorageOrder] = "canonical",
         reorganize_mode: str = "sync",
         snapshot: bool = False,
+        policy: Union[None, str, PolicyConfig] = None,
     ) -> None:
         self.ctx = ctx
         self.comm = ctx.comm
@@ -110,13 +119,40 @@ class SDM:
         """Rank-local LRU over chunked index-block fetches: checkpoint
         loops share blocks across timesteps, so warm chunked reads move
         data bytes only."""
+        validate_hints(io_hints)
         self.io_hints = dict(io_hints) if io_hints else None
         """MPI-IO hints SDM passes on every file open (the paper: SDM uses
         "the ability to pass hints to the implementation about access
         patterns, file-striping parameters, and so forth")."""
+        self.policy = PolicyConfig.resolve(policy)
+        """Per-loop policy modes (:mod:`repro.core.policy`): planner
+        calibration, adaptive ``coalesce_gap``, self-driving maintenance.
+        Defaults to all-static — the pre-policy behavior, byte for
+        byte."""
+        if self.policy.coalesce != "static" and (
+            self.io_hints is None or "coalesce_gap" not in self.io_hints
+        ):
+            # The adaptive-gap loop is carried by the hint sentinel: every
+            # coalescing read derives its own gap.  An explicit
+            # coalesce_gap hint wins over the policy default.
+            self.io_hints = dict(self.io_hints or {})
+            self.io_hints["coalesce_gap"] = ADAPTIVE_GAP
         self.fs = ctx.service("fs")
         self.db = ctx.service("db")
         self.tables = SDMTables(self.db)
+        self.planner_calibration = None
+        """This client's view of the database's planner calibration (the
+        job-shared :class:`~repro.core.policy.PlannerCalibration`), or
+        None under a static planner policy."""
+        if self.policy.planner != "static":
+            # The database is one job-shared service; the first adaptive
+            # client installs the calibration, later ones adopt it, so
+            # every rank's statements feed one EWMA.
+            if self.db.planner_calibration is None:
+                self.db.planner_calibration = (
+                    self.policy.make_planner_calibration()
+                )
+            self.planner_calibration = self.db.planner_calibration
         # Establish the database connection; rank 0 creates the six tables
         # and allocates the run id.
         self.db.connect(ctx.proc)
@@ -161,8 +197,16 @@ class SDM:
         self.maintenance = ctx.services.get("maint")
         """The job's background maintenance service (None in bespoke
         services dicts without the tier)."""
+        self._maint_policy = self.policy.make_maintenance_policy()
+        """Per-rank self-driving maintenance triggers (replicated state;
+        see :class:`~repro.core.policy.MaintenancePolicy`), or None under
+        a static maintenance policy."""
         if self.maintenance is not None:
             self.maintenance.attach(ctx)
+            if self._maint_policy is not None:
+                # Workers consult the policy's rate limiter before heavy
+                # I/O (job-shared service: one policy instance suffices).
+                self.maintenance.policy = self._maint_policy
             self.maintenance.register_caches(
                 self.storage_order
                 if isinstance(self.storage_order, ChunkedOrder) else None,
@@ -451,9 +495,11 @@ class SDM:
                 f"buffer for {name!r} has {len(buf)} elements, "
                 f"view expects {view.local_count}"
             )
-        return self.storage_order.write(
+        fname = self.storage_order.write(
             self, handle, attrs, view, name, timestep, buf
         )
+        self._maybe_autocompact(fname)
+        return fname
 
     def read(
         self,
@@ -503,6 +549,21 @@ class SDM:
         finally:
             if gate is not None and self.ctx.rank == 0:
                 gate.end_read()
+        if (
+            chunks
+            and self._maint_policy is not None
+            and self.maintenance is not None
+            and self._pinned_epoch is None
+        ):
+            # Promotion loop: the instance is still serving chunked.  The
+            # per-rank read counters are replicated (every rank counts the
+            # same collective reads in the same order), so the Nth read
+            # fires on all ranks together and the enqueue below is a
+            # uniform collective.
+            if self._maint_policy.note_chunked_read((rid, name, timestep)):
+                self.reorganize(
+                    handle, name, timestep, runid=rid, mode="background"
+                )
         if self.organization == Organization.LEVEL_1:
             self._close_cached(fname)
         return buf
@@ -535,7 +596,16 @@ class SDM:
         """
         mode = self.reorganize_mode if mode is None else mode
         if mode == "sync":
-            return _reorganize(self, handle, name, timestep, runid=runid)
+            out = self._sync_flip(
+                lambda: _reorganize(self, handle, name, timestep, runid=runid)
+            )
+            # The exchange leaves the instance's old chunks dead in the
+            # .chunked file; give the fragmentation watcher a look.
+            self._maybe_autocompact(
+                self.checkpoint_file(handle, name, timestep,
+                                     storage_order=CHUNKED)
+            )
+            return out
         if mode != "background":
             raise SDMStateError(
                 f"unknown reorganize mode {mode!r} "
@@ -596,7 +666,7 @@ class SDM:
         """
         mode = self.reorganize_mode if mode is None else mode
         if mode == "sync":
-            compact_chunked_file(self, file_name)
+            self._sync_flip(lambda: compact_chunked_file(self, file_name))
             return file_name
         if mode != "background":
             raise SDMStateError(
@@ -617,6 +687,53 @@ class SDM:
             file_name=file_name,
         )
         return file_name
+
+    def _sync_flip(self, flip):
+        """Run a synchronous metadata flip, riding out this job's own
+        background maintenance.
+
+        A flip lease conflict unwinds before any mutation (both flip
+        entry points acquire the lease first) and raises symmetrically on
+        every rank, so when the holder may be this job's background tier
+        — e.g. a policy-enqueued compaction of the same file — every rank
+        drains its maintenance queue together and retries once.  A
+        conflict with a genuinely concurrent *client* survives the drain
+        and re-raises: the fail-fast lost-update protection stands.
+        """
+        try:
+            return flip()
+        except SDMLeaseConflict:
+            if self.maintenance is None:
+                raise
+            self.drain_maintenance()
+            return flip()
+
+    def _maybe_autocompact(self, file_name: str) -> None:
+        """Fragmentation loop: one observation of a chunked file's
+        dead-byte ratio at a collective entry point (write, sync
+        reorganize).
+
+        Rank 0 probes ``extent_table`` free bytes against the file size
+        and runs the hysteresis trigger; every rank receives the decision
+        by broadcast before acting, so the background enqueue below stays
+        a uniform collective no matter which rank's counters say what.
+        Collective in shape — call uniformly on every rank.
+        """
+        pol = self._maint_policy
+        if pol is None or self.maintenance is None:
+            return
+        if not is_chunked_name(file_name):
+            return
+        fire = None
+        if self.ctx.rank == 0:
+            free = self.tables.free_bytes_in(file_name, proc=self.ctx.proc)
+            size = (
+                self.fs.lookup(file_name).size
+                if self.fs.exists(file_name) else 0
+            )
+            fire = pol.fragmentation_trigger(file_name, free, size)
+        if self.comm.bcast(fire, root=0):
+            self.compact(file_name, mode="background")
 
     def checkpoint_file(
         self,

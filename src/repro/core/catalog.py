@@ -48,6 +48,7 @@ from repro.metadb.schema import OPEN_EPOCH, SDMTables
 from repro.mpi.job import RankContext
 from repro.mpiio.consts import MODE_RDONLY
 from repro.mpiio.file import File
+from repro.mpiio.hints import validate_hints
 
 __all__ = ["RunRecord", "DatasetRecord", "SDMCatalog"]
 
@@ -96,6 +97,7 @@ class SDMCatalog:
         self.ctx = ctx
         self.tables = tables
         self.fs = fs
+        validate_hints(io_hints)
         self.io_hints = dict(io_hints) if io_hints else None
         """MPI-IO hints applied to every catalog read (e.g. a
         ``coalesce_gap`` for viewers scanning sparse subsets of chunked

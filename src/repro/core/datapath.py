@@ -996,9 +996,12 @@ def _assemble_chunked(
                                   version)
     present = pos >= 0
     upos = np.unique(pos[present])
-    coff, clen, owner = runs.coalesce_positions(
-        upos, esize, max(f.hints.coalesce_gap, 0)
+    gap = runs.resolve_gap_positions(
+        f.hints.coalesce_gap, upos, esize,
+        waste_fraction=f.hints.coalesce_waste,
+        max_gap=f.hints.ds_threshold_gap,
     )
+    coff, clen, owner = runs.coalesce_positions(upos, esize, gap)
     blob = f.read_runs_at_all(coff, clen)
     raw = runs.gather_elements(blob, coff, clen, upos, esize, owner)
     elems = raw.view(dtype.numpy_dtype)
@@ -1150,9 +1153,12 @@ def execute_reorganize(
         )
         by_off = np.argsort(offs, kind="stable")
         soffs, slens = offs[by_off], lens[by_off]
-        coff, clen, owner = runs.coalesce_runs(
-            soffs, slens, max(src.hints.coalesce_gap, 0)
+        gap = runs.resolve_gap(
+            src.hints.coalesce_gap, soffs, slens,
+            waste_fraction=src.hints.coalesce_waste,
+            max_gap=src.hints.ds_threshold_gap,
         )
+        coff, clen, owner = runs.coalesce_runs(soffs, slens, gap)
         blob = np.empty(int(clen.sum()), dtype=np.uint8)
         src.read_runs(coff, clen, blob)
         raw = runs.extract_runs(blob, coff, clen, soffs, slens, owner)
@@ -1390,9 +1396,12 @@ def _compact_with_plan(host, file_name: str, plan: Dict) -> Dict:
             lens = np.array([m[1] for m in mine], dtype=np.int64)
             # Coalesced gather: abutting sources stream as one run, holes
             # up to the hint are read and discarded.
-            coff, clen, owner = runs.coalesce_runs(
-                src, lens, max(f.hints.coalesce_gap, 0)
+            gap = runs.resolve_gap(
+                f.hints.coalesce_gap, src, lens,
+                waste_fraction=f.hints.coalesce_waste,
+                max_gap=f.hints.ds_threshold_gap,
             )
+            coff, clen, owner = runs.coalesce_runs(src, lens, gap)
             blob = np.empty(int(clen.sum()), dtype=np.uint8)
             f.read_runs(coff, clen, blob)
             raw = runs.extract_runs(blob, coff, clen, src, lens, owner)

@@ -236,6 +236,11 @@ class MaintenanceService:
         self.n_adopted = 0
         self.n_executed = 0
         self.bytes_reclaimed = 0
+        self.policy = None
+        """Optional :class:`~repro.core.policy.MaintenancePolicy` whose
+        rate limiter workers consult before heavy I/O (attached by an
+        adaptive-policy SDM; None keeps the pre-policy behavior: jobs
+        contend with foreground traffic immediately)."""
 
     # ------------------------------------------------------------------
     # Binding and registration
@@ -484,6 +489,11 @@ class MaintenanceService:
             job.event.set(job.fn(proc))
             self.n_executed += 1
             return
+        if self.policy is not None:
+            # Rank-local exponential backoff while foreground I/O queues
+            # at the controllers — no collectives, so skewed ranks never
+            # deadlock; the job itself still runs to completion.
+            self.policy.throttle(self.fs, proc)
         host = _WorkerHost(self, rank, proc, job)
         try:
             if job.kind == REORGANIZE:

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 from collections import OrderedDict
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineModel
@@ -150,6 +151,25 @@ class Database:
         """Index probes where the planner chose a hash bucket."""
         self.n_slice_paths = 0
         """Index probes where the planner chose an ordered slice."""
+        self.n_rows_examined = 0
+        """Candidate rows evaluated against a WHERE clause — the work the
+        planner's access-path choice actually controls (a full scan
+        examines the whole table, an index path only its candidates)."""
+        self.probe_cost = _PROBE_COST
+        self.slice_row_cost = _SLICE_ROW_COST
+        """Planner cost constants, per instance so the self-tuning policy
+        tier can calibrate them; the module constants stay the static
+        defaults."""
+        self.planner_calibration = None
+        """Optional observer/override for the planner's cost model (the
+        policy tier's :class:`~repro.core.policy.PlannerCalibration`,
+        duck-typed here to keep metadb below core in the layering).  When
+        set, :meth:`_match_rowids` reports every index-served statement's
+        ``(path kind, candidates, seconds)`` to ``observe`` and the
+        planner reads ``probe_cost`` / ``slice_row_cost`` from it (and
+        lets ``decide`` flip contested choices for exploration) instead
+        of using the instance constants."""
+        self._last_path: Optional[str] = None
         self._stmt_cache: "OrderedDict[str, Any]" = OrderedDict()
         self._server: Optional[Resource] = None
         if sim is not None and machine is not None:
@@ -443,6 +463,7 @@ class Database:
         so this only ever *narrows* the scan — NULL/type semantics are
         decided by the same ``Expr.eval`` as the slow path.
         """
+        self._last_path = None
         cj = conjuncts_of(where)
         if cj.empty:
             return None
@@ -484,37 +505,62 @@ class Database:
             if best_slice is None or count < best_slice[0]:
                 best_slice = (count, index, start, end)
 
-        hash_cost = None if best is None else _PROBE_COST + len(best)
+        cal = self.planner_calibration
+        probe = self.probe_cost if cal is None else cal.probe_cost
+        per_slice_row = self.slice_row_cost if cal is None else cal.slice_row_cost
+        hash_cost = None if best is None else probe + len(best)
         slice_cost = (
             None if best_slice is None
-            else _PROBE_COST + _SLICE_ROW_COST * best_slice[0]
+            else probe + per_slice_row * best_slice[0]
         )
-        if slice_cost is not None and (hash_cost is None or slice_cost < hash_cost):
+        pick_slice = slice_cost is not None and (
+            hash_cost is None or slice_cost < hash_cost
+        )
+        if cal is not None and hash_cost is not None and slice_cost is not None:
+            # Contested choice: the calibration may flip it to feed an
+            # observation-starved path (results stay scan-identical —
+            # candidates from either path are verified the same way).
+            pick_slice = cal.decide(pick_slice)
+        if pick_slice:
             _, index, start, end = best_slice
             self.n_slice_paths += 1
+            self._last_path = "slice"
             # Candidates must be evaluated in insertion order so that
             # un-ORDERed results stay scan-identical.
             return sorted(rowid for _, rowid in index.entries[start:end])
         if best is not None:
             self.n_hash_paths += 1
+            self._last_path = "hash"
         return best
 
     def _match_rowids(self, table: Table, where, params) -> List[int]:
         if where is None:
             return [i for i, _ in table.scan()]
+        cal = self.planner_calibration
+        t0 = perf_counter() if cal is not None else 0.0
         candidates = self._index_candidates(table, where, params)
         if candidates is None:
             self.n_full_scans += 1
+            examined = len(table.rows)
+            kind = "scan"
             pairs = table.scan()
         else:
             self.n_index_probes += 1
+            examined = len(candidates)
+            kind = self._last_path
             pairs = ((i, table.rows[i]) for i in candidates)
+        self.n_rows_examined += examined
         names = table.column_names
         hits = []
         for i, row in pairs:
             ctx = dict(zip(names, row))
             if where.eval(ctx, params):
                 hits.append(i)
+        if cal is not None and kind is not None:
+            # The window covers candidate generation (the slice path's
+            # materialize + sort included) plus verification — the work
+            # the access-path choice controls.
+            cal.observe(kind, examined, perf_counter() - t0)
         return hits
 
     def _sorted_rowids(

@@ -21,7 +21,7 @@ from repro.dtypes.primitives import BYTE
 from repro.errors import FileExists, FileNotFound, MPIIOError
 from repro.mpi.communicator import Communicator
 from repro.mpiio import sieving, twophase
-from repro.mpiio.runs import coalesce_runs, extract_runs
+from repro.mpiio.runs import coalesce_runs, extract_runs, resolve_gap
 from repro.mpiio.consts import (
     MODE_APPEND,
     MODE_CREATE,
@@ -254,9 +254,12 @@ class File:
         requested runs, in run order, either way.
         """
         if len(off) > 1:
-            coff, clen, owner = coalesce_runs(
-                off, ln, max(self.hints.coalesce_gap, 0)
+            gap = resolve_gap(
+                self.hints.coalesce_gap, off, ln,
+                waste_fraction=self.hints.coalesce_waste,
+                max_gap=self.hints.ds_threshold_gap,
             )
+            coff, clen, owner = coalesce_runs(off, ln, gap)
             if len(coff) < len(off):
                 blob = twophase.collective_read(
                     self.comm, self.comm.proc, self.fs, self._handle,

@@ -3,16 +3,21 @@
 Defaults come from the machine model's :class:`CollectiveIOModel`; user code
 overrides per-open, exactly as the paper describes SDM passing hints about
 access patterns and striping to the MPI-IO implementation.
+
+:func:`validate_hints` is the shared early check SDM-level entry points run
+on user-supplied hint dicts, so a mistyped hint name fails at construction
+time with the accepted list instead of at the first file open.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Optional
+from dataclasses import dataclass, fields
+from typing import Mapping, Optional, Tuple
 
 from repro.config import MachineModel
+from repro.mpiio.runs import ADAPTIVE_GAP
 
-__all__ = ["Hints"]
+__all__ = ["Hints", "accepted_hints", "validate_hints"]
 
 
 @dataclass
@@ -26,7 +31,13 @@ class Hints:
     coalesce_gap: int = 0
     """Read-side source coalescing: bridge holes up to this many bytes
     when merging a rank's byte runs into requests (read-and-discard the
-    hole to save a request).  Never applied to writes."""
+    hole to save a request).  Never applied to writes.  The sentinel
+    :data:`~repro.mpiio.runs.ADAPTIVE_GAP` (-1) derives the gap per read
+    from that read's own hole distribution instead."""
+    coalesce_waste: float = 0.25
+    """Adaptive-gap budget: the largest fraction of a read's payload the
+    derived gap may spend on bridged (read-and-discarded) hole bytes.
+    Only consulted when ``coalesce_gap`` is adaptive."""
 
     @classmethod
     def from_machine(
@@ -40,12 +51,13 @@ class Hints:
             "ds_buffer_size": cio.ds_buffer_size,
             "ds_threshold_gap": cio.ds_threshold_gap,
             "coalesce_gap": cio.coalesce_gap,
+            "coalesce_waste": cio.coalesce_waste,
         }
         if overrides:
+            validate_hints(overrides)
             for key, val in overrides.items():
-                if key not in values:
-                    raise KeyError(f"unknown MPI-IO hint: {key!r}")
-                values[key] = int(val)
+                coerce = float if key == "coalesce_waste" else int
+                values[key] = coerce(val)
         return cls(**values)
 
     def resolve_cb_nodes(self, comm_size: int, n_controllers: int) -> int:
@@ -53,3 +65,34 @@ class Hints:
         if self.cb_nodes > 0:
             return max(1, min(self.cb_nodes, comm_size))
         return max(1, min(comm_size, 2 * n_controllers))
+
+
+def accepted_hints() -> Tuple[str, ...]:
+    """The hint names an ``io_hints`` dict may carry."""
+    return tuple(f.name for f in fields(Hints))
+
+
+def validate_hints(hints: Optional[Mapping[str, int]]) -> None:
+    """Reject unknown hint names (and nonsense values) up front.
+
+    Raises ``KeyError`` naming the offender *and* the accepted list —
+    a silently ignored hint is a tuning knob that does nothing.
+    """
+    if not hints:
+        return
+    accepted = accepted_hints()
+    for key, val in hints.items():
+        if key not in accepted:
+            raise KeyError(
+                f"unknown MPI-IO hint: {key!r} "
+                f"(accepted hints: {', '.join(accepted)})"
+            )
+        if key == "coalesce_gap" and int(val) < ADAPTIVE_GAP:
+            raise ValueError(
+                f"coalesce_gap must be >= 0 or ADAPTIVE_GAP ({ADAPTIVE_GAP}), "
+                f"got {val!r}"
+            )
+        if key == "coalesce_waste" and not 0.0 <= float(val) <= 1.0:
+            raise ValueError(
+                f"coalesce_waste must be a fraction in [0, 1], got {val!r}"
+            )

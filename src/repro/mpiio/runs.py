@@ -23,22 +23,137 @@ write must not touch hole bytes.  Zero-gap coalescing of sorted
 non-overlapping runs is *lossless* (``clen.sum() == lengths.sum()``, the
 coalesced byte stream is exactly the concatenated input runs) and is
 therefore safe for writes too.
+
+The gap itself may be *derived* instead of configured: with the
+``coalesce_gap`` hint set to :data:`ADAPTIVE_GAP` (-1), every read calls
+:func:`adaptive_gap` on its own run list and bridges the largest holes it
+can while the bridged (read-and-discarded) bytes stay under a configured
+fraction of the payload.  The choice is a pure function of the rank's own
+runs — each rank coalesces only the runs it ships into the collective —
+so per-rank adaptivity never diverges a collective's shape.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 __all__ = [
+    "ADAPTIVE_GAP",
+    "adaptive_gap",
+    "adaptive_gap_positions",
     "coalesce_runs",
     "coalesce_positions",
     "extract_runs",
     "gather_elements",
+    "resolve_gap",
+    "resolve_gap_positions",
 ]
 
+ADAPTIVE_GAP = -1
+"""``coalesce_gap`` sentinel: derive the gap per read from the hole
+distribution (see :func:`adaptive_gap`) instead of using a fixed byte
+count."""
+
 _EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _gap_from_holes(
+    holes: np.ndarray,
+    payload: int,
+    waste_fraction: float,
+    max_gap: Optional[int],
+) -> int:
+    """Largest gap whose bridged holes total <= ``waste_fraction * payload``.
+
+    ``holes`` are the positive hole sizes of one run list.  Bridging at
+    gap ``g`` reads-and-discards every hole of size <= ``g``, so the
+    waste of a candidate gap is the cumulative size of all holes up to
+    it: sort the distinct hole sizes, accumulate ``size * count``, and
+    take the largest size still within budget.  ``max_gap`` additionally
+    caps the result (the data-sieving threshold: a hole that large is
+    cheaper as a separate request no matter the budget).
+    """
+    holes = holes[holes > 0]
+    if len(holes) == 0 or payload <= 0:
+        return 0
+    sizes, counts = np.unique(holes, return_counts=True)
+    if max_gap is not None:
+        keep = sizes <= max_gap
+        sizes, counts = sizes[keep], counts[keep]
+        if len(sizes) == 0:
+            return 0
+    waste = np.cumsum(sizes * counts)
+    budget = waste_fraction * payload
+    k = int(np.searchsorted(waste, budget, side="right"))
+    return int(sizes[k - 1]) if k > 0 else 0
+
+
+def adaptive_gap(
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    waste_fraction: float = 0.25,
+    max_gap: Optional[int] = None,
+) -> int:
+    """Derive a coalescing gap from one run list's hole distribution.
+
+    Holes are measured against the zero-gap coalescing reach (ascending
+    ``offsets``, overlaps covered), payload is ``lengths.sum()``; see
+    :func:`_gap_from_holes` for the budgeted choice.
+    """
+    off = np.asarray(offsets, dtype=np.int64).reshape(-1)
+    ln = np.asarray(lengths, dtype=np.int64).reshape(-1)
+    if len(off) < 2:
+        return 0
+    reach = np.maximum.accumulate(off + ln)
+    return _gap_from_holes(
+        off[1:] - reach[:-1], int(ln.sum()), waste_fraction, max_gap
+    )
+
+
+def adaptive_gap_positions(
+    positions: np.ndarray,
+    width: int,
+    waste_fraction: float = 0.25,
+    max_gap: Optional[int] = None,
+) -> int:
+    """Uniform-width special case of :func:`adaptive_gap` (the chunked
+    read path's shape: unique ascending element positions)."""
+    pos = np.asarray(positions, dtype=np.int64).reshape(-1)
+    if len(pos) < 2:
+        return 0
+    return _gap_from_holes(
+        np.diff(pos) - width, len(pos) * width, waste_fraction, max_gap
+    )
+
+
+def resolve_gap(
+    gap: int,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    waste_fraction: float = 0.25,
+    max_gap: Optional[int] = None,
+) -> int:
+    """The effective gap for one read: the hint's value, or — for
+    :data:`ADAPTIVE_GAP` (any negative value) — :func:`adaptive_gap` of
+    this run list."""
+    if gap >= 0:
+        return gap
+    return adaptive_gap(offsets, lengths, waste_fraction, max_gap)
+
+
+def resolve_gap_positions(
+    gap: int,
+    positions: np.ndarray,
+    width: int,
+    waste_fraction: float = 0.25,
+    max_gap: Optional[int] = None,
+) -> int:
+    """:func:`resolve_gap` for the uniform-width position shape."""
+    if gap >= 0:
+        return gap
+    return adaptive_gap_positions(positions, width, waste_fraction, max_gap)
 
 
 def coalesce_runs(

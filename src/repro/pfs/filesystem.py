@@ -80,6 +80,35 @@ class FileSystem:
         self.runs_serviced = 0
         """Byte runs actually issued to the file system (post-merge)."""
 
+    _STAT_FIELDS = (
+        "bytes_written", "bytes_read", "index_bytes_read",
+        "data_bytes_read", "n_requests", "n_opens", "runs_submitted",
+        "runs_serviced",
+    )
+
+    def stats(self, reset: bool = False) -> Dict[str, int]:
+        """Snapshot every aggregate counter; optionally zero them.
+
+        The one counter-window API benches and policies share: take a
+        snapshot at the window start (``reset=True``) or subtract two
+        snapshots — either way no field can be missed the way ad-hoc
+        per-field resets could.
+        """
+        snap = {name: getattr(self, name) for name in self._STAT_FIELDS}
+        if reset:
+            for name in self._STAT_FIELDS:
+                setattr(self, name, 0)
+        return snap
+
+    def queue_depth(self) -> int:
+        """Processes currently waiting on storage controllers.
+
+        The contention signal maintenance rate-limiting polls: a nonzero
+        depth means foreground I/O is queued behind busy controllers and
+        background work should yield.
+        """
+        return sum(c.n_waiting for c in self.controllers)
+
     def write_lock(self, name: str) -> Resource:
         """Per-file advisory write lock (fcntl-style).
 

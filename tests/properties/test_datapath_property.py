@@ -8,9 +8,11 @@ instance was written canonically, chunked, or chunked and then
 element order in the canonical and reorganized cases.
 
 The read path's run coalescer is part of the property surface: every
-example also runs under a drawn ``coalesce_gap`` hint (0 / small / huge),
-so per-element, adjacent-merged, and maximally gap-bridged reads must all
-return the same bytes.
+example also runs under a drawn ``coalesce_gap`` hint (0 / small / huge /
+adaptive), so per-element, adjacent-merged, maximally gap-bridged, and
+self-tuned reads must all return the same bytes.  The adaptive dimension
+is the policy tier's read-equivalence guarantee: a derived gap only ever
+changes which hole bytes are read-and-discarded, never the result.
 
 The maintenance dimension extends the same property behind the service
 tier: writing chunked, *enqueueing* reorganization and compaction on the
@@ -28,6 +30,7 @@ from repro.core.layout import CANONICAL, CHUNKED
 from repro.dtypes import DOUBLE
 from repro.metadb.schema import SDMTables
 from repro.mpi import mpirun
+from repro.mpiio.runs import ADAPTIVE_GAP
 
 
 @st.composite
@@ -88,13 +91,14 @@ def run_once(order, level, n, maps, reorganize, io_hints=None):
 @given(
     partitions(),
     st.sampled_from(list(Organization)),
-    st.sampled_from([0, 16, 1 << 30]),
+    st.sampled_from([0, 16, 1 << 30, ADAPTIVE_GAP]),
 )
 def test_read_equivalence_across_storage_orders(partition, level, gap):
     """Byte-identical reads across every storage order — at every
     coalescing aggressiveness: gap 0 (merge only adjacent runs), a small
-    gap (bridge element-sized holes), and a huge gap (one covering run
-    per read, maximal read-and-discard)."""
+    gap (bridge element-sized holes), a huge gap (one covering run per
+    read, maximal read-and-discard), and the adaptive sentinel (each
+    read derives its own gap from its hole distribution)."""
     n, maps = partition
     hints = {"coalesce_gap": gap}
     expected_global = np.arange(n) * 1.5 + 0.25
