@@ -1,19 +1,36 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
+## crash-schedule rotation seed for the fault property harness: each
+## value sweeps a different (nranks, level) slice of the replay matrix
+FAULT_SEED ?= 0
+export FAULT_SEED
+
 .PHONY: test test-metadb test-datapath test-maintenance test-mvcc \
-    test-policy lint verify-collectives \
+    test-policy test-faults lint verify-collectives \
     bench bench-metadb bench-datapath bench-maintenance bench-policy \
     perfcheck
 
 ## tier-1 verify: static SPMD lint first (cheapest signal), the metadb
 ## subset next, then everything else, then the property harnesses again
-## under the runtime collective sanitizer
+## under the runtime collective sanitizer, then the crash-recovery tier
 test: lint test-metadb
 	$(PYTHON) -m pytest -x -q --ignore=tests/metadb \
 	    --ignore=tests/properties/test_metadb_index_property.py \
-	    --ignore=tests/properties/test_sql_property.py
+	    --ignore=tests/properties/test_sql_property.py \
+	    --ignore=tests/properties/test_fault_property.py
 	$(MAKE) verify-collectives
+	$(MAKE) test-faults
+
+## crash tolerance: kernel fault injection, recovery-protocol unit
+## tests, cross-job crash/restart scenarios, the crash-at-every-point
+## property harness (FAULT_SEED rotates its rank/level matrix), and the
+## zero-overhead guard for the fault machinery itself
+test-faults:
+	$(PYTHON) -m pytest tests/simt/test_faults.py tests/metadb/test_recovery.py \
+	    tests/core/test_maintenance_faults.py \
+	    tests/properties/test_fault_property.py -q
+	$(PYTHON) benchmarks/perfcheck_faults.py
 
 ## spmdlint: flag collectives reachable on only some ranks' paths
 ## (rules + suppression syntax in docs/analysis.md); a new unsuppressed

@@ -1,0 +1,105 @@
+"""Guard the fault-injection machinery's zero-overhead claim.
+
+The crash-tolerance tier must be free when nothing is injected: with no
+:class:`FaultPlan` installed a ``fault_point`` is one attribute test,
+lease heartbeats are single local UPDATEs issued only inside flips, and
+pin touches are throttled to zero statements in short jobs.  This check
+runs the same chunked write/reorganize/read workload twice — once with
+``fault_plan=None``, once under an observe-only plan that records every
+fault-point hit — and fails if the two runs differ in *any* of:
+
+* virtual elapsed time,
+* database statements issued,
+* point-to-point message count and payload bytes,
+* per-op collective counts and payload bytes.
+
+Run directly (no JSON input; the workload is seconds)::
+
+    python benchmarks/perfcheck_faults.py
+"""
+
+import sys
+
+import numpy as np
+
+from repro.config import fast_test
+from repro.core import SDM, Organization, sdm_services
+from repro.core.layout import CHUNKED
+from repro.dtypes import DOUBLE
+from repro.mpi import mpirun
+from repro.simt import FaultPlan
+
+NPROCS = 4
+GLOBAL = 64
+TIMESTEPS = 3
+
+
+def maps_for(nprocs=NPROCS, n=GLOBAL):
+    rng = np.random.default_rng(11)
+    perm = rng.permutation(n)
+    cuts = np.sort(rng.choice(np.arange(1, n), nprocs - 1, replace=False))
+    return [p.astype(np.int64) for p in np.split(perm, cuts)]
+
+
+def program(ctx, maps):
+    sdm = SDM(ctx, "pf", organization=Organization.LEVEL_2,
+              storage_order=CHUNKED, reorganize_mode="sync", snapshot=True)
+    result = sdm.make_datalist(["d"])
+    sdm.associate_attributes(result, data_type=DOUBLE, global_size=GLOBAL)
+    handle = sdm.set_attributes(result)
+    mine = maps[ctx.rank]
+    sdm.data_view(handle, "d", mine)
+    for t in range(TIMESTEPS):
+        sdm.write(handle, "d", t, mine * 1.0 + t)
+    sdm.reorganize(handle, "d", 0)
+    back = np.empty(len(mine))
+    for t in range(TIMESTEPS):
+        sdm.read(handle, "d", t, back)
+    sdm.finalize(handle)
+    # Same program point both runs: the counters are comparable.
+    return ctx.comm.transport.stats() if ctx.rank == 0 else None
+
+
+def measure(fault_plan):
+    maps = maps_for()
+    job = mpirun(lambda ctx: program(ctx, maps), NPROCS,
+                 machine=fast_test(), services=sdm_services(),
+                 fault_plan=fault_plan)
+    return {
+        "elapsed": job.elapsed,
+        "db_statements": job.services["db"].n_statements,
+        "transport": job.values[0],
+        "fault_log_len": len(job.fault_log),
+    }
+
+
+def main() -> int:
+    off = measure(None)
+    on = measure(FaultPlan.observe())
+    failures = []
+    if off["fault_log_len"] != 0:
+        failures.append("fault log recorded without a plan installed")
+    if on["fault_log_len"] == 0:
+        failures.append("observe plan recorded no fault-point hits")
+    for key in ("elapsed", "db_statements", "transport"):
+        match = off[key] == on[key]
+        status = "ok" if match else "FAIL"
+        print(f"perfcheck: faults-off {key} = {off[key]!r}")
+        print(f"perfcheck: faults-obs {key} = {on[key]!r} {status}")
+        if not match:
+            failures.append(
+                f"{key} differs between plan=None and observe-only runs "
+                "(fault instrumentation is not free)"
+            )
+    print(f"perfcheck: observe run recorded {on['fault_log_len']} "
+          "fault-point hits at zero cost")
+    if failures:
+        for f in failures:
+            print(f"perfcheck: FAIL {f}", file=sys.stderr)
+        return 1
+    print("perfcheck: fault machinery adds zero traffic when idle")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

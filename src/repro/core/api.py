@@ -69,7 +69,7 @@ from repro.core.ring import EdgeChunk, LocalPartition, owned_nodes_of, ring_part
 from repro.dtypes.constructors import IndexedBlock
 from repro.dtypes.primitives import DOUBLE, INT, Primitive
 from repro.errors import SDMLeaseConflict, SDMStateError, SDMUnknownDataset
-from repro.metadb.schema import SDMTables
+from repro.metadb.schema import DEFAULT_PIN_TTL, SDMTables
 from repro.mpi.job import RankContext
 from repro.mpiio.consts import MODE_RDONLY
 from repro.mpiio.file import File
@@ -181,11 +181,19 @@ class SDM:
                 epoch = self.tables.current_epoch(proc=ctx.proc)
                 pin = (
                     self.tables.create_pin(
-                        self.lease_holder, epoch, proc=ctx.proc
+                        self.lease_holder, epoch, proc=ctx.proc,
+                        now=ctx.proc.now,
                     ),
                     epoch,
                 )
+                ctx.proc.fault_point("pin:taken")
             self._pin_id, self._pinned_epoch = self.comm.bcast(pin, root=0)
+        self._pin_touch_t: float = ctx.proc.now
+        """Virtual time of the last pin touch (read-path refreshes are
+        throttled to every PIN_TTL/4, so a small sim issues zero touch
+        statements while a long-lived reader still never ages out)."""
+        self._leak_stats: Dict[str, int] = {"leaked_leases": 0,
+                                            "leaked_pins": 0}
         self._groups: Dict[int, DataGroup] = {}
         self._next_group = 1
         self._files = FileHandleCache(self.comm, self.fs, hints=self.io_hints)
@@ -527,6 +535,18 @@ class SDM:
         attrs = handle.dataset(name)
         view = handle.view(name)
         rid = self.runid if runid is None else runid
+        if (
+            self._pin_id is not None
+            and self.ctx.rank == 0
+            and self.ctx.proc.now - self._pin_touch_t >= DEFAULT_PIN_TTL / 4
+        ):
+            # Prove this snapshot's client is alive so the abandoned-pin
+            # reaper never ages a live pin out; throttled so short jobs
+            # add zero statements to the read hot path.
+            self.tables.touch_pin(
+                self._pin_id, self.ctx.proc.now, proc=self.ctx.proc
+            )
+            self._pin_touch_t = self.ctx.proc.now
         gate = self.maintenance
         if gate is not None and self.ctx.rank == 0:
             gate.begin_read(self.ctx.proc)
@@ -819,7 +839,13 @@ class SDM:
 
         A ``snapshot=True`` SDM releases its pin here and opportunistically
         reaps any row versions it was the last reader holding live (each
-        file under its flip lease, skipped if a concurrent flip holds it)."""
+        file under its flip lease, skipped if a concurrent flip holds it).
+
+        The shutdown leak audit then counts whatever this client still
+        holds in lease/pin rows — anything left is a bug in the caller's
+        release discipline (or a crash path the maintenance reaper will
+        clean up next job) and is surfaced through :meth:`stats` as
+        ``leaked_leases`` / ``leaked_pins`` on every rank."""
         self._files.close_all()
         if handle is not None:
             handle.finalized = True
@@ -829,14 +855,41 @@ class SDM:
                 self.tables.release_pin(self._pin_id, proc=proc)
                 holder = f"{self.lease_holder}:reap"
                 for fname in self.tables.files_with_dead_rows(proc=proc):
-                    if self.tables.try_acquire_lease(fname, holder, proc=proc):
+                    if self.tables.try_acquire_lease(
+                        fname, holder, proc=proc, now=proc.now,
+                    ):
                         try:
                             self.tables.reap_file(fname, proc=proc)
                         finally:
                             self.tables.release_lease(fname, holder, proc=proc)
             self._pin_id = None
             self._pinned_epoch = None
+        leaks = None
+        if self.ctx.rank == 0:
+            proc = self.ctx.proc
+            mine = {self.lease_holder, f"{self.lease_holder}:reap"}
+            leaks = (
+                sum(1 for _f, h, _b in self.tables.all_leases(proc=proc)
+                    if h in mine),
+                sum(1 for _p, c, _e in self.tables.all_pins(proc=proc)
+                    if c == self.lease_holder),
+            )
+        leaks = self.comm.bcast(leaks, root=0)
+        self._leak_stats["leaked_leases"] += leaks[0]
+        self._leak_stats["leaked_pins"] += leaks[1]
         self.comm.barrier()
+
+    def stats(self) -> Dict[str, int]:
+        """Robustness counters for this client (uniform across ranks
+        after :meth:`finalize`): shutdown leak audit plus the shared
+        tables' recovery totals."""
+        return {
+            **self._leak_stats,
+            "leases_stolen": self.tables.n_leases_stolen,
+            "flips_rolled_back": self.tables.n_flips_rolled_back,
+            "flips_rolled_forward": self.tables.n_flips_rolled_forward,
+            "pins_expired": self.tables.n_pins_expired,
+        }
 
     # ------------------------------------------------------------------
     # File-handle cache (shared with the maintenance workers)

@@ -44,7 +44,7 @@ from repro.core.datapath import IndexBlockCache, locate_instance, read_instance
 from repro.core.groups import DataGroup, DatasetAttrs, DataView
 from repro.dtypes.primitives import Primitive, BYTE, FLOAT32, FLOAT64, INT32, INT64
 from repro.errors import SDMUnknownDataset
-from repro.metadb.schema import OPEN_EPOCH, SDMTables
+from repro.metadb.schema import DEFAULT_PIN_TTL, OPEN_EPOCH, SDMTables
 from repro.mpi.job import RankContext
 from repro.mpiio.consts import MODE_RDONLY
 from repro.mpiio.file import File
@@ -113,6 +113,8 @@ class SDMCatalog:
             maintenance.register_caches(None, self.index_cache)
         self._pin_id: Optional[int] = None
         self._pinned_epoch: Optional[int] = None
+        self._pin_touch_t: float = ctx.proc.now
+        self._leak_stats: Dict[str, int] = {"leaked_pins": 0}
         if snapshot:
             # Pin the epoch current at attach: every browse and read below
             # resolves against this snapshot until release(), whatever
@@ -121,9 +123,11 @@ class SDMCatalog:
             if ctx.rank == 0:
                 epoch = tables.current_epoch(proc=ctx.proc)
                 pin = (
-                    tables.create_pin("catalog", epoch, proc=ctx.proc),
+                    tables.create_pin("catalog", epoch, proc=ctx.proc,
+                                      now=ctx.proc.now),
                     epoch,
                 )
+                ctx.proc.fault_point("pin:taken")
             self._pin_id, self._pinned_epoch = ctx.comm.bcast(pin, root=0)
 
     @classmethod
@@ -157,7 +161,7 @@ class SDMCatalog:
                 self.tables.release_pin(self._pin_id, proc=proc)
                 for fname in self.tables.files_with_dead_rows(proc=proc):
                     if self.tables.try_acquire_lease(
-                        fname, "catalog:reap", proc=proc
+                        fname, "catalog:reap", proc=proc, now=proc.now
                     ):
                         try:
                             self.tables.reap_file(fname, proc=proc)
@@ -167,7 +171,33 @@ class SDMCatalog:
                             )
             self._pin_id = None
             self._pinned_epoch = None
+        # Leak audit: a clean release leaves no catalog pin and no reap
+        # lease behind.  Anything still there is a bug in this class (or
+        # a crashed peer catalog) worth surfacing through stats().
+        leaks = None
+        if self.ctx.rank == 0:
+            proc = self.ctx.proc
+            leaks = sum(
+                1 for _, h, _ in self.tables.all_leases(proc=proc)
+                if h == "catalog:reap"
+            ) + sum(
+                1 for _, c, _ in self.tables.all_pins(proc=proc)
+                if c == "catalog"
+            )
+        leaks = self.ctx.comm.bcast(leaks, root=0)
+        self._leak_stats["leaked_pins"] += int(leaks)
         self.ctx.comm.barrier()
+
+    def stats(self) -> Dict[str, int]:
+        """Leak and recovery counters observed by this catalog (valid
+        after :meth:`release`; recovery counters are database-wide)."""
+        return {
+            **self._leak_stats,
+            "leases_stolen": self.tables.n_leases_stolen,
+            "flips_rolled_back": self.tables.n_flips_rolled_back,
+            "flips_rolled_forward": self.tables.n_flips_rolled_forward,
+            "pins_expired": self.tables.n_pins_expired,
+        }
 
     # ------------------------------------------------------------------
     # Browsing
@@ -281,6 +311,18 @@ class SDMCatalog:
         """
         rec = self._dataset_record(runid, dataset)
         comm = self.ctx.comm  # communicator-relative: works on subgroups too
+        if (
+            self._pin_id is not None
+            and comm.rank == 0
+            and self.ctx.proc.now - self._pin_touch_t >= DEFAULT_PIN_TTL / 4
+        ):
+            # Prove this catalog's client is alive so the abandoned-pin
+            # reaper never ages a live snapshot out; throttled so short
+            # viewer jobs add zero statements to the read hot path.
+            self.tables.touch_pin(
+                self._pin_id, self.ctx.proc.now, proc=self.ctx.proc
+            )
+            self._pin_touch_t = self.ctx.proc.now
         gate = self.maintenance
         if gate is not None and comm.rank == 0:
             gate.begin_read(self.ctx.proc)

@@ -410,6 +410,7 @@ class CanonicalOrder(StorageOrder):
                 sdm.runid, name, timestep, fname, base, attrs.global_bytes(),
                 proc=sdm.ctx.proc,
             )
+            _fault(sdm.ctx.proc, "write:recorded")
         if sdm.organization == Organization.LEVEL_1:
             sdm._close_cached(fname)
         return fname
@@ -611,6 +612,7 @@ class ChunkedOrder(StorageOrder):
                 sdm.runid, name, timestep,
                 [rec for rec, _ in payloads], proc=sdm.ctx.proc,
             )
+            _fault(sdm.ctx.proc, "write:recorded")
         # Readers must not race ahead of rank 0's metadata inserts.
         sdm.comm.barrier()
         if sdm.organization == Organization.LEVEL_1:
@@ -1015,6 +1017,13 @@ def _assemble_chunked(
 # ---------------------------------------------------------------------------
 
 
+def _fault(proc, name: str) -> None:
+    """Announce a registered fault point (no-op without a process or a
+    :class:`~repro.simt.simulator.FaultPlan`)."""
+    if proc is not None:
+        proc.fault_point(name)
+
+
 def acquire_file_lease(
     comm: Communicator,
     tables: SDMTables,
@@ -1030,10 +1039,20 @@ def acquire_file_lease(
     flip unwinds as one collective error instead of a hung job — the
     fail-fast replacement for the silent lost-update overlap of two
     concurrent metadata flips.
+
+    A lease whose holder is dead (prior database incarnation, or
+    heartbeat a full TTL stale at the caller's virtual now) is not a
+    conflict: rank 0 recovers whatever the dead holder left mid-flip and
+    steals the row (see :meth:`SDMTables.try_acquire_lease`).
     """
     ok = True
     if comm.rank == 0:
-        ok = tables.try_acquire_lease(file_name, holder, proc=proc)
+        ok = tables.try_acquire_lease(
+            file_name, holder, proc=proc,
+            now=None if proc is None else proc.now,
+        )
+        if ok:
+            _fault(proc, "lease:acquired")
     ok = comm.bcast(ok, root=0)
     if not ok:
         raise SDMLeaseConflict(
@@ -1188,15 +1207,24 @@ def execute_reorganize(
     set_instance_view(dst, base, dtype, gids)
     dst.write_at_all(0, vals)
 
-    # -- publish the flip: new epoch, close old versions, reap -----------
+    # -- publish the flip: intent, successors, commit, reap --------------
     epoch = 0
     if comm.rank == 0:
-        epoch = host.tables.publish_epoch(old_fname, proc=proc)
+        # Fence + liveness: prove the lease is still ours before
+        # touching metadata (a presumed-dead holder whose lease was
+        # stolen dies here instead of publishing over the thief's flip).
+        host.tables.heartbeat_lease(old_fname, holder, proc.now, proc=proc)
+        epoch = host.tables.begin_flip(old_fname, proc=proc)
+        _fault(proc, "flip:intent")
         host.tables.close_chunks(runid, dataset, timestep, epoch, proc=proc)
         host.tables.update_execution(
             runid, dataset, timestep, old_fname, new_fname, base,
             global_size * dtype.size, epoch, proc=proc,
         )
+        # The commit point: a crash before this line rolls the flip
+        # back (recovery reopens the chunked version); after it, forward.
+        host.tables.commit_flip(old_fname, epoch, proc=proc)
+        _fault(proc, "flip:published")
         # Reap whatever no pin can still see; with nothing pinned this
         # deletes the closed versions immediately and performs the
         # free-extent / cursor-retreat bookkeeping for the vacated
@@ -1366,6 +1394,16 @@ def compact_chunked_file(host, file_name: str) -> Dict:
             plan = _compaction_plan(host, file_name, start=start)
             plan["quiesced"] = quiesced
             plan["before"] = host.fs.lookup(file_name).size
+            # Journal the flip intent BEFORE any byte moves: the
+            # quiesced in-place slide overwrites old live locations, so
+            # rollback is only sound while nothing has moved.  A crash
+            # from here to commit_flip rolls back to untouched
+            # metadata; the unjournaled window between the first moved
+            # byte and the commit has no registered fault point (the
+            # deferred copy-up path, which never overwrites live bytes,
+            # is crash-safe throughout).
+            plan["epoch"] = host.tables.begin_flip(file_name, proc=proc)
+            _fault(proc, "flip:intent")
             if quiesced and gate is not None:
                 # Block new reads and drain in-flight ones before any
                 # rank's bcast receipt lets it overwrite live bytes.
@@ -1421,11 +1459,15 @@ def _compact_with_plan(host, file_name: str, plan: Dict) -> Dict:
 
     epoch = 0
     if comm.rank == 0:
-        # Publish: allocate the epoch, insert every successor version
+        # Publish under the epoch whose intent the plan phase journaled
+        # (before any byte moved): insert every successor version
         # (chunk maps first, then the rebased execution rows — a reader
         # landing on a new execution row must already find its chunks),
-        # then close the old versions count-checked.
-        epoch = host.tables.publish_epoch(file_name, proc=proc)
+        # close the old versions count-checked, then commit.
+        epoch = plan["epoch"]
+        host.tables.heartbeat_lease(
+            file_name, _lease_holder_id(host), proc.now, proc=proc
+        )
         for runid, dataset, timestep, recs in plan["new_chunks"]:
             host.tables.record_chunks(
                 runid, dataset, timestep, recs, proc=proc, valid_from=epoch,
@@ -1437,6 +1479,8 @@ def _compact_with_plan(host, file_name: str, plan: Dict) -> Dict:
             host.tables.close_chunks(
                 runid, dataset, timestep, epoch, proc=proc
             )
+        host.tables.commit_flip(file_name, epoch, proc=proc)
+        _fault(proc, "flip:published")
         if plan["quiesced"]:
             # Nothing pinned: the closed versions reap immediately, the
             # extent map zeroes, and the file truncates to live bytes.

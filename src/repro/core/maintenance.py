@@ -72,7 +72,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Deque, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.config import MachineModel
 from repro.core.datapath import (
@@ -88,7 +88,7 @@ from repro.core.layout import Organization
 from repro.dtypes.primitives import primitive_by_name
 from repro.errors import SDMStateError
 from repro.metadb.engine import Database
-from repro.metadb.schema import MaintenanceRecord, SDMTables
+from repro.metadb.schema import DEFAULT_PIN_TTL, MaintenanceRecord, SDMTables
 from repro.mpi.communicator import Communicator
 from repro.mpi.job import RankContext
 from repro.pfs.filesystem import FileSystem
@@ -236,6 +236,10 @@ class MaintenanceService:
         self.n_adopted = 0
         self.n_executed = 0
         self.bytes_reclaimed = 0
+        self.n_leases_recovered = 0
+        """Dead prior-incarnation leases resolved and released at attach."""
+        self.n_intents_resolved = 0
+        """Orphaned flip intents (no surviving lease) resolved at attach."""
         self.policy = None
         """Optional :class:`~repro.core.policy.MaintenancePolicy` whose
         rate limiter workers consult before heavy I/O (attached by an
@@ -255,9 +259,12 @@ class MaintenanceService:
         """Bind the service to the job (idempotent; every SDM calls it).
 
         The first attach sizes the per-rank queues from the job's
-        transport, reads any pending ``maintenance_table`` rows left by a
-        previous job (the snapshot-surviving backlog), and — in eager
-        mode — enqueues them on every rank's worker.
+        transport, runs crash recovery over whatever a dead previous
+        job's clients left behind (:meth:`_recover`: stale leases with
+        their interrupted flips, orphaned flip intents, abandoned pins),
+        reads any pending ``maintenance_table`` rows left by a previous
+        job (the snapshot-surviving backlog), and — in eager mode —
+        enqueues them on every rank's worker.
         """
         if self._transport is not None:
             return
@@ -270,6 +277,7 @@ class MaintenanceService:
             for r in range(self._nprocs)
         ]
         self._enqueued_count = [0] * self._nprocs
+        self._recover(ctx.proc)
         pending = self.tables.pending_maintenance(proc=ctx.proc)
         self._next_jobid = self.tables.next_maintenance_jobid(proc=ctx.proc)
         if self.mode == _EAGER:
@@ -280,6 +288,82 @@ class MaintenanceService:
             for rank in range(self._nprocs):
                 if self._queues[rank]:
                     self._ensure_worker(rank)
+
+    def _recover(self, proc: Process) -> None:
+        """Attach-time crash recovery (first attach of a fresh job).
+
+        Anything in the lease/pin tables stamped with an earlier database
+        incarnation belongs to a client that died with its job — the only
+        way state reaches this job is the dump/restore snapshot, so the
+        boot check is deterministic, no clock heuristics.  For each stale
+        lease the interrupted flip is resolved exactly one way
+        (:meth:`SDMTables.recover_file`: intent ⇒ roll back, committed ⇒
+        finish the reap) before the lease is released.  Flip intents that
+        lost their lease entirely (an exception path released the lease
+        mid-flip) are resolved the same way; live same-incarnation flips
+        always hold their lease and are never touched.  Finally the
+        abandoned-pin reaper clears prior-incarnation pins.
+        """
+        tables = self.tables
+        for fname, holder, boot in tables.all_leases(proc=proc):
+            if boot < self.db.boot_id:
+                tables.recover_file(fname, proc=proc)
+                tables.release_lease(fname, holder, proc=proc)
+                self.n_leases_recovered += 1
+        for fname in tables.files_with_flip_intents(proc=proc):
+            if tables.lease_holder(fname, proc=proc) is None:
+                tables.recover_file(fname, proc=proc)
+                self.n_intents_resolved += 1
+        self.reap_abandoned_pins(proc)
+
+    def reap_abandoned_pins(
+        self,
+        proc: Process,
+        now: Optional[float] = None,
+        timeout: float = DEFAULT_PIN_TTL,
+    ) -> int:
+        """Release snapshot pins whose clients are presumed dead (prior
+        incarnation, or untouched past ``timeout``), then reap what they
+        were holding live — each file under its flip lease, skipped if a
+        concurrent flip holds it (that flip's own post-commit reap covers
+        it).  Per-file reap watermarks advance as a side effect, so the
+        epoch log truncates once the leaked pins are gone.  Returns the
+        number of pins released.
+        """
+        tables = self.tables
+        t = proc.now if now is None else now
+        expired = tables.expired_pins(t, timeout, proc=proc)
+        for pin_id, _client, _epoch in expired:
+            tables.release_pin(pin_id, proc=proc)
+            tables.n_pins_expired += 1
+        if expired:
+            holder = "maint:reaper"
+            for fname in tables.files_with_dead_rows(proc=proc):
+                if tables.try_acquire_lease(
+                    fname, holder, proc=proc, now=t,
+                ):
+                    try:
+                        tables.reap_file(fname, proc=proc)
+                    finally:
+                        tables.release_lease(fname, holder, proc=proc)
+        return len(expired)
+
+    def stats(self) -> Dict[str, int]:
+        """Service counters (work executed plus crash-recovery totals;
+        the pins-expired total lives on the shared tables so acquire-path
+        steals and the attach sweep feed one number)."""
+        return {
+            "enqueued": self.n_enqueued,
+            "adopted": self.n_adopted,
+            "executed": self.n_executed,
+            "bytes_reclaimed": self.bytes_reclaimed,
+            "leases_recovered": self.n_leases_recovered,
+            "intents_resolved": self.n_intents_resolved,
+            "leases_stolen": self.tables.n_leases_stolen,
+            "flips_rolled_back": self.tables.n_flips_rolled_back,
+            "flips_rolled_forward": self.tables.n_flips_rolled_forward,
+            "pins_expired": self.tables.n_pins_expired,
+        }
 
     def register_caches(
         self,
@@ -412,6 +496,10 @@ class MaintenanceService:
                 )
         if rank == 0:
             self.tables.record_maintenance(job, proc=ctx.proc)
+            # Crash window of the orphan-adoption contract: the queue
+            # row exists but no worker has been spawned for it yet — a
+            # death here leaves the row for the next job's attach.
+            ctx.proc.fault_point("maint:enqueued")
         if self.mode == _EAGER:
             self._queues[rank].append(job)
             self._ensure_worker(rank)
@@ -515,6 +603,10 @@ class MaintenanceService:
                 )
                 try:
                     if rank == 0:
+                        # Leak sweep first: pins abandoned past their
+                        # timeout stop protecting versions before this
+                        # file's reap computes what is still held live.
+                        self.reap_abandoned_pins(proc)
                         self.tables.reap_file(job.file_name, proc=proc)
                 finally:
                     # spmdlint: ok(comm-mismatch) _WorkerHost is this rank's facade over the one job-wide maintenance context; every worker's host shares it

@@ -60,6 +60,7 @@ def snapshot_services(job: JobResult) -> ServicesSnapshot:
 def sdm_services(
     seed_from: Optional[ServicesSnapshot] = None,
     maintenance_mode: str = "eager",
+    maintenance: bool = True,
 ):
     """Build the ``services`` factory for an SDM job.
 
@@ -72,6 +73,10 @@ def sdm_services(
     adopts and executes.  ``maintenance_mode="deferred"`` records
     enqueued jobs without running them (they ride the next snapshot
     instead), which is how tests model a job that ends mid-backlog.
+    ``maintenance=False`` omits the service entirely, so no attach-time
+    recovery sweep runs — crash-recovery tests use it to force the lazy
+    path, where the first ``acquire_file_lease`` after a crash finds the
+    dead holder's lease, recovers the file, and steals the lease.
     """
 
     def factory(sim: Simulator, machine: MachineModel):
@@ -96,6 +101,8 @@ def sdm_services(
             db._server = Resource(sim, capacity=4, name="metadb-server")
         else:
             db = Database(sim, machine)
+        if not maintenance:
+            return {"fs": fs, "db": db}
         maint = MaintenanceService(sim, machine, fs, db, mode=maintenance_mode)
         return {"fs": fs, "db": db, "maint": maint}
 

@@ -36,6 +36,19 @@ class SimProcessCrashed(SimError):
     """
 
 
+class SimParticipantLost(SimDeadlockError):
+    """An injected fault killed a process its peers were rendezvousing with.
+
+    Raised by :meth:`Simulator.run` in place of the generic
+    :class:`SimDeadlockError` when the stall is *attributable*: at least
+    one process was crashed by the simulator's
+    :class:`~repro.simt.simulator.FaultPlan`, so the survivors are not
+    deadlocked by their own collective pattern — they are waiting on a
+    dead peer.  The message names the crashed processes and the fault
+    points they died at, alongside the usual blocked-process report.
+    """
+
+
 # ---------------------------------------------------------------------------
 # MPI layer
 # ---------------------------------------------------------------------------

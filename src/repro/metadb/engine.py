@@ -57,7 +57,7 @@ from repro.metadb.sqlparser import (
 from repro.metadb.table import Column, Table
 from repro.metadb.types import type_by_name
 from repro.simt.primitives import Resource
-from repro.simt.process import Process
+from repro.simt.process import Crashed, Process
 from repro.simt.simulator import Simulator
 
 __all__ = ["Database"]
@@ -130,6 +130,13 @@ class Database:
         self.tables: Dict[str, Table] = {}
         self.sim = sim
         self.machine = machine
+        self.boot_id = 0
+        """Incarnation counter: 0 for a fresh database, and one past the
+        dumping incarnation's value after :meth:`loads`.  Rows that stamp
+        the writer's ``boot`` (leases, pins) can then detect holders from
+        a *prior* incarnation deterministically — any ``boot < boot_id``
+        holder died with its job, since dump/restore is the only way
+        state crosses jobs here."""
         self.n_statements = 0
         self.n_parses = 0
         """Statements this instance had to prepare (instance-cache misses;
@@ -225,9 +232,22 @@ class Database:
         """
         return self._run(self.prepare(sql), params, proc)
 
+    @staticmethod
+    def _check_live(proc: Optional[Process]) -> None:
+        """Refuse statements from a process crash-unwinding an injected
+        fault: its ``finally`` cleanup (lease releases, reaps) must not
+        reach shared metadata, exactly as if its host died mid-protocol.
+        Raising :class:`~repro.simt.process.Crashed` keeps the unwind
+        going past any ``except Exception``."""
+        if proc is not None and getattr(proc, "crashed", False):
+            raise Crashed(
+                f"process {proc.name!r} crashed; statement refused"
+            )
+
     def _run(
         self, stmt, params: Sequence[Any], proc: Optional[Process]
     ) -> List[Tuple[Any, ...]]:
+        self._check_live(proc)
         rows, touched = self._dispatch(stmt, list(params))
         self.n_statements += 1
         if proc is not None and self._server is not None:
@@ -249,6 +269,7 @@ class Database:
         verify — a zero-row update means the target row was concurrently
         repointed, not that the flip succeeded.
         """
+        self._check_live(proc)
         stmt = self.prepare(sql)
         _, touched = self._dispatch(stmt, list(params))
         self.n_statements += 1
@@ -266,6 +287,7 @@ class Database:
     ) -> int:
         """``execute_many`` but returning the total matched-row count
         (billed identically: one batched statement)."""
+        self._check_live(proc)
         stmt = self.prepare(sql)
         if isinstance(stmt, Insert):
             raise ValueError("execute_many_count is for UPDATE/DELETE batches")
@@ -291,6 +313,7 @@ class Database:
         ``query_cost + total rows x row_cost`` — the multi-row INSERT
         shape.  Results (for SELECTs) are concatenated in row order.
         """
+        self._check_live(proc)
         stmt = self.prepare(sql)
         out: List[Tuple[Any, ...]] = []
         if isinstance(stmt, Insert):
@@ -766,13 +789,14 @@ class Database:
                     for index in table.indexes.values()
                 ],
             }
-        return json.dumps({"tables": doc})
+        return json.dumps({"tables": doc, "boot": self.boot_id})
 
     @classmethod
     def loads(cls, text: str) -> "Database":
         """Rebuild a database (rows *and* indexes) from :meth:`dump` output."""
         doc = json.loads(text)
         db = cls()
+        db.boot_id = int(doc.get("boot", 0)) + 1
         for name, spec in doc["tables"].items():
             columns = [Column(n, type_by_name(t)) for n, t in spec["columns"]]
             table = Table(name, columns)

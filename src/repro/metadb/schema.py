@@ -39,6 +39,12 @@ two that back the maintenance service layer):
   extents whenever it retreats the cursor), so extents are exact without
   touching the chunked write hot path.
 
+Plus the MVCC/robustness tier: ``epoch_table`` (the publish log doubling
+as the flip intent journal), ``lease_table`` (exclusive flip leases with
+boot/heartbeat/TTL liveness), ``pin_table`` (reader snapshot pins with
+abandonment stamps), and ``watermark_table`` (per-file reap progress) —
+see the inline DDL comments.
+
 :class:`SDMTables` wraps a :class:`~repro.metadb.engine.Database` with typed
 methods for exactly the statements SDM issues, so the SQL lives here and the
 runtime stays readable.
@@ -73,6 +79,10 @@ __all__ = [
     "HistoryRankRecord",
     "MaintenanceRecord",
     "OPEN_EPOCH",
+    "EPOCH_INTENT",
+    "EPOCH_PUBLISHED",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_PIN_TTL",
 ]
 
 #: ``valid_to`` sentinel of a row that is current (not superseded).  An
@@ -80,6 +90,22 @@ __all__ = [
 #: same single statement the unversioned schema used, so the hot read
 #: path never consults epoch_table.
 OPEN_EPOCH = 2 ** 62
+
+#: epoch_table states: a flip's write-ahead record starts as ``intent``
+#: and :meth:`SDMTables.commit_flip` flips it to ``published`` — the
+#: single-statement commit point of the whole metadata flip.
+EPOCH_INTENT = "intent"
+EPOCH_PUBLISHED = "published"
+
+#: Virtual-time lease lifetime: a flip lease whose heartbeat is older
+#: than this is presumed dead and may be recovered + stolen.  Flips
+#: heartbeat before each publish step, so a live holder never expires.
+DEFAULT_LEASE_TTL = 60.0
+
+#: Virtual-time pin lifetime: a snapshot pin untouched for this long is
+#: presumed abandoned and released by the maintenance reaper.  Readers
+#: touch their pin (throttled to every TTL/4) on the read path.
+DEFAULT_PIN_TTL = 300.0
 
 SDM_SCHEMA: Tuple[str, ...] = (
     """CREATE TABLE IF NOT EXISTS run_table (
@@ -131,23 +157,43 @@ SDM_SCHEMA: Tuple[str, ...] = (
     """CREATE TABLE IF NOT EXISTS extent_table (
         file_name TEXT, file_offset INTEGER, nbytes INTEGER
     )""",
-    # Append-only publish log: one row per published epoch of a file.
+    # Append-only publish log doubling as the flip *intent journal*: one
+    # row per epoch of a file.  A flip first writes its row with
+    # state='intent' (the write-ahead record), inserts/closes the row
+    # versions, then flips state='published' — the commit point.  A
+    # recovering lease stealer resolves a surviving 'intent' row by
+    # rolling the flip back, and a 'published' row by finishing its reap.
     # The global epoch counter is MAX(epoch) across all files; a file's
-    # current epoch is MAX(epoch) for its rows.  Fully-reaped history is
-    # pruned down to the newest row per file.
+    # current epoch is MAX(epoch) for its rows.  Reaped history is pruned
+    # up to the file's reap watermark.
     """CREATE TABLE IF NOT EXISTS epoch_table (
-        file_name TEXT, epoch INTEGER
+        file_name TEXT, epoch INTEGER, state TEXT
     )""",
     # Short exclusive per-file lease taken by metadata flips (reorganize,
-    # compact).  A second writer finding a row here fails fast with
-    # SDMLeaseConflict instead of silently losing an update.
+    # compact).  A second writer finding a *live* lease here fails fast
+    # with SDMLeaseConflict instead of silently losing an update.  A
+    # lease is dead — stealable after recovery — when its holder's boot
+    # predates the database's current incarnation, or when its heartbeat
+    # is older than its ttl.
     """CREATE TABLE IF NOT EXISTS lease_table (
-        file_name TEXT, holder TEXT
+        file_name TEXT, holder TEXT,
+        boot INTEGER, acquired_at REAL, heartbeat REAL, ttl REAL
     )""",
-    # Reader snapshots: a pin holds every epoch >= its value alive.  The
-    # reaper's floor is MIN(epoch) over this table.
+    # Reader snapshots: a pin holds its epoch's row versions alive.  The
+    # reaper skips any dead version whose validity interval contains a
+    # pinned epoch.  boot/touched support the abandoned-pin reaper: a pin
+    # from a prior incarnation, or one untouched past the timeout, was
+    # leaked by a dead client and is released on its behalf.
     """CREATE TABLE IF NOT EXISTS pin_table (
-        pin_id INTEGER, client TEXT, epoch INTEGER
+        pin_id INTEGER, client TEXT, epoch INTEGER,
+        boot INTEGER, touched REAL
+    )""",
+    # Per-file reap progress: every row version of epochs below the
+    # watermark has been reaped, so epoch history below it is pruned.
+    # Replaces the global min-pin floor — one stuck pin no longer blocks
+    # epoch-log truncation for every other file.
+    """CREATE TABLE IF NOT EXISTS watermark_table (
+        file_name TEXT, epoch INTEGER
     )""",
 )
 
@@ -189,6 +235,8 @@ SDM_INDEXES: Tuple[Tuple[str, Tuple[str, ...], str], ...] = (
     # Pin release probes pin_id; the reap floor probes MIN(epoch).
     ("pin_table", ("pin_id",), "ordered"),
     ("pin_table", ("epoch",), "ordered"),
+    # Reap-watermark lookup is a per-file point probe.
+    ("watermark_table", ("file_name",), "hash"),
 )
 """(table, column tuple, kind) declarations for SDM's hot lookups."""
 
@@ -266,9 +314,18 @@ class SDMTables:
 
     def __init__(self, db: Database) -> None:
         self.db = db
+        self.n_leases_stolen = 0
+        """Expired leases recovered and taken over by a later acquirer."""
+        self.n_flips_rolled_back = 0
+        """Interrupted flips withdrawn (intent record found, commit not
+        reached: successors deleted, predecessors reopened)."""
+        self.n_flips_rolled_forward = 0
+        """Committed flips whose reap half was finished by recovery."""
+        self.n_pins_expired = 0
+        """Abandoned snapshot pins released on a dead client's behalf."""
 
     def create_all(self, proc: Optional[Process] = None) -> None:
-        """Create the twelve tables and their secondary indexes (idempotent)."""
+        """Create the thirteen tables and their secondary indexes (idempotent)."""
         for ddl in SDM_SCHEMA:
             self.db.execute(ddl, proc=proc)
         self.declare_indexes()
@@ -869,24 +926,167 @@ class SDMTables:
         )
         return 0 if rows[0][0] is None else int(rows[0][0])
 
+    def begin_flip(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> int:
+        """Open a metadata flip: allocate a globally-unique epoch and
+        journal the intent against ``file_name``.
+
+        The intent row is the flip's write-ahead record: until
+        :meth:`commit_flip` turns it ``published``, a recovering lease
+        stealer treats every row version touched at this epoch as
+        uncommitted and rolls the flip back.  Rollback is keyed on the
+        epoch number alone, so unlike the old ``publish_epoch`` the
+        allocation is insert-then-verify: a number shared with a
+        concurrent other-file flip (same-file flips are serialized by the
+        lease) is withdrawn and retried — recovery must never confuse two
+        flips' row versions.
+        """
+        while True:
+            epoch = self.current_epoch(proc) + 1
+            self.db.execute(
+                "INSERT INTO epoch_table VALUES (?, ?, ?)",
+                (file_name, epoch, EPOCH_INTENT),
+                proc=proc,
+            )
+            rows = self.db.execute(
+                "SELECT COUNT(*) FROM epoch_table WHERE epoch = ?",
+                (epoch,),
+                proc=proc,
+            )
+            if int(rows[0][0]) == 1:
+                return epoch
+            self.db.execute(
+                "DELETE FROM epoch_table "
+                "WHERE file_name = ? AND epoch = ?",
+                (file_name, epoch),
+                proc=proc,
+            )
+
+    def commit_flip(
+        self, file_name: str, epoch: int, proc: Optional[Process] = None
+    ) -> None:
+        """Commit a flip: turn its intent record ``published``.
+
+        This single count-checked UPDATE is the commit point — a crash
+        before it rolls the whole flip back, a crash after it rolls the
+        flip forward (the remaining reap is completed by recovery).  A
+        zero-row update means recovery already rolled this flip back
+        under a stolen lease; raised as :class:`SDMStateError` so the
+        fenced-off publisher cannot continue as if it committed.
+        """
+        touched = self.db.execute_count(
+            "UPDATE epoch_table SET state = ? "
+            "WHERE file_name = ? AND epoch = ? AND state = ?",
+            (EPOCH_PUBLISHED, file_name, epoch, EPOCH_INTENT),
+            proc=proc,
+        )
+        if touched != 1:
+            raise SDMStateError(
+                f"commit_flip matched {touched} intent rows for "
+                f"({file_name!r}, epoch {epoch}); the flip was rolled "
+                "back by recovery under a stolen lease"
+            )
+
     def publish_epoch(
         self, file_name: str, proc: Optional[Process] = None
     ) -> int:
-        """Allocate the next epoch and log it against ``file_name``.
+        """One-shot :meth:`begin_flip` + :meth:`commit_flip` for callers
+        with no crash window between allocation and publish (tests,
+        single-statement bumps).  The flip protocols proper journal the
+        two halves around their row-version writes."""
+        epoch = self.begin_flip(file_name, proc)
+        self.commit_flip(file_name, epoch, proc)
+        return epoch
 
-        The counter is global (MAX+1) but no retry loop is needed: two
-        concurrent flips can only share a number when they target
-        *different* files (same-file flips are serialized by the lease),
-        and distinct files' version chains are disjoint, so a shared
-        epoch number is harmless.
+    def flip_intent(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> Optional[int]:
+        """Epoch of the file's surviving intent record, or None.
+
+        At most one can exist: intents are written under the file's
+        exclusive lease and resolved before the lease changes hands.
         """
-        epoch = self.current_epoch(proc) + 1
+        rows = self.db.execute(
+            "SELECT epoch FROM epoch_table "
+            "WHERE file_name = ? AND state = ?",
+            (file_name, EPOCH_INTENT),
+            proc=proc,
+        )
+        return None if not rows else int(rows[0][0])
+
+    def files_with_flip_intents(
+        self, proc: Optional[Process] = None
+    ) -> List[str]:
+        """Files carrying an unresolved flip intent (recovery sweep)."""
+        rows = self.db.execute(
+            "SELECT file_name FROM epoch_table WHERE state = ?",
+            (EPOCH_INTENT,),
+            proc=proc,
+        )
+        return [f for (f,) in dict.fromkeys(rows)]
+
+    def rollback_flip(
+        self, file_name: str, epoch: int, proc: Optional[Process] = None
+    ) -> None:
+        """Withdraw an uncommitted flip: delete the successor row
+        versions it inserted at ``epoch`` (reorganize successors live in
+        a *different* file, hence no file_name conjunct — epochs are
+        globally unique), reopen the predecessors it closed, and drop the
+        intent record.  Leaves the metadata byte-identical to the
+        pre-flip state; any data bytes the flip staged are unreferenced.
+        """
         self.db.execute(
-            "INSERT INTO epoch_table VALUES (?, ?)",
+            "DELETE FROM execution_table WHERE valid_from = ?",
+            (epoch,),
+            proc=proc,
+        )
+        self.db.execute(
+            "DELETE FROM chunk_table WHERE valid_from = ?",
+            (epoch,),
+            proc=proc,
+        )
+        self.db.execute(
+            "UPDATE execution_table SET valid_to = ? WHERE valid_to = ?",
+            (OPEN_EPOCH, epoch),
+            proc=proc,
+        )
+        self.db.execute(
+            "UPDATE chunk_table SET valid_to = ? WHERE valid_to = ?",
+            (OPEN_EPOCH, epoch),
+            proc=proc,
+        )
+        self.db.execute(
+            "DELETE FROM epoch_table WHERE file_name = ? AND epoch = ?",
             (file_name, epoch),
             proc=proc,
         )
-        return epoch
+
+    def recover_file(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> Optional[str]:
+        """Resolve whatever a dead lease holder left on one file, exactly
+        one way: a surviving intent rolls the flip *back*
+        (:meth:`rollback_flip`); otherwise any committed-but-unreaped
+        residue rolls *forward* by finishing the reap.  Idempotent;
+        returns ``"rolled_back"``, ``"rolled_forward"``, or None when
+        there was nothing to resolve."""
+        intent = self.flip_intent(file_name, proc)
+        if intent is not None:
+            self.rollback_flip(file_name, intent, proc)
+            self.n_flips_rolled_back += 1
+            return "rolled_back"
+        if self.dead_executions_in_file(file_name, proc):
+            # record_extents=False: recovery cannot know whether the
+            # interrupted flip was a quiesced in-place compaction, whose
+            # dead versions' old offsets overlap the slid-down live
+            # layout — recording those as free extents would hand live
+            # bytes to allocate_extent.  Forgoing the extent record only
+            # defers space reuse to the next compaction pass.
+            self.reap_file(file_name, proc, record_extents=False)
+            self.n_flips_rolled_forward += 1
+            return "rolled_forward"
+        return None
 
     def file_epoch(
         self, file_name: str, proc: Optional[Process] = None
@@ -933,26 +1133,66 @@ class SDMTables:
         )
         return rows[0][0] if rows else None
 
+    def _lease_expired(
+        self, boot: int, heartbeat: float, ttl: float, now: Optional[float]
+    ) -> bool:
+        """True when a lease row's holder is presumed dead: its boot
+        predates this database incarnation (its job ended without
+        releasing — deterministic, no clock heuristics), or its
+        heartbeat is a full TTL stale at ``now``."""
+        if boot < self.db.boot_id:
+            return True
+        return now is not None and heartbeat + ttl <= now
+
     def try_acquire_lease(
-        self, file_name: str, holder: str, proc: Optional[Process] = None
+        self,
+        file_name: str,
+        holder: str,
+        proc: Optional[Process] = None,
+        now: Optional[float] = None,
+        ttl: float = DEFAULT_LEASE_TTL,
     ) -> bool:
         """Attempt to take the exclusive flip lease on one file.
 
-        Insert-then-verify: a pre-check rejects an existing lease, the
-        optimistic insert is then re-counted, and on a photo-finish race
-        (two holders inserted) *both* withdraw — symmetric fail-fast is
-        the contract; the callers retry or surface SDMLeaseConflict.
+        Insert-then-verify: a pre-check rejects an existing *live* lease,
+        the optimistic insert is then re-counted, and on a photo-finish
+        race (two holders inserted) *both* withdraw — symmetric fail-fast
+        is the contract; the callers retry or surface SDMLeaseConflict.
+
+        An existing lease whose holder is dead (:meth:`_lease_expired`)
+        is not a conflict: the acquirer first resolves whatever the dead
+        holder left mid-flip (:meth:`recover_file` — roll back or roll
+        forward, never half), then steals the row and proceeds.  Pass the
+        caller's virtual ``now`` to enable same-incarnation expiry;
+        without it only cross-incarnation (boot) death is detected.
         """
         rows = self.db.execute(
-            "SELECT holder FROM lease_table WHERE file_name = ?",
+            "SELECT holder, boot, heartbeat, ttl FROM lease_table "
+            "WHERE file_name = ?",
             (file_name,),
             proc=proc,
         )
         if rows:
-            return False
+            dead_holder, boot, hb, row_ttl = rows[0]
+            if not self._lease_expired(
+                int(boot), float(hb), float(row_ttl), now
+            ):
+                return False
+            self.recover_file(file_name, proc)
+            stolen = self.db.execute_count(
+                "DELETE FROM lease_table "
+                "WHERE file_name = ? AND holder = ?",
+                (file_name, dead_holder),
+                proc=proc,
+            )
+            if stolen != 1:
+                # A concurrent acquirer recovered and stole it first.
+                return False
+            self.n_leases_stolen += 1
+        t = 0.0 if now is None else float(now)
         self.db.execute(
-            "INSERT INTO lease_table VALUES (?, ?)",
-            (file_name, holder),
+            "INSERT INTO lease_table VALUES (?, ?, ?, ?, ?, ?)",
+            (file_name, holder, self.db.boot_id, t, t, ttl),
             proc=proc,
         )
         rows = self.db.execute(
@@ -968,12 +1208,50 @@ class SDMTables:
     def release_lease(
         self, file_name: str, holder: str, proc: Optional[Process] = None
     ) -> None:
-        """Drop one holder's lease on a file."""
-        self.db.execute(
+        """Drop one holder's lease on a file.
+
+        Count-checked: releasing a lease this holder no longer owns
+        (double release, or the lease was recovered and stolen while the
+        holder was presumed dead) raises :class:`SDMStateError` instead
+        of silently deleting nothing — the holder must not believe it
+        still ended the critical section cleanly.
+        """
+        touched = self.db.execute_count(
             "DELETE FROM lease_table WHERE file_name = ? AND holder = ?",
             (file_name, holder),
             proc=proc,
         )
+        if touched != 1:
+            raise SDMStateError(
+                f"release_lease matched {touched} rows for {holder!r} on "
+                f"{file_name!r}; the lease was never held, already "
+                "released, or stolen by recovery"
+            )
+
+    def heartbeat_lease(
+        self,
+        file_name: str,
+        holder: str,
+        now: float,
+        proc: Optional[Process] = None,
+    ) -> None:
+        """Refresh a held lease's liveness stamp (one local UPDATE — no
+        network traffic; flips call it before each publish step).
+
+        Count-checked as a *fence*: a zero-row update means the lease
+        expired and was stolen, so the presumed-dead holder stops before
+        publishing over the thief's flip."""
+        touched = self.db.execute_count(
+            "UPDATE lease_table SET heartbeat = ? "
+            "WHERE file_name = ? AND holder = ?",
+            (now, file_name, holder),
+            proc=proc,
+        )
+        if touched != 1:
+            raise SDMStateError(
+                f"heartbeat_lease matched {touched} rows for {holder!r} "
+                f"on {file_name!r}; the lease expired and was stolen"
+            )
 
     def lease_count(self, proc: Optional[Process] = None) -> int:
         """Outstanding leases (leak-audit helper)."""
@@ -982,18 +1260,34 @@ class SDMTables:
         )
         return int(rows[0][0])
 
+    def all_leases(
+        self, proc: Optional[Process] = None
+    ) -> List[Tuple[str, str, int]]:
+        """Every outstanding lease: ``(file_name, holder, boot)`` —
+        shutdown leak audits and attach-time recovery sweeps."""
+        rows = self.db.execute(
+            "SELECT file_name, holder, boot FROM lease_table", proc=proc
+        )
+        return [(f, h, int(b)) for f, h, b in rows]
+
     def create_pin(
-        self, client: str, epoch: int, proc: Optional[Process] = None
+        self,
+        client: str,
+        epoch: int,
+        proc: Optional[Process] = None,
+        now: float = 0.0,
     ) -> int:
         """Pin a snapshot: row versions live at ``epoch`` stay readable
-        (and unreaped) until :meth:`release_pin`.  Returns the pin id."""
+        (and unreaped) until :meth:`release_pin`.  Returns the pin id.
+        ``now`` seeds the last-touched stamp the abandoned-pin reaper
+        ages against."""
         rows = self.db.execute(
             "SELECT MAX(pin_id) FROM pin_table", proc=proc
         )
         pin_id = 1 if rows[0][0] is None else int(rows[0][0]) + 1
         self.db.execute(
-            "INSERT INTO pin_table VALUES (?, ?, ?)",
-            (pin_id, client, epoch),
+            "INSERT INTO pin_table VALUES (?, ?, ?, ?, ?)",
+            (pin_id, client, epoch, self.db.boot_id, now),
             proc=proc,
         )
         return pin_id
@@ -1001,12 +1295,69 @@ class SDMTables:
     def release_pin(
         self, pin_id: int, proc: Optional[Process] = None
     ) -> None:
-        """Release a snapshot pin (the caller should then reap)."""
-        self.db.execute(
+        """Release a snapshot pin (the caller should then reap).
+
+        Count-checked: a double release, or releasing a pin the
+        abandoned-pin reaper already expired, raises
+        :class:`SDMStateError` instead of silently deleting nothing."""
+        touched = self.db.execute_count(
             "DELETE FROM pin_table WHERE pin_id = ?",
             (pin_id,),
             proc=proc,
         )
+        if touched != 1:
+            raise SDMStateError(
+                f"release_pin matched {touched} rows for pin {pin_id}; "
+                "the pin was never created, already released, or expired "
+                "by the abandoned-pin reaper"
+            )
+
+    def touch_pin(
+        self, pin_id: int, now: float, proc: Optional[Process] = None
+    ) -> None:
+        """Refresh a pin's last-touched stamp (readers call this,
+        throttled, on the read path so live pins never age out).
+        Count-checked as a fence against reading through an
+        already-reaped pin."""
+        touched = self.db.execute_count(
+            "UPDATE pin_table SET touched = ? WHERE pin_id = ?",
+            (now, pin_id),
+            proc=proc,
+        )
+        if touched != 1:
+            raise SDMStateError(
+                f"touch_pin matched {touched} rows for pin {pin_id}; "
+                "the pin expired and was reaped"
+            )
+
+    def expired_pins(
+        self,
+        now: float,
+        timeout: float = DEFAULT_PIN_TTL,
+        proc: Optional[Process] = None,
+    ) -> List[Tuple[int, str, int]]:
+        """Pins presumed abandoned: ``(pin_id, client, epoch)`` for every
+        pin from a prior database incarnation, or untouched for a full
+        ``timeout`` at ``now`` — the leak reaper's work list."""
+        rows = self.db.execute(
+            "SELECT pin_id, client, epoch, boot, touched FROM pin_table",
+            proc=proc,
+        )
+        out: List[Tuple[int, str, int]] = []
+        for pid, client, epoch, boot, touched in rows:
+            if int(boot) < self.db.boot_id or float(touched) + timeout <= now:
+                out.append((int(pid), client, int(epoch)))
+        return out
+
+    def all_pins(
+        self, proc: Optional[Process] = None
+    ) -> List[Tuple[int, str, int]]:
+        """Every outstanding pin: ``(pin_id, client, epoch)`` — shutdown
+        leak audits and attach-time recovery sweeps."""
+        rows = self.db.execute(
+            "SELECT pin_id, client, epoch FROM pin_table", proc=proc
+        )
+        return [(int(p), c, int(e)) for p, c, e in rows]
 
     def advance_pin(
         self, pin_id: int, epoch: int, proc: Optional[Process] = None
@@ -1021,7 +1372,10 @@ class SDMTables:
     def min_pinned_epoch(
         self, proc: Optional[Process] = None
     ) -> Optional[int]:
-        """The reap floor: oldest pinned epoch, or None when unpinned."""
+        """Oldest pinned epoch, or None when unpinned.  No longer the
+        reap floor — :meth:`reap_file` tests each dead version's validity
+        interval against the individual pinned epochs — but still a
+        useful summary statistic."""
         rows = self.db.execute(
             "SELECT MIN(epoch) FROM pin_table", proc=proc
         )
@@ -1049,14 +1403,25 @@ class SDMTables:
         stranded past the new cursor are forgotten — exactly the
         unversioned reorganize bookkeeping, which this reproduces
         verbatim when nothing is pinned.  Returns True when no dead
-        versions remain (full reap: epoch history is pruned to the newest
-        entry)."""
-        floor = self.min_pinned_epoch(proc)
+        versions remain (full reap).
+
+        A dead version is reapable iff **no pinned epoch falls inside its
+        validity interval** ``[valid_from, valid_to)`` — per-row
+        precision, strictly finer than the old global min-pin floor: one
+        long-lived pin at epoch P only protects versions actually visible
+        at P, instead of freezing every file's reap at P.  Either way the
+        file's reap watermark advances to the oldest surviving dead
+        version (or the current epoch on a full reap) and epoch history
+        below the watermark is pruned — the epoch log now truncates even
+        while old pins persist."""
+        pinned = [int(e) for (e,) in self.db.execute(
+            "SELECT epoch FROM pin_table", proc=proc
+        )]
         dead = self.dead_executions_in_file(file_name, proc)
-        if floor is None:
-            reapable = dead
-        else:
-            reapable = [row for row in dead if row[6] <= floor]
+        reapable = [
+            row for row in dead
+            if not any(row[5] <= p < row[6] for p in pinned)
+        ]
         if reapable:
             for r, d, t, _off, _n, vf, vt in reapable:
                 self.db.execute(
@@ -1075,9 +1440,44 @@ class SDMTables:
             self.truncate_extents(file_name, new_end, proc)
         fully_reaped = len(reapable) == len(dead)
         if fully_reaped:
-            self.prune_epochs(file_name, self.file_epoch(file_name, proc),
-                              proc)
+            watermark = self.file_epoch(file_name, proc)
+        else:
+            watermark = min(
+                row[5] for row in dead if row not in reapable
+            )
+        self.set_reap_watermark(file_name, watermark, proc)
+        self.prune_epochs(file_name, watermark, proc)
         return fully_reaped
+
+    def reap_watermark(
+        self, file_name: str, proc: Optional[Process] = None
+    ) -> int:
+        """A file's reap watermark: every row version of epochs below it
+        has been reaped (0 before the first reap)."""
+        rows = self.db.execute(
+            "SELECT epoch FROM watermark_table WHERE file_name = ?",
+            (file_name,),
+            proc=proc,
+        )
+        return 0 if not rows else int(rows[0][0])
+
+    def set_reap_watermark(
+        self, file_name: str, epoch: int, proc: Optional[Process] = None
+    ) -> None:
+        """Advance a file's reap watermark (monotone upsert: a stale
+        concurrent reaper can never move it backwards)."""
+        if epoch <= self.reap_watermark(file_name, proc):
+            return
+        self.db.execute(
+            "DELETE FROM watermark_table WHERE file_name = ?",
+            (file_name,),
+            proc=proc,
+        )
+        self.db.execute(
+            "INSERT INTO watermark_table VALUES (?, ?)",
+            (file_name, epoch),
+            proc=proc,
+        )
 
     # -- maintenance_table ---------------------------------------------------
 

@@ -25,7 +25,7 @@ from repro.mpi.request import Request
 from repro.mpi.status import Status
 from repro.mpi.transport import Transport
 from repro.simt.primitives import SimEvent
-from repro.simt.process import Process
+from repro.simt.process import Crashed, Process
 from repro.simt.trace import CollectiveSignature
 
 __all__ = ["Communicator"]
@@ -198,6 +198,14 @@ class Communicator:
         root: Optional[int] = None,
         reduce_op: Optional[ReduceOp] = None,
     ) -> Any:
+        if getattr(self.proc, "crashed", False):
+            # Cleanup code unwinding past an injected crash must not
+            # join (and misalign) the survivors' collective sequence —
+            # same containment as Process._park and Database._check_live.
+            raise Crashed(
+                f"crashed process {self.proc.name!r} cannot join "
+                f"collective {op!r}"
+            )
         size = self.size
         self._op_seq += 1
         verifier = self.transport.verifier

@@ -18,10 +18,11 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.verifier import SPMDVerifier, spmd_verify_enabled
 from repro.config import MachineModel, origin2000
+from repro.errors import SimParticipantLost
 from repro.mpi.communicator import Communicator
 from repro.mpi.phases import PhaseTimer
 from repro.mpi.transport import Transport
-from repro.simt.simulator import Simulator
+from repro.simt.simulator import FaultPlan, Simulator
 from repro.simt.trace import Trace
 
 __all__ = ["RankContext", "JobResult", "mpirun"]
@@ -66,6 +67,12 @@ class JobResult:
     phase_totals: List[Dict[str, float]]
     services: Dict[str, Any]
     sim: Simulator = field(repr=False, default=None)
+    crashed: List[str] = field(default_factory=list)
+    """Names of processes killed by the job's :class:`FaultPlan` (empty for
+    fault-free runs).  Crashed ranks have ``values[r] is None``."""
+    fault_log: List[Any] = field(default_factory=list)
+    """Every fault-point hit recorded while a plan was installed:
+    ``(process name, point, nth)`` — replayable as crash schedules."""
 
     def phase_max(self, name: str) -> float:
         """Max-over-ranks total for a phase — the cost on the critical path
@@ -94,6 +101,7 @@ def mpirun(
     machine: Optional[MachineModel] = None,
     services: Optional[ServicesFactory] = None,
     trace: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> JobResult:
     """Run ``fn(ctx)`` as an SPMD program on ``nprocs`` simulated ranks.
 
@@ -111,6 +119,13 @@ def mpirun(
         :meth:`RankContext.service`.
     trace:
         Enable the simulator's trace log.
+    fault_plan:
+        Optional :class:`~repro.simt.simulator.FaultPlan` installing a
+        crash schedule.  With a plan installed the job is *crash
+        tolerant*: a rank killed at a fault point does not abort the
+        job — the run ends when the survivors finish or stall on the
+        dead rank, and the result reports :attr:`JobResult.crashed` and
+        the full :attr:`JobResult.fault_log` instead of raising.
 
     Raises
     ------
@@ -152,9 +167,23 @@ def mpirun(
         contexts[r] = ctx
         return fn(ctx)
 
+    sim.fault_plan = fault_plan
     procs = [sim.spawn(rank_main, r, name=f"rank{r}") for r in range(nprocs)]
-    elapsed = sim.run()
-    if transport.verifier is not None:
+    try:
+        elapsed = sim.run()
+    except SimParticipantLost:
+        if fault_plan is None:  # pragma: no cover - defensive
+            raise
+        # Survivors stalled on a fault-killed rank: an expected outcome
+        # under an installed plan, not a job failure.  The job ends at
+        # the stall time; recovery happens in a follow-on job seeded
+        # from this one's services.
+        elapsed = sim.now
+    crashed = [p.name for p in sim._procs if p.crashed]
+    if transport.verifier is not None and not crashed:
+        # Crashed ranks leave open collective sites and shorter
+        # per-context sequences by construction; the sanitizer's
+        # end-of-job uniformity check only makes sense fault-free.
         transport.verifier.final_check()
     return JobResult(
         nprocs=nprocs,
@@ -167,4 +196,6 @@ def mpirun(
         ],
         services=shared,
         sim=sim,
+        crashed=crashed,
+        fault_log=list(sim.fault_log),
     )

@@ -23,14 +23,17 @@ Processes are plain Python functions whose first argument is their
     assert p.result == 42 and sim.now == 1.5
 """
 
-from repro.simt.process import Process
-from repro.simt.simulator import Simulator
+from repro.simt.process import Crashed, Killed, Process
+from repro.simt.simulator import FaultPlan, Simulator
 from repro.simt.primitives import Channel, Resource, Signal, SimEvent
 from repro.simt.trace import Trace, TraceRecord
 
 __all__ = [
     "Simulator",
+    "FaultPlan",
     "Process",
+    "Killed",
+    "Crashed",
     "Signal",
     "SimEvent",
     "Resource",

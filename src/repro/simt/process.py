@@ -23,7 +23,7 @@ from typing import Any, Callable, Optional, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simt.simulator import Simulator
 
-__all__ = ["Process", "Killed"]
+__all__ = ["Process", "Killed", "Crashed"]
 
 
 class Killed(BaseException):
@@ -31,6 +31,21 @@ class Killed(BaseException):
 
     Derives from :class:`BaseException` so that application-level
     ``except Exception`` blocks cannot swallow it.
+    """
+
+
+class Crashed(BaseException):
+    """Raised inside a process at a matched fault point to model a crash.
+
+    Like :class:`Killed` this derives from :class:`BaseException`, so
+    application-level ``except Exception`` recovery cannot intercept the
+    injected death — the process unwinds exactly as if its host failed
+    mid-operation, leaving whatever shared state (leases, pins,
+    half-published epochs) it had in flight.  Unlike an ordinary raised
+    exception it does *not* mark the simulation as errored: peers keep
+    running until they stall on the dead process, at which point the
+    simulator raises an attributed
+    :class:`~repro.errors.SimParticipantLost`.
     """
 
 
@@ -74,6 +89,8 @@ class Process:
         self.started = False
         self.result: Any = None
         self.error: Optional[BaseException] = None
+        self.crashed = False
+        self.crash_point: Optional[str] = None
         self.wait_reason: str = "start"
         self._wake_value: Any = None
         self._resume = threading.Event()
@@ -113,6 +130,16 @@ class Process:
         """
         return self._park(reason=reason)
 
+    def fault_point(self, name: str) -> None:
+        """Announce a registered fault point (e.g. ``"flip:published"``).
+
+        Protocol code calls this at its crash-interesting milestones.  A
+        no-op unless the simulator carries a
+        :class:`~repro.simt.simulator.FaultPlan`; a matching plan raises
+        :class:`Crashed` here, killing this process mid-protocol.
+        """
+        self.sim._hit_fault_point(name, self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.alive else "done"
         return f"<Process {self.name} {state} at t={self.sim.now:.6g}>"
@@ -134,6 +161,11 @@ class Process:
             self.result = fn(self, *args, **kwargs)
         except Killed:
             pass
+        except Crashed:
+            # An injected fault, not a program error: record the death
+            # without flagging the simulation as crashed, so peers run on
+            # until they stall on this process (attributed separately).
+            self.crashed = True
         except BaseException as exc:  # noqa: BLE001 - reported via sim
             self.error = exc
         finally:
@@ -151,6 +183,10 @@ class Process:
             )
         if self.sim._aborting:
             raise Killed()
+        if self.crashed:
+            # Crash-unwinding code (``finally`` cleanup) must not block,
+            # hold, or rendezvous: the dead process is gone.
+            raise Crashed(f"crashed process {self.name!r} cannot park")
         self.wait_reason = reason
         self.sim._signal_scheduler()
         self._resume.wait()

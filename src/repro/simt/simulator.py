@@ -15,16 +15,66 @@ deterministic.  Two event kinds exist:
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.errors import SimDeadlockError, SimError, SimProcessCrashed
-from repro.simt.process import Process
+from repro.errors import (
+    SimDeadlockError,
+    SimError,
+    SimParticipantLost,
+    SimProcessCrashed,
+)
+from repro.simt.process import Crashed, Process
 from repro.simt.trace import Trace
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "FaultPlan"]
 
 _RESUME = 0
 _CALL = 1
+
+
+@dataclass
+class FaultPlan:
+    """Crash one named process at the Nth hit of a registered fault point.
+
+    Install on a simulator (``sim.fault_plan = FaultPlan(...)``, or via
+    :func:`repro.mpi.job.mpirun`'s ``fault_plan`` argument) before the
+    run.  While a plan is installed, every :meth:`Process.fault_point`
+    hit is appended to :attr:`Simulator.fault_log` as
+    ``(process name, point name, nth hit of that pair)`` — an
+    *observe-only* plan (:meth:`observe`) therefore enumerates a
+    workload's complete crash schedule, which is what the fault property
+    harness replays case by case.
+
+    ``occurrence`` counts hits of the exact ``(victim, point)`` pair,
+    starting at 1, so ``FaultPlan("flip:published", victim="rank0",
+    occurrence=2)`` survives the first flip and dies publishing the
+    second.
+    """
+
+    point: Optional[str]
+    """Fault-point name to crash at (None: observe/record only)."""
+
+    victim: str = "rank0"
+    """Name of the process to crash (other processes pass through)."""
+
+    occurrence: int = 1
+    """Which hit of ``(victim, point)`` is fatal (1-based)."""
+
+    hits: int = field(default=0, compare=False)
+    """Matching ``(victim, point)`` hits seen so far (kernel-maintained)."""
+
+    @classmethod
+    def observe(cls) -> "FaultPlan":
+        """A plan that never fires but enables fault-point recording."""
+        return cls(point=None, victim="")
+
+    def matches(self, proc_name: str, point: str, nth: int) -> bool:
+        """True when the ``nth`` hit of ``(proc_name, point)`` is fatal."""
+        if self.point is None or point != self.point or proc_name != self.victim:
+            return False
+        self.hits = nth
+        return nth == self.occurrence
 
 
 class Simulator:
@@ -50,6 +100,13 @@ class Simulator:
         return is appended to the :class:`SimDeadlockError` message (the
         ``SPMD_VERIFY`` sanitizer registers its per-rank pending-op
         report here)."""
+        self.fault_plan: Optional[FaultPlan] = None
+        """Installed crash schedule (None: fault injection disabled — the
+        ``fault_point`` hook is then a two-attribute no-op)."""
+        self.fault_log: List[Tuple[str, str, int]] = []
+        """Every fault-point hit seen while a plan was installed:
+        ``(process name, point, nth hit of that pair)``."""
+        self._fault_hits: dict = {}
         self._queue: List[Tuple[float, int, int, Any, Any]] = []
         self._seq = 0
         self._procs: List[Process] = []
@@ -152,8 +209,22 @@ class Simulator:
                             extra += "\n  " + reporter()
                         except Exception:  # pragma: no cover - diagnostics
                             pass
+                    crashed = [p for p in self._procs if p.crashed]
                     self._drain()
                     self._finished = True
+                    if crashed:
+                        # Not a deadlock of the survivors' own making:
+                        # they are rendezvousing with fault-killed peers.
+                        # Attribute the stall so the sanitizer's report
+                        # reads as "participant lost", not "hung".
+                        dead = ", ".join(
+                            f"{p.name}[{p.crash_point}]" for p in crashed
+                        )
+                        raise SimParticipantLost(
+                            f"{len(crashed)} process(es) lost to injected "
+                            f"faults ({dead}); {len(live)} surviving "
+                            f"process(es) blocked on them: {report}{extra}"
+                        )
                     raise SimDeadlockError(
                         f"no events pending but {len(live)} process(es) "
                         f"blocked: {report}{extra}"
@@ -216,3 +287,28 @@ class Simulator:
     def _on_process_exit(self, proc: Process) -> None:
         if proc.error is not None and not self._aborting:
             self._crashed = proc
+
+    def _hit_fault_point(self, name: str, proc: Process) -> None:
+        """Record a fault-point hit; crash ``proc`` if the plan says so.
+
+        Called (via :meth:`Process.fault_point`) from the hitting
+        process's own thread, so a matching plan can simply raise
+        :class:`~repro.simt.process.Crashed` to unwind it in place.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return
+        key = (proc.name, name)
+        nth = self._fault_hits.get(key, 0) + 1
+        self._fault_hits[key] = nth
+        self.fault_log.append((proc.name, name, nth))
+        if plan.matches(proc.name, name, nth):
+            proc.crash_point = f"{name}#{nth}"
+            # Flag before raising: ``finally`` blocks unwinding past the
+            # crash must behave as dead code — the database and the park
+            # primitive both refuse a crashed process, so graceful-exit
+            # cleanup (lease releases, reaps) cannot run post-mortem.
+            proc.crashed = True
+            raise Crashed(
+                f"injected fault at {name!r} (hit {nth}) in {proc.name!r}"
+            )

@@ -603,8 +603,9 @@ def test_canonical_read_skips_chunk_table_probe():
         before = db.n_statements
         back = np.empty(4)
         sdm.read(handle, "d", 0, back)
+        delta = db.n_statements - before
         sdm.finalize(handle)
-        return ctx.rank, db.n_statements - before
+        return ctx.rank, delta
 
     job = mpirun(program, 2, machine=fast_test(), services=sdm_services())
     by_rank = dict(job.values)

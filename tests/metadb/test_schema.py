@@ -31,6 +31,7 @@ def test_create_all_is_idempotent(tables):
         "epoch_table",
         "lease_table",
         "pin_table",
+        "watermark_table",
     }
 
 

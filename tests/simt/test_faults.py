@@ -1,0 +1,159 @@
+"""Fault injection at the kernel level: FaultPlan, fault points, crashes.
+
+The crash machinery's contract (see ``docs/concurrency.md``, "Failure
+model & recovery"):
+
+* with no plan installed, ``fault_point`` is free — no recording, no
+  branching beyond one attribute test;
+* an observe-only plan records every hit without crashing anything,
+  enumerating the workload's complete crash schedule;
+* a crashing plan kills exactly its victim at exactly the Nth hit of
+  the named point, and the kill is a *crash*, not a graceful exit —
+  ``finally`` blocks cannot park or touch the database post-mortem;
+* survivors blocked on a crashed process surface as
+  ``SimParticipantLost`` (attributable), never a generic deadlock.
+"""
+
+import pytest
+
+from repro.config import fast_test
+from repro.errors import SimDeadlockError, SimParticipantLost
+from repro.mpi import mpirun
+from repro.simt import Crashed, FaultPlan, SimEvent, Simulator
+
+
+def worker(proc, rounds):
+    for _ in range(rounds):
+        proc.hold(1.0)
+        proc.fault_point("step:done")
+    return rounds
+
+
+def test_fault_point_without_plan_is_inert():
+    sim = Simulator()
+    p = sim.spawn(worker, 3, name="w")
+    sim.run()
+    assert p.result == 3
+    assert sim.fault_log == []
+
+
+def test_observe_plan_records_schedule_without_crashing():
+    sim = Simulator()
+    sim.fault_plan = FaultPlan.observe()
+    a = sim.spawn(worker, 2, name="a")
+    b = sim.spawn(worker, 3, name="b")
+    sim.run()
+    assert a.result == 2 and b.result == 3
+    assert not a.crashed and not b.crashed
+    # Hit counts are per (process, point) and 1-based — the log IS the
+    # enumerable crash schedule.
+    assert sorted(sim.fault_log) == [
+        ("a", "step:done", 1),
+        ("a", "step:done", 2),
+        ("b", "step:done", 1),
+        ("b", "step:done", 2),
+        ("b", "step:done", 3),
+    ]
+
+
+def test_crash_at_nth_occurrence_kills_only_the_victim():
+    sim = Simulator()
+    sim.fault_plan = FaultPlan("step:done", victim="a", occurrence=2)
+    a = sim.spawn(worker, 4, name="a")
+    b = sim.spawn(worker, 4, name="b")
+    sim.run()
+    assert a.crashed and a.crash_point == "step:done#2"
+    assert a.result is None
+    assert not b.crashed and b.result == 4
+    # The victim's log stops at the fatal hit; the survivor's continues.
+    assert ("a", "step:done", 2) in sim.fault_log
+    assert ("a", "step:done", 3) not in sim.fault_log
+    assert ("b", "step:done", 4) in sim.fault_log
+
+
+def test_crashed_process_cannot_park_in_cleanup():
+    """``finally`` blocks unwinding past a crash must not block: holds,
+    waits, and rendezvous all raise ``Crashed`` for a dead process —
+    graceful-exit cleanup cannot run post-mortem."""
+    seen = []
+
+    def fn(proc):
+        try:
+            proc.fault_point("boom")
+        finally:
+            try:
+                proc.hold(1.0)
+            except Crashed:
+                seen.append("hold-refused")
+            raise
+
+    sim = Simulator()
+    sim.fault_plan = FaultPlan("boom", victim="v")
+    p = sim.spawn(fn, name="v")
+    sim.run()
+    assert p.crashed
+    assert seen == ["hold-refused"]
+
+
+def test_survivor_blocked_on_crashed_process_is_participant_lost():
+    def victim(proc, ev):
+        proc.fault_point("boom")
+        ev.set()
+
+    def waiter(proc, ev):
+        ev.wait(proc)
+
+    sim = Simulator()
+    sim.fault_plan = FaultPlan("boom", victim="v")
+    ev = SimEvent(sim)
+    sim.spawn(victim, ev, name="v")
+    sim.spawn(waiter, ev, name="w")
+    with pytest.raises(SimParticipantLost) as ei:
+        sim.run()
+    # Attributable: names the dead process and its crash point, and is
+    # still a SimDeadlockError for callers catching broadly.
+    assert "v[boom#1]" in str(ei.value)
+    assert isinstance(ei.value, SimDeadlockError)
+
+
+def test_mpirun_with_plan_reports_crash_instead_of_raising():
+    def program(ctx):
+        ctx.comm.barrier()
+        if ctx.rank == 0:
+            ctx.proc.fault_point("mid:job")
+        return ctx.rank
+
+    plan = FaultPlan("mid:job", victim="rank0")
+    job = mpirun(program, 3, machine=fast_test(), fault_plan=plan)
+    assert job.crashed == ["rank0"]
+    # Survivors with no further rendezvous on the dead rank finish.
+    assert job.values[0] is None
+    assert job.values[1:] == [1, 2]
+    assert ("rank0", "mid:job", 1) in job.fault_log
+
+
+def test_mpirun_survivors_stalled_on_dead_rank_end_cleanly():
+    """A collective the dead rank never joins stalls the survivors; with
+    a plan installed the job still ends (no exception), reporting the
+    crash — the stalled survivors just have no values."""
+
+    def program(ctx):
+        if ctx.rank == 0:
+            ctx.proc.fault_point("pre:barrier")
+        ctx.comm.barrier()
+        return ctx.rank
+
+    plan = FaultPlan("pre:barrier", victim="rank0")
+    job = mpirun(program, 3, machine=fast_test(), fault_plan=plan)
+    assert job.crashed == ["rank0"]
+    assert job.values == [None, None, None]
+
+
+def test_mpirun_without_plan_still_raises_on_deadlock():
+    def program(ctx):
+        if ctx.rank == 0:
+            return 0  # skips the barrier: a bug, not an injected fault
+        ctx.comm.barrier()
+
+    with pytest.raises(SimDeadlockError):
+        mpirun(program, 2, machine=fast_test())
